@@ -1,0 +1,45 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper.  Suite evaluations are expensive (18 benchmarks x 9 compiler
+configurations), so they are computed once per pytest session and shared
+through the memoised helpers below.  Rendered tables are written to
+``benchmarks/output/`` so a harness run leaves the reproduced artefacts
+on disk.
+
+Set ``REPRO_BENCH_PRESET=tiny`` for a fast smoke run, ``paper`` for the
+paper's full widths (slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+
+from repro.analysis.tables import TABLE3_CAPS, evaluate_suite
+
+#: Benchmark widths used by the harness (see repro.synth.registry).
+PRESET = os.environ.get("REPRO_BENCH_PRESET", "default")
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@functools.lru_cache(maxsize=None)
+def suite_plain():
+    """The five Table I configurations over all 18 benchmarks."""
+    return evaluate_suite(preset=PRESET, verify=False)
+
+
+@functools.lru_cache(maxsize=None)
+def suite_with_caps():
+    """Table I configurations plus the four Table III write caps."""
+    return evaluate_suite(preset=PRESET, caps=tuple(TABLE3_CAPS), verify=False)
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered table under ``benchmarks/output/``."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,90 @@
+"""Ablation — allocation policy and the W_max resolution sweep.
+
+Separates the two write-count strategies from the rest of the stack:
+LIFO vs minimum-write allocation under identical rewriting/selection, and
+a finer W_max sweep than the paper's four points to expose the knee of
+the balance/area trade-off.
+"""
+
+from repro.core.manager import EnduranceConfig, compile_with_management, full_management
+from repro.core.policies import AllocationPolicy
+from repro.synth.registry import build_benchmark
+
+from .conftest import PRESET, write_artifact
+
+CASES = ["adder", "sin", "cavlc", "priority"]
+
+
+def test_allocation_policy_isolated(benchmark):
+    """min-write vs naive with everything else held fixed: identical
+    #I/#R (paper-stated invariant), better balance."""
+
+    def run():
+        table = {}
+        for name in CASES:
+            mig = build_benchmark(name, preset=PRESET)
+            table[name] = {
+                strategy: compile_with_management(
+                    mig,
+                    EnduranceConfig(
+                        name=strategy,
+                        rewriting="endurance",
+                        selection="endurance",
+                        allocation=AllocationPolicy(strategy),
+                    ),
+                )
+                for strategy in ("naive", "min_write")
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["bench        naive-sd  minw-sd   #I-equal  #R-equal"]
+    for name, row in table.items():
+        naive, minw = row["naive"], row["min_write"]
+        lines.append(
+            f"{name:12s} {naive.stats.stdev:8.2f}  {minw.stats.stdev:8.2f}"
+            f"  {naive.num_instructions == minw.num_instructions!s:>8s}"
+            f"  {naive.num_rrams == minw.num_rrams!s:>8s}"
+        )
+        assert naive.num_instructions == minw.num_instructions
+        assert naive.num_rrams == minw.num_rrams
+    text = "\n".join(lines)
+    write_artifact("ablation_allocator.txt", text)
+    print("\n" + text)
+
+    better = sum(
+        1
+        for row in table.values()
+        if row["min_write"].stats.stdev <= row["naive"].stats.stdev
+    )
+    assert better >= len(CASES) - 1
+
+
+def test_wmax_fine_sweep(benchmark):
+    """Finer W_max resolution than Table III: the stdev/#R trade-off is
+    monotone all the way down to the minimum feasible cap."""
+    mig = build_benchmark("sin", preset=PRESET)
+    caps = [4, 6, 8, 10, 15, 20, 35, 50, 75, 100]
+
+    def run():
+        return {
+            cap: compile_with_management(mig, full_management(cap))
+            for cap in caps
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["wmax   #I      #R    stdev   max"]
+    for cap in caps:
+        r = results[cap]
+        lines.append(
+            f"{cap:4d}  {r.num_instructions:6d}  {r.num_rrams:5d} "
+            f"{r.stats.stdev:7.2f}  {r.stats.max_writes:4d}"
+        )
+    text = "\n".join(lines)
+    write_artifact("ablation_wmax.txt", text)
+    print("\n" + text)
+
+    for cap in caps:
+        assert results[cap].stats.max_writes <= cap
+    rrams = [results[cap].num_rrams for cap in caps]
+    assert rrams == sorted(rrams, reverse=True)  # monotone area cost

@@ -1,0 +1,91 @@
+"""Ablation — rewriting scripts and their pass composition.
+
+Compares no rewriting, Algorithm 1 (with Psi.C), and Algorithm 2 (the
+endurance-aware script), plus a step-dropped variant of Algorithm 2
+without the inverter-propagation sandwich — quantifying the paper's two
+design decisions (drop Psi.C; sandwich Omega.A with inverter passes).
+"""
+
+from repro.core.manager import EnduranceConfig, compile_with_management
+from repro.core.policies import AllocationPolicy
+from repro.core.rewriting import ALGORITHM2_STEPS
+from repro.mig.rewrite import apply_script
+from repro.plim.compiler import PlimCompiler
+from repro.core.selection import make_selection
+from repro.core.stats import WriteTrafficStats
+from repro.synth.registry import build_benchmark
+
+from .conftest import PRESET, write_artifact
+
+CASES = ["adder", "square", "i2c", "int2float"]
+
+
+def _compile_with_script(mig, steps, effort=5):
+    rewritten = apply_script(mig, steps, cycles=effort) if steps else \
+        mig.cleanup()
+    compiler = PlimCompiler(
+        selection=make_selection("endurance"), allocation="min_write"
+    )
+    program = compiler.compile(rewritten)
+    return program, WriteTrafficStats.from_counts(program.write_counts())
+
+
+def test_rewriting_ablation(benchmark):
+    no_sandwich = [s for s in ALGORITHM2_STEPS[:4]] + ["A", "M", "D_rl"]
+
+    def run():
+        table = {}
+        for name in CASES:
+            mig = build_benchmark(name, preset=PRESET)
+            table[name] = {
+                "none": _compile_with_script(mig, None),
+                "alg2": _compile_with_script(mig, ALGORITHM2_STEPS),
+                "alg2-no-sandwich": _compile_with_script(mig, no_sandwich),
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["bench        variant              #I      stdev"]
+    for name, row in table.items():
+        for variant, (program, stats) in row.items():
+            lines.append(
+                f"{name:12s} {variant:18s} {program.num_instructions:7d} "
+                f"{stats.stdev:8.2f}"
+            )
+    text = "\n".join(lines)
+    write_artifact("ablation_rewriting.txt", text)
+    print("\n" + text)
+
+    # Algorithm 2 always shortens programs vs no rewriting.
+    for name, row in table.items():
+        assert (
+            row["alg2"][0].num_instructions
+            < row["none"][0].num_instructions
+        ), name
+
+
+def test_effort_sweep(benchmark):
+    """Effort (script cycles) saturates quickly — the paper fixes it at
+    5; show the knee."""
+    mig = build_benchmark("square", preset=PRESET)
+
+    def run():
+        return {
+            effort: _compile_with_script(mig, ALGORITHM2_STEPS, effort)
+            for effort in (0, 1, 2, 5)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["effort  #I"] + [
+        f"{e:6d}  {p.num_instructions}" for e, (p, _) in sorted(results.items())
+    ]
+    text = "\n".join(lines)
+    write_artifact("ablation_effort.txt", text)
+    print("\n" + text)
+
+    counts = [results[e][0].num_instructions for e in (0, 1, 2, 5)]
+    assert counts[1] <= counts[0]  # first cycle does the bulk
+    assert counts[3] <= counts[1]  # later cycles refine monotonically
+    # saturation: cycle 5 gains little over cycle 2
+    assert counts[3] >= counts[2] * 0.9

@@ -1,0 +1,65 @@
+"""Ablation — node-selection keys in isolation.
+
+Algorithm 3 combines two keys (fanout level index primary, releasing
+count secondary).  This ablation runs each key alone and the two combined
+orders, quantifying what each contributes to write balance and device
+count — the design choice DESIGN.md calls out.
+"""
+
+from repro.core.manager import EnduranceConfig, compile_with_management
+from repro.core.policies import AllocationPolicy
+from repro.synth.registry import build_benchmark
+
+from .conftest import PRESET, write_artifact
+
+SELECTIONS = ["topo", "dac16", "endurance", "releasing-only", "level-only"]
+CASES = ["adder", "bar", "sin", "cavlc", "priority"]
+
+
+def _config(selection: str) -> EnduranceConfig:
+    return EnduranceConfig(
+        name=f"ablate-{selection}",
+        rewriting="endurance",
+        selection=selection,
+        allocation=AllocationPolicy("min_write"),
+    )
+
+
+def test_selection_ablation(benchmark):
+    def run():
+        table = {}
+        for name in CASES:
+            mig = build_benchmark(name, preset=PRESET)
+            table[name] = {
+                sel: compile_with_management(mig, _config(sel))
+                for sel in SELECTIONS
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["bench        " + "".join(f"{s:>16s}" for s in SELECTIONS)]
+    for name, row in table.items():
+        cells = "".join(
+            f"{row[s].stats.stdev:10.2f}/{row[s].num_rrams:<5d}"
+            for s in SELECTIONS
+        )
+        lines.append(f"{name:12s} {cells}")
+    text = "stdev/#R per selection strategy\n" + "\n".join(lines)
+    write_artifact("ablation_selection.txt", text)
+    print("\n" + text)
+
+    # The combined Algorithm 3 order beats plain topological order on
+    # average balance across the cases.
+    avg = {
+        sel: sum(table[n][sel].stats.stdev for n in CASES) / len(CASES)
+        for sel in SELECTIONS
+    }
+    assert avg["endurance"] < avg["topo"]
+    # The releasing-count key is the area lever: dac16-style orders use
+    # no more devices than level-only on average.
+    avg_r = {
+        sel: sum(table[n][sel].num_rrams for n in CASES) / len(CASES)
+        for sel in SELECTIONS
+    }
+    assert avg_r["releasing-only"] <= avg_r["level-only"] * 1.25

@@ -1,0 +1,92 @@
+"""Ablation — compile-time endurance management vs runtime wear levelling.
+
+The paper's introduction positions its compile-time techniques against
+runtime write-balancing schemes from the PCM literature (Start-Gap et
+al.).  This bench runs both — and their combination — on the same
+workload and compares the *physical* wear after many executions:
+
+* naive compilation + Start-Gap rotation (runtime only),
+* endurance-managed compilation on a plain array (compile time only),
+* endurance-managed compilation + Start-Gap (both).
+
+The reproduced qualitative claim: compile-time management attacks the
+per-execution write *profile* (so it also shortens programs), while
+rotation only spreads a bad profile around; combining them is strictly
+better than rotation alone.
+"""
+
+from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro.core.stats import WriteTrafficStats
+from repro.plim.startgap import run_with_start_gap
+from repro.plim.controller import PlimController
+from repro.plim.memory import RramArray
+from repro.synth.registry import build_benchmark
+
+from .conftest import write_artifact
+
+EXECUTIONS = 40
+GAP_INTERVAL = 64
+
+
+def _physical_wear(program, num_inputs, use_start_gap):
+    words = [0] * num_inputs
+    if use_start_gap:
+        array = run_with_start_gap(
+            program, words, executions=EXECUTIONS, gap_interval=GAP_INTERVAL
+        )
+        return array.write_counts()
+    array = RramArray(program.num_cells)
+    controller = PlimController(array)
+    for _ in range(EXECUTIONS):
+        controller.run(program, words)
+    return list(array.writes)
+
+
+def test_compile_time_vs_runtime_wear_levelling(benchmark):
+    mig = build_benchmark("ctrl", preset="tiny")
+
+    def run():
+        naive = compile_with_management(mig, PRESETS["naive"]).program
+        managed = compile_with_management(mig, full_management(10)).program
+        return {
+            "naive + plain": _physical_wear(naive, mig.num_pis, False),
+            "naive + start-gap": _physical_wear(naive, mig.num_pis, True),
+            "managed + plain": _physical_wear(managed, mig.num_pis, False),
+            "managed + start-gap": _physical_wear(managed, mig.num_pis, True),
+        }
+
+    wear = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"physical wear after {EXECUTIONS} executions (ctrl, tiny)"]
+    stats = {}
+    for label, counts in wear.items():
+        s = WriteTrafficStats.from_counts(counts)
+        stats[label] = s
+        lines.append(
+            f"  {label:22s} max={s.max_writes:6d} stdev={s.stdev:9.2f} "
+            f"total={s.total_writes:7d}"
+        )
+    text = "\n".join(lines)
+    write_artifact("ablation_startgap.txt", text)
+    print("\n" + text)
+
+    # rotation helps the naive program...
+    assert (
+        stats["naive + start-gap"].max_writes
+        < stats["naive + plain"].max_writes
+    )
+    # ...but compile-time management alone already beats plain naive...
+    assert (
+        stats["managed + plain"].max_writes
+        < stats["naive + plain"].max_writes
+    )
+    # ...and the combination beats managed-only on peak physical wear.
+    assert (
+        stats["managed + start-gap"].max_writes
+        <= stats["managed + plain"].max_writes
+    )
+    # runtime rotation cannot reduce total work — compile time does:
+    assert (
+        stats["managed + plain"].total_writes
+        < stats["naive + plain"].total_writes
+    )

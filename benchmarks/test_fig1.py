@@ -1,0 +1,69 @@
+"""Fig. 1 — repeated-destination write concentration.
+
+The paper's Fig. 1 MIG makes the cost-greedy compiler overwrite one
+device with the results of A, B, and C in turn.  We regenerate the exact
+figure and a parametric chain, showing (a) the pathology scales linearly
+with chain length under the naive flow, (b) the minimum write strategy
+alone cannot fix it (Section III-B's motivation for the cap), and (c) the
+maximum write strategy bounds it.
+"""
+
+from repro.analysis.scenarios import fig1_chain, fig1_mig
+from repro.core.manager import PRESETS, compile_with_management, full_management
+
+from .conftest import write_artifact
+
+
+def test_fig1_exact_scenario(benchmark):
+    mig = fig1_mig()
+
+    def run():
+        return {
+            name: compile_with_management(mig, PRESETS[name])
+            for name in ("naive", "min-write", "ea-full")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Fig. 1 MIG ({mig.num_live_gates()} nodes)"]
+    for name, res in results.items():
+        lines.append(
+            f"  {name:10s} writes/device={res.program.write_counts()} "
+            f"stdev={res.stats.stdev:.2f}"
+        )
+    text = "\n".join(lines)
+    write_artifact("fig1.txt", text)
+    print("\n" + text)
+
+    assert results["naive"].stats.max_writes >= 3
+    assert results["ea-full"].stats.stdev <= results["naive"].stats.stdev
+
+
+def test_fig1_chain_scaling(benchmark):
+    """Hot-cell writes grow ~linearly with chain length under naive."""
+
+    def run():
+        rows = []
+        for length in (4, 8, 16, 32):
+            mig = fig1_chain(length)
+            naive = compile_with_management(mig, PRESETS["naive"])
+            capped = compile_with_management(mig, full_management(5))
+            rows.append((length, naive.stats.max_writes,
+                         capped.stats.max_writes, capped.num_rrams,
+                         naive.num_rrams))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["length  naive-max  capped-max  capped-#R  naive-#R"]
+    for row in rows:
+        lines.append("  ".join(f"{v:8d}" for v in row))
+    text = "\n".join(lines)
+    write_artifact("fig1_chain.txt", text)
+    print("\n" + text)
+
+    maxes = [r[1] for r in rows]
+    assert maxes == sorted(maxes)  # monotone growth
+    assert maxes[-1] >= 32  # ~1 write per step on the hot cell
+    for _, _, capped_max, capped_r, naive_r in rows:
+        assert capped_max <= 5
+    # the cap buys balance with devices (area), as the paper trades
+    assert rows[-1][3] >= rows[-1][4]

@@ -1,0 +1,91 @@
+"""Section II baseline — IMPLY write concentration versus managed RM3.
+
+The paper motivates RM3/PLiM endurance work by the intrinsic imbalance of
+IMP-based logic-in-memory: the IMP NAND rewrites only its work device, and
+bounded work-device schemes concentrate an entire computation's writes on
+a handful of cells.  This bench quantifies both effects on our substrate.
+"""
+
+from repro.core.manager import PRESETS, compile_with_management
+from repro.core.stats import WriteTrafficStats, gini_coefficient
+from repro.imp import mig_to_nand, synthesize_imp
+from repro.imp.synthesize import required_pool_estimate
+from repro.synth.registry import build_benchmark
+
+from .conftest import write_artifact
+
+#: Control circuits small enough for the bounded-pool scheduler.
+CASES = ["ctrl", "cavlc", "int2float", "router"]
+
+
+def test_imp_vs_rm3_write_balance(benchmark):
+    def run():
+        rows = []
+        for name in CASES:
+            mig = build_benchmark(name, preset="tiny")
+            net = mig_to_nand(mig)
+            imp = synthesize_imp(net)
+            imp_stats = WriteTrafficStats.from_counts(imp.write_counts())
+            plim = compile_with_management(mig, PRESETS["ea-full"])
+            rows.append(
+                (
+                    name,
+                    imp.num_instructions,
+                    imp_stats.stdev,
+                    gini_coefficient(imp.write_counts()),
+                    plim.num_instructions,
+                    plim.stats.stdev,
+                    gini_coefficient(plim.program.write_counts()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "bench        imp-#I  imp-stdev  imp-gini  rm3-#I  rm3-stdev  rm3-gini"
+    ]
+    for name, ii, isd, ig, ri, rsd, rg in rows:
+        lines.append(
+            f"{name:12s} {ii:6d}  {isd:9.2f}  {ig:8.3f}  {ri:6d}  "
+            f"{rsd:9.2f}  {rg:8.3f}"
+        )
+    text = "\n".join(lines)
+    write_artifact("imp_baseline.txt", text)
+    print("\n" + text)
+
+    for name, ii, isd, ig, ri, rsd, rg in rows:
+        assert isd > rsd, name  # IMP concentrates writes harder
+        assert ii > ri, name  # and needs more operations (NAND blow-up)
+
+
+def test_bounded_pool_concentration(benchmark):
+    """Shrinking the IMP work pool concentrates traffic (higher Gini) and
+    inflates the instruction count through rematerialisation."""
+    mig = build_benchmark("ctrl", preset="tiny")
+    net = mig_to_nand(mig)
+    full_k = required_pool_estimate(net)
+
+    def run():
+        rows = []
+        for k in (full_k, max(3, full_k // 2), max(3, full_k // 3)):
+            try:
+                prog = synthesize_imp(net, work_devices=k)
+            except Exception:
+                continue
+            counts = prog.write_counts()
+            rows.append(
+                (k, prog.num_instructions, gini_coefficient(counts))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["pool-K  #ops  gini"] + [
+        f"{k:6d}  {n:4d}  {g:.3f}" for k, n, g in rows
+    ]
+    text = "\n".join(lines)
+    write_artifact("imp_pool.txt", text)
+    print("\n" + text)
+
+    assert len(rows) >= 2
+    ops = [n for _, n, _ in rows]
+    assert ops == sorted(ops)  # fewer devices -> more recomputation

@@ -1,0 +1,70 @@
+"""Scaling study (extension) — endurance vs circuit size.
+
+Not in the paper, but a direct consequence of its argument.  Two
+findings, both pinned by the cap:
+
+* on multiplier-like circuits the *naive* compiler's peak per-device
+  write count grows super-linearly with size, so array lifetime shrinks
+  as designs grow;
+* on adder-like circuits it is the *uncapped managed* flow whose hot
+  cell grows with width (the level-ordered selection starves the free
+  pool, funnelling helper traffic through one device) — evidence that
+  the maximum write strategy matters *more* at scale, not less.
+
+With ``W_max`` set, peak writes — and therefore lifetime — are
+size-independent in both families.
+"""
+
+from repro.analysis.sweeps import by_config, render_sweep, scaling_exponent, sweep_widths
+from repro.synth.arithmetic import build_adder, build_multiplier
+
+from .conftest import write_artifact
+
+
+def test_adder_width_scaling(benchmark):
+    widths = [8, 16, 32, 64]
+
+    def run():
+        return sweep_widths(lambda w: build_adder(width=w), widths)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_sweep(points)
+    write_artifact("scaling_adder.txt", text)
+    print("\n" + text)
+
+    managed = by_config(points, "ea-full")
+    capped = by_config(points, "wmax20")
+
+    # the uncapped managed flow's hot cell grows with adder width
+    # (starved free pool under level-ordered selection) ...
+    managed_max = [p.max_writes for p in managed]
+    assert managed_max == sorted(managed_max)
+    assert managed_max[-1] > 2 * managed_max[0]
+    # ... while the capped flow pins peak writes, so lifetime never
+    # drops below the cap-implied floor at any width.
+    from repro.plim.memory import TYPICAL_ENDURANCE_LOW
+
+    assert all(p.max_writes <= 20 for p in capped)
+    assert min(p.lifetime for p in capped) >= TYPICAL_ENDURANCE_LOW // 20
+
+    # instruction overhead per gate stays bounded for the managed flow
+    # (compilation does not asymptotically degrade).
+    assert max(p.writes_per_gate for p in managed) < 4.0
+
+
+def test_multiplier_width_scaling(benchmark):
+    widths = [4, 8, 12]
+
+    def run():
+        return sweep_widths(lambda w: build_multiplier(width=w), widths)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_sweep(points)
+    write_artifact("scaling_multiplier.txt", text)
+    print("\n" + text)
+
+    naive = by_config(points, "naive")
+    exponent = scaling_exponent(naive, "max_writes")
+    assert exponent > 0.5  # naive hot cell grows clearly with size
+    capped = by_config(points, "wmax20")
+    assert all(p.max_writes <= 20 for p in capped)

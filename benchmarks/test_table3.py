@@ -1,0 +1,66 @@
+"""Table III — full endurance management under maximum write constraints.
+
+Sweeps ``W_max`` over the paper's {10, 20, 50, 100} and checks the
+trade-off structure the paper reports: tighter caps give near-uniform
+write traffic (tiny stdev) at the price of more devices and instructions;
+looser caps converge to the uncapped full-management flow.
+"""
+
+from repro.analysis.report import render_table3
+from repro.analysis.tables import TABLE3_CAPS, average_row
+from repro.core.manager import compile_with_management, full_management
+from repro.synth.registry import build_benchmark
+
+from .conftest import PRESET, suite_with_caps, write_artifact
+
+
+def test_table3_regeneration(benchmark):
+    evaluations = benchmark.pedantic(suite_with_caps, rounds=1, iterations=1)
+    text = render_table3(evaluations)
+    write_artifact("table3.txt", text)
+    print("\n" + text)
+
+    rows = {cap: average_row(evaluations, f"wmax{cap}") for cap in TABLE3_CAPS}
+
+    # Monotone trade-off on the AVG row, as in the paper:
+    #   tighter cap -> more devices, worse area; looser cap -> worse stdev.
+    assert rows[10]["rrams"] >= rows[20]["rrams"] >= rows[50]["rrams"] \
+        >= rows[100]["rrams"]
+    assert rows[10]["stdev"] <= rows[20]["stdev"] <= rows[50]["stdev"] \
+        <= rows[100]["stdev"]
+    assert rows[10]["instructions"] >= rows[100]["instructions"]
+
+    # Hard bound: no device ever exceeds its cap.
+    for cap in TABLE3_CAPS:
+        for ev in evaluations:
+            assert ev.stats(f"wmax{cap}").max_writes <= cap
+
+
+def test_cap_bounds_single_benchmark(benchmark):
+    """One compile under the tightest paper cap, timed."""
+    mig = build_benchmark("sqrt", preset=PRESET)
+
+    def run():
+        return compile_with_management(mig, full_management(10))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.max_writes <= 10
+
+
+def test_loose_cap_matches_uncapped(benchmark):
+    """A cap far above the natural maximum changes nothing — the dashes
+    of the paper's Table III."""
+    mig = build_benchmark("dec", preset=PRESET)
+
+    def run():
+        return (
+            compile_with_management(mig, full_management(10**6)),
+            compile_with_management(
+                mig, full_management(10**6).with_cap(None)
+            ),
+        )
+
+    capped, uncapped = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert capped.num_instructions == uncapped.num_instructions
+    assert capped.num_rrams == uncapped.num_rrams
+    assert capped.stats.stdev == uncapped.stats.stdev

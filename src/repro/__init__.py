@@ -1,0 +1,60 @@
+"""repro — Endurance management for resistive Logic-in-Memory computing.
+
+A from-scratch Python reproduction of
+
+    S. Shirinzadeh, M. Soeken, P.-E. Gaillardon, G. De Micheli,
+    R. Drechsler, "Endurance Management for Resistive Logic-In-Memory
+    Computing Architectures", DATE 2017.
+
+The package provides:
+
+* :mod:`repro.mig` — Majority-Inverter Graphs: data structure, Boolean
+  algebra, rewriting engine, bit-parallel simulation;
+* :mod:`repro.plim` — the PLiM computer: RM3 ISA, behavioural RRAM array
+  with endurance tracking, controller, MIG-to-RM3 compiler, verifier;
+* :mod:`repro.core` — the paper's contribution: endurance-management
+  policies, endurance-aware rewriting (Algorithm 2) and node selection
+  (Algorithm 3), configuration presets, write-traffic statistics;
+* :mod:`repro.synth` — benchmark circuit generators standing in for the
+  EPFL suite used by the paper;
+* :mod:`repro.imp` — material-implication (IMPLY) baseline from the
+  paper's Section II;
+* :mod:`repro.analysis` — table/figure harnesses regenerating the paper's
+  experimental evaluation.
+"""
+
+from .mig import Mig, equivalent, simulate, truth_tables
+from .core.manager import (
+    CompilationResult,
+    EnduranceConfig,
+    PRESETS,
+    compile_with_management,
+    full_management,
+)
+from .core.stats import WriteTrafficStats
+from .plim.isa import Program
+from .plim.memory import RramArray
+from .plim.controller import PlimController
+from .plim.verify import verify_program
+from .synth.registry import BENCHMARKS, build_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "CompilationResult",
+    "EnduranceConfig",
+    "Mig",
+    "PRESETS",
+    "PlimController",
+    "Program",
+    "RramArray",
+    "WriteTrafficStats",
+    "build_benchmark",
+    "compile_with_management",
+    "equivalent",
+    "full_management",
+    "simulate",
+    "truth_tables",
+    "verify_program",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: ``repro-plim`` / ``python -m repro``.
+
+Subcommands regenerate each experiment of the paper:
+
+* ``table1`` / ``table2`` / ``table3`` — the three evaluation tables;
+* ``headline`` — the abstract's aggregate numbers;
+* ``fig1`` / ``fig2`` — the motivating write-imbalance scenarios;
+* ``bench NAME`` — one benchmark under all configurations;
+* ``list`` — available benchmarks and presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.manager import PRESETS, compile_with_management, full_management
+from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER, build_benchmark
+from . import report, scenarios, tables
+
+
+def _add_suite_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=["tiny", "default", "paper"],
+        help="benchmark width preset (paper = the paper's sizes)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="subset of benchmarks (default: all 18)",
+    )
+    parser.add_argument(
+        "--effort", type=int, default=5, help="rewriting cycles (paper: 5)"
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip program-vs-MIG co-simulation (faster)",
+    )
+
+
+def _suite(args, caps=None):
+    return tables.evaluate_suite(
+        preset=args.preset,
+        names=args.benchmarks,
+        caps=caps,
+        effort=args.effort,
+        verify=not args.no_verify,
+    )
+
+
+def cmd_table1(args) -> int:
+    print(report.render_table1(_suite(args)))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    print(report.render_table2(_suite(args)))
+    return 0
+
+
+def cmd_table3(args) -> int:
+    evaluations = _suite(args, caps=tables.TABLE3_CAPS)
+    print(report.render_table3(evaluations))
+    return 0
+
+
+def cmd_headline(args) -> int:
+    evaluations = _suite(args, caps=[100])
+    print(report.render_headline(evaluations))
+    return 0
+
+
+def cmd_fig1(args) -> int:
+    mig = scenarios.fig1_mig()
+    print(mig.dump())
+    print()
+    for name in ("naive", "min-write", "ea-full"):
+        result = compile_with_management(mig, PRESETS[name])
+        counts = result.program.write_counts()
+        print(
+            f"{name:10s}: writes per device = {counts} "
+            f"(stdev {result.stats.stdev:.2f})"
+        )
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    mig = scenarios.fig2_mig()
+    print(mig.dump())
+    print()
+    for name in ("dac16", "ea-full"):
+        result = compile_with_management(mig, PRESETS[name])
+        longest, mean = scenarios.storage_pressure(result.program)
+        print(
+            f"{name:10s}: longest value lifetime = {longest} instructions, "
+            f"mean = {mean:.1f}, stdev of writes = {result.stats.stdev:.2f}"
+        )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    mig = build_benchmark(args.name, preset=args.preset)
+    print(f"{args.name}: {mig.num_pis} PIs, {mig.num_pos} POs, "
+          f"{mig.num_live_gates()} gates")
+    configs = list(PRESETS.values())
+    if args.wmax is not None:
+        configs.append(full_management(args.wmax))
+    for cfg in configs:
+        result = compile_with_management(mig, cfg)
+        stats = result.stats
+        print(
+            f"  {cfg.name:16s} #I={result.num_instructions:8d} "
+            f"#R={result.num_rrams:6d} writes {stats.min_writes}/"
+            f"{stats.max_writes} stdev {stats.stdev:.2f}"
+        )
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("benchmarks (name: paper PI/PO, category):")
+    for name in BENCHMARK_ORDER:
+        spec = BENCHMARKS[name]
+        print(
+            f"  {name:12s} {spec.paper_pi:5d}/{spec.paper_po:<5d} "
+            f"{spec.category}"
+        )
+    print("\nconfigurations:", ", ".join(PRESETS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-plim",
+        description=(
+            "Endurance management for resistive logic-in-memory computing "
+            "(DATE 2017) - experiment harness"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, doc in [
+        ("table1", cmd_table1, "write-traffic statistics (Table I)"),
+        ("table2", cmd_table2, "instructions and RRAMs (Table II)"),
+        ("table3", cmd_table3, "write-cap sweep (Table III)"),
+        ("headline", cmd_headline, "abstract headline numbers"),
+    ]:
+        p = sub.add_parser(name, help=doc)
+        _add_suite_options(p)
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser("fig1", help="Fig. 1 repeated-destination scenario")
+    p.set_defaults(func=cmd_fig1)
+    p = sub.add_parser("fig2", help="Fig. 2 blocked-RRAM scenario")
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("bench", help="one benchmark, all configurations")
+    p.add_argument("name", choices=BENCHMARK_ORDER)
+    p.add_argument("--preset", default="default",
+                   choices=["tiny", "default", "paper"])
+    p.add_argument("--wmax", type=int, default=None,
+                   help="additionally run full management at this cap")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("list", help="list benchmarks and configurations")
+    p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

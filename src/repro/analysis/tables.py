@@ -1,0 +1,183 @@
+"""Experiment runners regenerating the paper's Tables I, II, and III.
+
+One evaluation pass per benchmark compiles every configuration the three
+tables need (the five incremental Table I columns plus the four Table III
+write caps), verifies each compiled program against its source MIG, and
+caches the results; the per-table views then just select columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.manager import (
+    CompilationResult,
+    EnduranceConfig,
+    PRESETS,
+    compile_with_management,
+    full_management,
+)
+from ..core.stats import average_improvement, improvement_percent
+from ..mig.graph import Mig
+from ..plim.verify import verify_program
+from ..synth.registry import BENCHMARK_ORDER, build_benchmark
+
+#: Table I column order (left to right in the paper).
+TABLE1_CONFIGS: List[str] = [
+    "naive",
+    "dac16",
+    "min-write",
+    "ea-rewrite",
+    "ea-full",
+]
+
+#: Table III write caps.
+TABLE3_CAPS: List[int] = [10, 20, 50, 100]
+
+
+@dataclass
+class BenchmarkEvaluation:
+    """All configurations of one benchmark, verified and summarised."""
+
+    name: str
+    num_pis: int
+    num_pos: int
+    gates: int
+    results: Dict[str, CompilationResult] = field(default_factory=dict)
+
+    def stats(self, config: str):
+        return self.results[config].stats
+
+    def improvement(self, config: str, baseline: str = "naive") -> float:
+        """Stdev improvement of *config* over *baseline*, percent."""
+        return improvement_percent(
+            self.stats(baseline).stdev, self.stats(config).stdev
+        )
+
+
+def evaluate_mig(
+    mig: Mig,
+    *,
+    configs: Optional[Sequence[str]] = None,
+    caps: Optional[Sequence[int]] = None,
+    effort: int = 5,
+    verify: bool = True,
+    verify_patterns: int = 64,
+) -> BenchmarkEvaluation:
+    """Compile *mig* under every requested configuration.
+
+    ``configs`` are preset names (default: the Table I columns);
+    ``caps`` adds full-management runs keyed ``"wmax{cap}"`` (Table III).
+    With ``verify=True`` every compiled program is co-simulated against
+    the MIG — a failed check raises, keeping bogus statistics out of the
+    tables.
+    """
+    evaluation = BenchmarkEvaluation(
+        name=mig.name,
+        num_pis=mig.num_pis,
+        num_pos=mig.num_pos,
+        gates=mig.num_live_gates(),
+    )
+    jobs: List[EnduranceConfig] = []
+    for preset in configs if configs is not None else TABLE1_CONFIGS:
+        cfg = PRESETS[preset]
+        if cfg.effort != effort:
+            from dataclasses import replace
+
+            cfg = replace(cfg, effort=effort)
+        jobs.append(cfg)
+    for cap in caps or []:
+        cfg = full_management(cap)
+        if cfg.effort != effort:
+            from dataclasses import replace
+
+            cfg = replace(cfg, effort=effort)
+        jobs.append(cfg)
+
+    for cfg in jobs:
+        result = compile_with_management(mig, cfg)
+        if verify:
+            verify_program(
+                result.program, mig, patterns=verify_patterns
+            )
+        key = cfg.name if not cfg.name.startswith("ea-full+wmax") else (
+            "wmax" + cfg.name.split("wmax")[1]
+        )
+        evaluation.results[key] = result
+    return evaluation
+
+
+def evaluate_benchmark(
+    name: str,
+    preset: str = "default",
+    **kwargs,
+) -> BenchmarkEvaluation:
+    """Build a registry benchmark and evaluate it."""
+    return evaluate_mig(build_benchmark(name, preset), **kwargs)
+
+
+def evaluate_suite(
+    preset: str = "default",
+    names: Optional[Iterable[str]] = None,
+    **kwargs,
+) -> List[BenchmarkEvaluation]:
+    """Evaluate a benchmark subset (default: all 18, table order)."""
+    selected = list(names) if names is not None else list(BENCHMARK_ORDER)
+    return [evaluate_benchmark(n, preset, **kwargs) for n in selected]
+
+
+# ----------------------------------------------------------------------
+# Aggregates (the AVG rows of the paper's tables)
+# ----------------------------------------------------------------------
+
+def average_row(
+    evaluations: Sequence[BenchmarkEvaluation], config: str
+) -> Dict[str, float]:
+    """Suite averages for one configuration column."""
+    stats = [e.stats(config) for e in evaluations]
+    results = [e.results[config] for e in evaluations]
+    return {
+        "min": sum(s.min_writes for s in stats) / len(stats),
+        "max": sum(s.max_writes for s in stats) / len(stats),
+        "stdev": sum(s.stdev for s in stats) / len(stats),
+        "instructions": sum(r.num_instructions for r in results) / len(results),
+        "rrams": sum(r.num_rrams for r in results) / len(results),
+        "improvement": average_improvement(
+            [e.stats("naive").stdev for e in evaluations],
+            [s.stdev for s in stats],
+        )
+        if all("naive" in e.results for e in evaluations)
+        else float("nan"),
+    }
+
+
+def headline_metrics(
+    evaluations: Sequence[BenchmarkEvaluation], cap_key: str = "wmax100"
+) -> Dict[str, float]:
+    """The abstract's three headline numbers.
+
+    At ``W_max = 100`` the paper reports −86.65% average write-stdev,
+    −36.45% average instructions, and −13.67% average RRAM devices, all
+    relative to the naive compiler.
+    """
+    usable = [e for e in evaluations if cap_key in e.results]
+    stdev_impr = average_improvement(
+        [e.stats("naive").stdev for e in usable],
+        [e.stats(cap_key).stdev for e in usable],
+    )
+    instr_impr = 100.0 * (
+        1.0
+        - sum(e.results[cap_key].num_instructions for e in usable)
+        / sum(e.results["naive"].num_instructions for e in usable)
+    )
+    rram_impr = 100.0 * (
+        1.0
+        - sum(e.results[cap_key].num_rrams for e in usable)
+        / sum(e.results["naive"].num_rrams for e in usable)
+    )
+    return {
+        "stdev_improvement_pct": stdev_impr,
+        "instruction_reduction_pct": instr_impr,
+        "rram_reduction_pct": rram_impr,
+    }

@@ -1,0 +1,19 @@
+"""Material-implication (IMPLY) baseline from Section II of the paper."""
+
+from .gates import ImpProgram, NandGate, NandNetlist, OP_FALSE, OP_IMP, mig_to_nand
+from .simulate import ImpSimulator, verify_imp_program
+from .synthesize import ImpSynthesizer, WorkPoolExhaustedError, synthesize_imp
+
+__all__ = [
+    "ImpProgram",
+    "ImpSimulator",
+    "ImpSynthesizer",
+    "NandGate",
+    "NandNetlist",
+    "OP_FALSE",
+    "OP_IMP",
+    "WorkPoolExhaustedError",
+    "mig_to_nand",
+    "synthesize_imp",
+    "verify_imp_program",
+]

@@ -1,0 +1,211 @@
+"""Scheduling NAND netlists onto IMPLY hardware.
+
+Two allocation regimes, matching the two designs Section II of the paper
+discusses:
+
+* **unbounded pool** (``work_devices=None``) — one device per live NAND
+  value, LIFO reuse, mirroring what a naive in-memory compiler does.
+  Every NAND still hammers its own output device with three pulses
+  (FALSE + two IMPs), so write traffic concentrates on the work devices
+  while input devices stay untouched — the imbalance the paper
+  describes for [Borghetti et al., 2010];
+* **bounded pool** (``work_devices=K``) — the [Lehtonen et al., 2010]
+  regime taken to its logical conclusion: only ``K`` work devices beside
+  the inputs.  Values evicted from the pool are *recomputed* on demand
+  (rematerialisation), trading instructions for devices; the write
+  traffic of the whole computation lands on ``K`` cells.  The scheduler
+  raises :class:`WorkPoolExhaustedError` when ``K`` cannot host the
+  netlist's working set (two-device schemes only work for shallow
+  functions without massive recomputation, which is the paper's point).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from .gates import ImpProgram, NandNetlist, OP_FALSE, OP_IMP
+
+
+class WorkPoolExhaustedError(RuntimeError):
+    """The bounded work pool cannot host the current working set."""
+
+
+def required_pool_estimate(netlist: NandNetlist) -> int:
+    """A work-pool size that is always sufficient for *netlist*.
+
+    The rematerialising scheduler pins at most two operands per recursion
+    level plus one destination, so ``2 * depth + 1`` devices never
+    exhaust.  Much smaller pools usually work too (at the price of
+    recomputation); this is the guaranteed bound.
+    """
+    return 2 * netlist.depth() + 1
+
+
+class ImpSynthesizer:
+    """Schedules a :class:`NandNetlist` into an :class:`ImpProgram`."""
+
+    def __init__(
+        self,
+        work_devices: Optional[int] = None,
+        max_instructions: int = 2_000_000,
+    ) -> None:
+        if work_devices is not None and work_devices < 3:
+            raise ValueError(
+                "bounded IMP scheduling needs at least 3 work devices "
+                "(two pinned operands plus one destination)"
+            )
+        self.work_devices = work_devices
+        self.max_instructions = max_instructions
+
+    def synthesize(self, netlist: NandNetlist) -> ImpProgram:
+        if self.work_devices is None:
+            return self._synthesize_unbounded(netlist)
+        return self._synthesize_bounded(netlist)
+
+    # -- unbounded: one live value per device, LIFO reuse ----------------
+
+    def _synthesize_unbounded(self, netlist: NandNetlist) -> ImpProgram:
+        program = ImpProgram(name=netlist.name)
+        program.pi_cells = list(range(netlist.num_inputs))
+        next_cell = netlist.num_inputs
+        free: List[int] = []
+
+        refs = [0] * netlist.num_nets
+        for gate in netlist.gates:
+            refs[gate.a] += 1
+            refs[gate.b] += 1
+        for out in netlist.outputs:
+            refs[out] += 1
+
+        cell_of: Dict[int, int] = {
+            i: i for i in range(netlist.num_inputs)
+        }
+        for idx, gate in enumerate(netlist.gates):
+            net_id = netlist.num_inputs + idx
+            if refs[net_id] == 0:
+                continue  # dead gate
+            if free:
+                dest = free.pop()
+            else:
+                dest = next_cell
+                next_cell += 1
+            program.instructions.append((OP_FALSE, dest))
+            program.instructions.append((OP_IMP, cell_of[gate.a], dest))
+            program.instructions.append((OP_IMP, cell_of[gate.b], dest))
+            cell_of[net_id] = dest
+            for operand in (gate.a, gate.b):
+                refs[operand] -= 1
+                if (
+                    refs[operand] == 0
+                    and operand >= netlist.num_inputs
+                ):
+                    free.append(cell_of[operand])
+
+        program.po_cells = [cell_of[o] for o in netlist.outputs]
+        program.num_cells = next_cell
+        return program
+
+    # -- bounded: K work devices with rematerialisation -------------------
+
+    def _synthesize_bounded(self, netlist: NandNetlist) -> ImpProgram:
+        k = self.work_devices
+        assert k is not None
+        program = ImpProgram(name=netlist.name)
+        program.pi_cells = list(range(netlist.num_inputs))
+        slots = list(range(netlist.num_inputs, netlist.num_inputs + k))
+        program.num_cells = netlist.num_inputs + k
+
+        resident: Dict[int, int] = {}  # net -> slot
+        slot_net: Dict[int, Optional[int]] = {s: None for s in slots}
+        pins: Dict[int, int] = {s: 0 for s in slots}
+        clock = [0]
+        last_use: Dict[int, int] = {s: 0 for s in slots}
+
+        def touch(slot: int) -> None:
+            clock[0] += 1
+            last_use[slot] = clock[0]
+
+        def acquire_slot() -> int:
+            candidates = [s for s in slots if pins[s] == 0]
+            if not candidates:
+                raise WorkPoolExhaustedError(
+                    f"all {k} work devices are pinned; the netlist needs a "
+                    f"larger pool"
+                )
+            victim = min(candidates, key=lambda s: last_use[s])
+            old = slot_net[victim]
+            if old is not None:
+                resident.pop(old, None)
+            slot_net[victim] = None
+            return victim
+
+        def locate(net_id: int) -> int:
+            """Cell currently holding *net_id*, recomputing if needed."""
+            if net_id < netlist.num_inputs:
+                return net_id  # inputs live in their own devices
+            if net_id in resident:
+                slot = resident[net_id]
+                touch(slot)
+                return slot
+            return compute(net_id)
+
+        def pin(cell: int) -> None:
+            if cell >= netlist.num_inputs:
+                pins[cell] += 1
+
+        def unpin(cell: int) -> None:
+            if cell >= netlist.num_inputs:
+                pins[cell] -= 1
+
+        def compute(net_id: int) -> int:
+            if len(program.instructions) > self.max_instructions:
+                raise WorkPoolExhaustedError(
+                    "rematerialisation exploded past the instruction "
+                    f"budget ({self.max_instructions}); increase the work "
+                    "pool"
+                )
+            gate = netlist.gates[net_id - netlist.num_inputs]
+            # Pinned slots are never evicted, so once an operand is
+            # located and pinned it stays put while the other operand
+            # rematerialises.
+            cell_a = locate(gate.a)
+            pin(cell_a)
+            try:
+                cell_b = locate(gate.b)
+                pin(cell_b)
+                try:
+                    dest = acquire_slot()
+                finally:
+                    unpin(cell_b)
+            finally:
+                unpin(cell_a)
+            program.instructions.append((OP_FALSE, dest))
+            program.instructions.append((OP_IMP, cell_a, dest))
+            program.instructions.append((OP_IMP, cell_b, dest))
+            resident[net_id] = dest
+            slot_net[dest] = net_id
+            touch(dest)
+            return dest
+
+        po_cells = []
+        old_limit = sys.getrecursionlimit()
+        # locate() recurses once per netlist level; leave generous head room.
+        sys.setrecursionlimit(max(old_limit, 4 * netlist.depth() + 1000))
+        try:
+            for out in netlist.outputs:
+                slot = locate(out)
+                if slot >= netlist.num_inputs:
+                    pins[slot] += 1  # keep outputs resident to the end
+                po_cells.append(slot)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        program.po_cells = po_cells
+        return program
+
+
+def synthesize_imp(
+    netlist: NandNetlist, work_devices: Optional[int] = None
+) -> ImpProgram:
+    """Convenience wrapper over :class:`ImpSynthesizer`."""
+    return ImpSynthesizer(work_devices=work_devices).synthesize(netlist)

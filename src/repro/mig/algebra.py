@@ -1,0 +1,215 @@
+"""MIG Boolean algebra: the axioms used by the PLiM rewriting scripts.
+
+The primitive axiom set ``Omega`` [Amaru et al., DAC'14] and the derived
+rules referenced by the reproduced paper:
+
+=====================  ==========================================================
+``Omega.C``            ``<x y z> = <y x z> = <z y x>``  (built into hashing)
+``Omega.M``            ``<x x z> = x``,  ``<x ~x z> = z``  (built into creation)
+``Omega.A``            ``<x u <y u z>> = <z u <y u x>>``
+``Omega.D`` (R->L)     ``<<x y u> <x y v> z> = <x y <u v z>>``
+``Omega.I``            ``~<x y z> = <~x ~y ~z>``  (self-duality of majority)
+``Psi.C``              ``<x u <y ~u z>> = <x u <y x z>>``
+``Omega.I(R->L)(1-3)`` complement-count normalisation derived from ``Omega.I``:
+                       a node with three (rule 1) or two (rules 2-3)
+                       complemented fanins is replaced by its complement-free
+                       or single-complement dual with a complemented output.
+=====================  ==========================================================
+
+Each function here is a *local, cost-aware* application: it receives the
+already-translated fanin signals of one node during a rebuild pass
+(:mod:`repro.mig.rewrite`) and either returns an improved signal or ``None``
+when the pattern does not apply / does not pay off.  Logical correctness of
+every rule is property-tested exhaustively in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional, Tuple
+
+from .graph import Mig
+from .signal import complement, is_complemented, node_of
+
+
+def _variable_complements(fanins) -> int:
+    """Complemented *non-constant* fanins — the RM3-relevant count."""
+    return sum(1 for s in fanins if s > 1 and s & 1)
+
+
+def _gate_fanins(mig: Mig, signal: int) -> Optional[Tuple[int, int, int]]:
+    """Fanins of the gate referenced by a *non-complemented* signal.
+
+    Complemented gate signals are not matched structurally: pushing the
+    complement through first is exactly the job of ``Omega.I``, which the
+    rewriting scripts schedule explicitly.
+    """
+    if is_complemented(signal):
+        return None
+    node = node_of(signal)
+    if not mig.is_gate(node):
+        return None
+    return mig.fanins(node)
+
+
+# ----------------------------------------------------------------------
+# Omega.D  (distributivity, right-to-left)
+# ----------------------------------------------------------------------
+
+def try_distributivity_rl(
+    mig: Mig,
+    a: int,
+    b: int,
+    c: int,
+    *,
+    fanout_of=None,
+) -> Optional[int]:
+    """Apply ``<<x y u> <x y v> z> -> <x y <u v z>>`` when it pays off.
+
+    The rewrite replaces three majority nodes by two, which is profitable
+    when the two inner nodes have no other fanout (they die) or when the
+    rebuilt nodes already exist (structural-hash hit).  *fanout_of* maps a
+    new-graph signal to its residual fanout estimate; when ``None`` the
+    rule only fires on guaranteed hash hits.
+    """
+    for first, second, z in permutations((a, b, c)):
+        if first > second:
+            continue  # each unordered pair once
+        fi1 = _gate_fanins(mig, first)
+        fi2 = _gate_fanins(mig, second)
+        if fi1 is None or fi2 is None:
+            continue
+        shared = set(fi1) & set(fi2)
+        if len(shared) < 2:
+            continue
+        shared_pair = sorted(shared)[:2]
+        x, y = shared_pair
+        rest1 = [s for s in fi1 if s not in (x, y)]
+        rest2 = [s for s in fi2 if s not in (x, y)]
+        if len(rest1) != 1 or len(rest2) != 1:
+            continue
+        u, v = rest1[0], rest2[0]
+        inner_free = not mig.maj_would_allocate(u, v, z)
+        outer_probe_possible = inner_free
+        dies1 = fanout_of is not None and fanout_of(first) <= 1
+        dies2 = fanout_of is not None and fanout_of(second) <= 1
+        # Profitability: 3 nodes -> 2 nodes when both inner operands die,
+        # or fewer allocations when the rebuilt nodes hash-hit.
+        if (dies1 and dies2) or outer_probe_possible:
+            inner = mig.add_maj(u, v, z)
+            return mig.add_maj(x, y, inner)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Omega.A  (associativity)
+# ----------------------------------------------------------------------
+
+def try_associativity(mig: Mig, a: int, b: int, c: int) -> Optional[int]:
+    """Apply ``<x u <y u z>> = <z u <y u x>>`` when the swap simplifies.
+
+    For every fanin that is a gate sharing a common operand ``u`` with the
+    node under construction, try swapping the remaining outer operand with
+    each non-shared inner operand.  The variant is kept only when the new
+    inner node does not allocate (it simplifies through ``Omega.M`` or
+    hash-hits), so the rewrite is monotonically non-increasing in size.
+    """
+    operands = (a, b, c)
+    for w_pos in range(3):
+        w = operands[w_pos]
+        inner = _gate_fanins(mig, w)
+        if inner is None:
+            continue
+        outer_rest = [operands[i] for i in range(3) if i != w_pos]
+        for u in outer_rest:
+            if u not in inner:
+                continue
+            x = outer_rest[0] if outer_rest[1] == u else outer_rest[1]
+            inner_rest = [s for s in inner if s != u]
+            if len(inner_rest) != 2:
+                continue
+            for swap_idx in range(2):
+                z = inner_rest[swap_idx]
+                y = inner_rest[1 - swap_idx]
+                # <x u <y u z>>  ->  <z u <y u x>>
+                if not mig.maj_would_allocate(y, u, x):
+                    new_inner = mig.add_maj(y, u, x)
+                    return mig.add_maj(z, u, new_inner)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Psi.C  (complementary associativity)
+# ----------------------------------------------------------------------
+
+def try_complementary_associativity(
+    mig: Mig, a: int, b: int, c: int, *, fanout_of=None
+) -> Optional[int]:
+    """Apply ``<x u <y ~u z>> = <x u <y x z>>`` when it pays off.
+
+    The inner occurrence of the complement of one outer operand is replaced
+    by the *other* outer operand.  This removes one complemented edge and
+    can expose sharing; it fires when the new inner node hash-hits, or
+    when the replacement strictly reduces the inner complement count *and*
+    the old inner node dies (single fanout) so the graph cannot grow.
+    (That complement removal is the use [Soeken et al., DAC'16] makes of
+    the rule — and the reason the endurance-aware script of the reproduced
+    paper drops it: removing a *single* complemented edge destroys the
+    RM3-ideal form.)
+    """
+    operands = (a, b, c)
+    for w_pos in range(3):
+        w = operands[w_pos]
+        inner = _gate_fanins(mig, w)
+        if inner is None:
+            continue
+        outer_rest = [operands[i] for i in range(3) if i != w_pos]
+        for u_idx in range(2):
+            u = outer_rest[u_idx]
+            x = outer_rest[1 - u_idx]
+            if u <= 1:
+                # a "complement" of a constant operand is just the other
+                # constant — not a complemented edge; matching it would
+                # tear apart AND/OR nodes for no RM3 benefit.
+                continue
+            nu = complement(u)
+            if nu not in inner:
+                continue
+            new_inner_ops = tuple(x if s == nu else s for s in inner)
+            hash_hit = not mig.maj_would_allocate(*new_inner_ops)
+            removes_complement = _variable_complements(
+                new_inner_ops
+            ) < _variable_complements(inner)
+            inner_dies = fanout_of is not None and fanout_of(w) <= 1
+            if hash_hit or (removes_complement and inner_dies):
+                new_inner = mig.add_maj(*new_inner_ops)
+                return mig.add_maj(x, u, new_inner)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Omega.I  (inverter propagation, right-to-left)
+# ----------------------------------------------------------------------
+
+def propagate_inverters(
+    mig: Mig, a: int, b: int, c: int, *, handle_two: bool
+) -> Optional[int]:
+    """Normalise complemented fanins via the self-duality of majority.
+
+    * three complemented fanins (``Omega.I(R->L)`` rule 1):
+      ``<~x ~y ~z> = ~<x y z>`` — build the complement-free node and
+      return its complemented signal;
+    * exactly two complemented fanins (rules 2-3, enabled by
+      *handle_two*): ``<~x ~y z> = ~<x y ~z>`` — leaves exactly one
+      complemented fanin, the ideal shape for RM3's free inversion of the
+      second operand.
+
+    Constant fanins are ignored by the count: RM3 applies constants to
+    the bit lines directly, either polarity, so a "complemented" constant
+    edge costs nothing and must not trigger the rewrite.
+    """
+    count = sum(1 for s in (a, b, c) if s > 1 and s & 1)
+    if count == 3 or (count == 2 and handle_two):
+        inner = mig.add_maj(complement(a), complement(b), complement(c))
+        return complement(inner)
+    return None

@@ -1,0 +1,90 @@
+"""Word-level helper circuits over MIG signals.
+
+Small, generic bit-vector building blocks that both the MIG convenience API
+(:meth:`repro.mig.graph.Mig.add_maj_n`) and the benchmark generators in
+:mod:`repro.synth` rely on.  Everything here emits plain majority nodes via
+the :class:`~repro.mig.graph.Mig` construction API; the full adder in
+particular uses the native majority carry (``carry = <a b c>``), which is
+the canonical MIG idiom.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .signal import CONST0, CONST1, complement
+
+
+def full_adder(mig, a: int, b: int, c: int) -> Tuple[int, int]:
+    """Return ``(sum, carry)`` of three bits.
+
+    The carry is a single majority node; the sum is the 3-input XOR
+    expressed with majorities: ``sum = <~carry <a b ~c> c>``
+    (the standard 3-node MIG full adder).
+    """
+    carry = mig.add_maj(a, b, c)
+    inner = mig.add_maj(a, b, complement(c))
+    total = mig.add_maj(complement(carry), inner, c)
+    return total, carry
+
+
+def half_adder(mig, a: int, b: int) -> Tuple[int, int]:
+    """Return ``(sum, carry)`` of two bits."""
+    return mig.add_xor(a, b), mig.add_and(a, b)
+
+
+def popcount(mig, bits: Sequence[int]) -> List[int]:
+    """Binary population count of *bits*, least-significant bit first.
+
+    Uses column-wise 3:2 compression (carry-save reduction), which keeps
+    the node count linear in the number of inputs.
+    """
+    if not bits:
+        return []
+    columns: List[List[int]] = [list(bits)]
+    while any(len(col) > 1 for col in columns):
+        next_columns: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for weight, col in enumerate(columns):
+            pending = list(col)
+            while len(pending) >= 3:
+                a, b, c = pending.pop(), pending.pop(), pending.pop()
+                s, cy = full_adder(mig, a, b, c)
+                next_columns[weight].append(s)
+                next_columns[weight + 1].append(cy)
+            if len(pending) == 2:
+                a, b = pending.pop(), pending.pop()
+                s, cy = half_adder(mig, a, b)
+                next_columns[weight].append(s)
+                next_columns[weight + 1].append(cy)
+            elif len(pending) == 1:
+                next_columns[weight].append(pending.pop())
+        while next_columns and not next_columns[-1]:
+            next_columns.pop()
+        columns = next_columns
+    return [col[0] if col else CONST0 for col in columns]
+
+
+def ge_const(mig, bits: Sequence[int], k: int) -> int:
+    """Signal that is 1 iff the unsigned number *bits* (LSB first) >= *k*."""
+    if k <= 0:
+        return CONST1
+    if k >= (1 << len(bits)):
+        return CONST0
+    # Compare from the most significant bit down:
+    #   ge(i) = (bit_i > k_i) OR (bit_i == k_i AND ge(i-1))
+    result = CONST1  # equal-so-far at the end means >=
+    for i in range(len(bits)):
+        k_i = (k >> i) & 1
+        bit = bits[i]
+        if k_i:
+            # need bit_i = 1 to stay equal; bit_i = 0 makes it smaller
+            result = mig.add_and(bit, result)
+        else:
+            # bit_i = 1 makes it larger regardless of lower bits
+            result = mig.add_or(bit, result)
+    return result
+
+
+def popcount_threshold(mig, bits: Sequence[int], k: int) -> int:
+    """Signal that is 1 iff at least *k* of *bits* are 1."""
+    return ge_const(mig, popcount(mig, bits), k)

@@ -1,0 +1,459 @@
+"""Majority-Inverter Graph (MIG) data structure.
+
+A MIG is a directed acyclic graph whose internal nodes are 3-input majority
+gates and whose edges may carry complement (inversion) attributes
+[Amaru et al., DAC'14].  MIGs are the input language of the PLiM compiler:
+each majority node maps onto the native ``RM3`` instruction of the PLiM
+computer [Gaillardon et al., DATE'16].
+
+Design notes
+------------
+* Nodes are stored in flat parallel lists indexed by node id; node ``0`` is
+  the constant-false node and primary inputs are fanin-less nodes.  Children
+  always have smaller ids than their parents, so ``range(n_nodes)`` is a
+  topological order by construction.
+* Node creation applies the trivial majority identities (axiom ``Omega.M``:
+  two equal operands decide, two complementary operands forward the third)
+  and structurally hashes the sorted fanin triple (axiom ``Omega.C``).
+* Complement patterns are **not** canonicalised at creation beyond sorting:
+  inverter propagation (``Omega.I``) is an explicit, cost-driven rewriting
+  step in the endurance-management flow, so ``<x y z>`` and ``<~x ~y ~z>``
+  may coexist as distinct nodes.
+* The structure is append-only; rewriting builds new graphs (see
+  :mod:`repro.mig.rewrite`), which keeps invariants trivial and avoids
+  dangling-pointer style bugs at the price of copying — a good trade for a
+  research-grade Python implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .signal import (
+    CONST0,
+    CONST1,
+    apply_complement,
+    are_complementary,
+    complement,
+    format_signal,
+    is_complemented,
+    is_constant,
+    make_signal,
+    node_of,
+    sorted_fanins,
+)
+
+
+class Mig:
+    """A majority-inverter graph with structural hashing.
+
+    >>> mig = Mig()
+    >>> a, b, c = mig.add_pi("a"), mig.add_pi("b"), mig.add_pi("c")
+    >>> f = mig.add_maj(a, b, c)
+    >>> mig.add_po(f, "f")
+    0
+    >>> mig.num_gates
+    1
+    """
+
+    def __init__(self, name: str = "", use_strash: bool = True) -> None:
+        self.name = name
+        #: Structural hashing on node creation.  Disabled by the
+        #: "elaborated" construction mode of :mod:`repro.synth.elaborate`,
+        #: which models naive netlist translation (no sharing recovery);
+        #: rewriting passes always rebuild with hashing enabled.
+        self.use_strash = use_strash
+        # Node 0 is the constant-false node (no fanins, not a PI).
+        self._fanins: List[Optional[Tuple[int, int, int]]] = [None]
+        self._pi_index: List[int] = [-1]  # -1 for non-PI nodes
+        self._pis: List[int] = []  # node ids of primary inputs, in order
+        self._pi_names: List[str] = []
+        self._pos: List[int] = []  # output signals, in order
+        self._po_names: List[str] = []
+        self._strash: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_pi(self, name: Optional[str] = None) -> int:
+        """Create a primary input and return its (non-complemented) signal."""
+        node = len(self._fanins)
+        self._fanins.append(None)
+        self._pi_index.append(len(self._pis))
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        return make_signal(node)
+
+    def add_pis(self, count: int, prefix: str = "pi") -> List[int]:
+        """Create *count* primary inputs named ``{prefix}{i}``."""
+        return [self.add_pi(f"{prefix}{i}") for i in range(count)]
+
+    def add_po(self, signal: int, name: Optional[str] = None) -> int:
+        """Register *signal* as a primary output; returns the output index."""
+        self._check_signal(signal)
+        self._pos.append(signal)
+        self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    def add_maj(self, a: int, b: int, c: int) -> int:
+        """Create (or reuse) a majority node ``<a b c>``.
+
+        Applies the trivial ``Omega.M`` identities before allocating:
+
+        * ``<x x z> = x`` (two equal operands decide),
+        * ``<x ~x z> = z`` (two complementary operands forward the third).
+
+        Constant operands need no special casing: ``CONST1`` is the
+        complement of ``CONST0``, so e.g. ``<0 1 z> = z`` follows from the
+        second identity.
+        """
+        self._check_signal(a)
+        self._check_signal(b)
+        self._check_signal(c)
+
+        # Omega.M: duplicate operand decides.
+        if a == b or a == c:
+            return a
+        if b == c:
+            return b
+        # Omega.M: complementary pair forwards the remaining operand.
+        if are_complementary(a, b):
+            return c
+        if are_complementary(a, c):
+            return b
+        if are_complementary(b, c):
+            return a
+
+        key = sorted_fanins(a, b, c)
+        if self.use_strash:
+            existing = self._strash.get(key)
+            if existing is not None:
+                return make_signal(existing)
+
+        node = len(self._fanins)
+        self._fanins.append(key)
+        self._pi_index.append(-1)
+        if self.use_strash:
+            self._strash[key] = node
+        return make_signal(node)
+
+    def maj_would_allocate(self, a: int, b: int, c: int) -> bool:
+        """Would ``add_maj(a, b, c)`` create a new node?
+
+        ``False`` when a creation identity (``Omega.M``) simplifies the
+        call or when the structural hash already holds the node.  Rewriting
+        passes use this probe to accept only size-non-increasing variants.
+        """
+        if a == b or a == c or b == c:
+            return False
+        if (
+            are_complementary(a, b)
+            or are_complementary(a, c)
+            or are_complementary(b, c)
+        ):
+            return False
+        return sorted_fanins(a, b, c) not in self._strash
+
+    # Convenience gate constructors -------------------------------------
+
+    def add_and(self, a: int, b: int) -> int:
+        """``a AND b`` as ``<a b 0>``."""
+        return self.add_maj(a, b, CONST0)
+
+    def add_or(self, a: int, b: int) -> int:
+        """``a OR b`` as ``<a b 1>``."""
+        return self.add_maj(a, b, CONST1)
+
+    def add_nand(self, a: int, b: int) -> int:
+        """``NOT (a AND b)``."""
+        return complement(self.add_and(a, b))
+
+    def add_nor(self, a: int, b: int) -> int:
+        """``NOT (a OR b)``."""
+        return complement(self.add_or(a, b))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """``a XOR b`` as ``(a OR b) AND (NOT a OR NOT b)``."""
+        upper = self.add_or(a, b)
+        lower = self.add_or(complement(a), complement(b))
+        return self.add_and(upper, lower)
+
+    def add_xnor(self, a: int, b: int) -> int:
+        """``NOT (a XOR b)``."""
+        return complement(self.add_xor(a, b))
+
+    def add_mux(self, sel: int, t: int, e: int) -> int:
+        """``sel ? t : e`` as ``(sel AND t) OR (NOT sel AND e)``."""
+        then_part = self.add_and(sel, t)
+        else_part = self.add_and(complement(sel), e)
+        return self.add_or(then_part, else_part)
+
+    def add_maj_n(self, signals: Sequence[int]) -> int:
+        """Majority of an odd number of signals, built as a popcount compare.
+
+        Used by the ``voter`` benchmark generator; for three signals this is
+        a plain majority node.
+        """
+        if len(signals) % 2 == 0:
+            raise ValueError("majority of an even number of inputs is ambiguous")
+        if len(signals) == 1:
+            return signals[0]
+        if len(signals) == 3:
+            return self.add_maj(*signals)
+        # Reduce via sorting-network-free popcount: sum the bits with
+        # full adders, then compare against half the count.
+        from .bitvec import popcount_threshold  # local import to avoid cycle
+
+        return popcount_threshold(self, list(signals), (len(signals) // 2) + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes including the constant and PIs."""
+        return len(self._fanins)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of majority gates (excludes constant and PIs)."""
+        return len(self._fanins) - 1 - len(self._pis)
+
+    def is_pi(self, node: int) -> bool:
+        """Return ``True`` if *node* is a primary input."""
+        return self._pi_index[node] >= 0
+
+    def is_constant(self, node: int) -> bool:
+        """Return ``True`` if *node* is the constant-false node."""
+        return node == 0
+
+    def is_gate(self, node: int) -> bool:
+        """Return ``True`` if *node* is a majority gate."""
+        return self._fanins[node] is not None
+
+    def pi_index(self, node: int) -> int:
+        """Position of a PI node in the input list (``-1`` otherwise)."""
+        return self._pi_index[node]
+
+    def fanins(self, node: int) -> Tuple[int, int, int]:
+        """The three fanin signals of a gate node."""
+        fi = self._fanins[node]
+        if fi is None:
+            raise ValueError(f"node {node} is not a majority gate")
+        return fi
+
+    def pis(self) -> List[int]:
+        """Node ids of the primary inputs, in declaration order."""
+        return list(self._pis)
+
+    def pi_signals(self) -> List[int]:
+        """Signals of the primary inputs, in declaration order."""
+        return [make_signal(n) for n in self._pis]
+
+    def pos(self) -> List[int]:
+        """Output signals, in declaration order."""
+        return list(self._pos)
+
+    def pi_name(self, index: int) -> str:
+        """Name of the *index*-th primary input."""
+        return self._pi_names[index]
+
+    def po_name(self, index: int) -> str:
+        """Name of the *index*-th primary output."""
+        return self._po_names[index]
+
+    def gates(self) -> Iterator[int]:
+        """Iterate over gate node ids in topological order."""
+        for node in range(1, len(self._fanins)):
+            if self._fanins[node] is not None:
+                yield node
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids (constant, PIs, gates) topologically."""
+        return iter(range(len(self._fanins)))
+
+    # ------------------------------------------------------------------
+    # Liveness / traversal
+    # ------------------------------------------------------------------
+
+    def live_mask(self) -> List[bool]:
+        """Boolean mask of nodes reachable from the outputs.
+
+        The constant node and primary inputs are always considered live
+        (PIs occupy RRAM devices regardless of use).
+        """
+        live = [False] * len(self._fanins)
+        live[0] = True
+        for node in self._pis:
+            live[node] = True
+        stack = [node_of(s) for s in self._pos]
+        while stack:
+            node = stack.pop()
+            if live[node]:
+                continue
+            live[node] = True
+            fi = self._fanins[node]
+            if fi is not None:
+                stack.append(node_of(fi[0]))
+                stack.append(node_of(fi[1]))
+                stack.append(node_of(fi[2]))
+        return live
+
+    def live_gates(self) -> List[int]:
+        """Gate node ids reachable from the outputs, topological order."""
+        live = self.live_mask()
+        return [
+            node
+            for node in range(1, len(self._fanins))
+            if live[node] and self._fanins[node] is not None
+        ]
+
+    def num_live_gates(self) -> int:
+        """Number of gates reachable from the outputs."""
+        return len(self.live_gates())
+
+    def fanout_counts(self, include_pos: bool = True) -> List[int]:
+        """Number of references to each node from live gates (and POs).
+
+        A node referenced twice by the same parent counts twice; this is the
+        *use count* the PLiM compiler tracks to know when an RRAM device can
+        be released.
+        """
+        counts = [0] * len(self._fanins)
+        live = self.live_mask()
+        for node in range(1, len(self._fanins)):
+            fi = self._fanins[node]
+            if fi is None or not live[node]:
+                continue
+            counts[node_of(fi[0])] += 1
+            counts[node_of(fi[1])] += 1
+            counts[node_of(fi[2])] += 1
+        if include_pos:
+            for s in self._pos:
+                counts[node_of(s)] += 1
+        return counts
+
+    def levels(self) -> List[int]:
+        """Level (depth from inputs) per node; constants and PIs are 0."""
+        level = [0] * len(self._fanins)
+        for node in range(1, len(self._fanins)):
+            fi = self._fanins[node]
+            if fi is None:
+                continue
+            level[node] = 1 + max(
+                level[node_of(fi[0])], level[node_of(fi[1])], level[node_of(fi[2])]
+            )
+        return level
+
+    def depth(self) -> int:
+        """Depth of the graph: maximum output level."""
+        if not self._pos:
+            return 0
+        level = self.levels()
+        return max(level[node_of(s)] for s in self._pos)
+
+    def complement_histogram(self) -> List[int]:
+        """Histogram ``h[k]`` of live gates with ``k`` complemented fanins.
+
+        The RM3 cost model makes ``h[1]`` the "ideal" bucket; rewriting
+        scripts try to move mass into it.
+        """
+        hist = [0, 0, 0, 0]
+        for node in self.live_gates():
+            fi = self._fanins[node]
+            hist[(fi[0] & 1) + (fi[1] & 1) + (fi[2] & 1)] += 1
+        return hist
+
+    def num_complemented_edges(self) -> int:
+        """Total complemented fanin edges over live gates (plus POs)."""
+        total = sum(
+            (fi[0] & 1) + (fi[1] & 1) + (fi[2] & 1)
+            for node in self.live_gates()
+            for fi in (self._fanins[node],)
+        )
+        total += sum(1 for s in self._pos if is_complemented(s))
+        return total
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Mig":
+        """Deep copy of the graph."""
+        other = Mig(self.name, use_strash=self.use_strash)
+        other._fanins = list(self._fanins)
+        other._pi_index = list(self._pi_index)
+        other._pis = list(self._pis)
+        other._pi_names = list(self._pi_names)
+        other._pos = list(self._pos)
+        other._po_names = list(self._po_names)
+        other._strash = dict(self._strash)
+        return other
+
+    def cleanup(self) -> "Mig":
+        """Return a copy containing only nodes reachable from the outputs.
+
+        PIs are preserved (with names and order) even when dead.  The
+        structural-hashing mode is inherited, so cleaning an elaborated
+        (redundant) graph does not silently optimise it.
+        """
+        live = self.live_mask()
+        other = Mig(self.name, use_strash=self.use_strash)
+        xlat = [0] * len(self._fanins)  # old node -> new signal of same polarity
+        for idx, node in enumerate(self._pis):
+            xlat[node] = other.add_pi(self._pi_names[idx])
+        for node in range(1, len(self._fanins)):
+            fi = self._fanins[node]
+            if fi is None or not live[node]:
+                continue
+            children = tuple(
+                apply_complement(xlat[node_of(s)], is_complemented(s)) for s in fi
+            )
+            xlat[node] = other.add_maj(*children)
+        for out_idx, s in enumerate(self._pos):
+            other.add_po(
+                apply_complement(xlat[node_of(s)], is_complemented(s)),
+                self._po_names[out_idx],
+            )
+        return other
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def _check_signal(self, signal: int) -> None:
+        if signal < 0 or node_of(signal) >= len(self._fanins):
+            raise ValueError(f"signal {signal} references an unknown node")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Mig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"gates={self.num_gates})"
+        )
+
+    def dump(self) -> str:
+        """Readable multi-line description (small graphs only)."""
+        lines = [f"mig {self.name or '<anonymous>'}"]
+        for idx, node in enumerate(self._pis):
+            lines.append(f"  n{node} = input {self._pi_names[idx]}")
+        for node in self.gates():
+            a, b, c = self._fanins[node]
+            lines.append(
+                f"  n{node} = <{format_signal(a)} {format_signal(b)} "
+                f"{format_signal(c)}>"
+            )
+        for idx, s in enumerate(self._pos):
+            lines.append(f"  output {self._po_names[idx]} = {format_signal(s)}")
+        return "\n".join(lines)

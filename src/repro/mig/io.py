@@ -1,0 +1,242 @@
+"""Plain-text serialisation of MIGs and PLiM programs.
+
+A small line-oriented exchange format so users can persist graphs,
+diff rewriting results, and feed their own circuits to the compiler
+without writing Python:
+
+.. code-block:: text
+
+    # anything after '#' is a comment
+    mig adder4
+    input a0
+    input a1
+    node n5 = <a0 a1 0>        # majority of two signals and a constant
+    node n6 = <~n5 a0 1>       # '~' marks a complemented edge
+    output s0 = ~n6
+
+Signals are referenced by *name*: declared input names, previously
+declared node names, or the constants ``0``/``1``.  Programs use an
+equally simple listing of ``RM3 p q z`` lines with ``@addr`` operands.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from typing import Dict, List, TextIO, Union
+
+from ..plim.isa import OP_CONST0, OP_CONST1, Program
+from .graph import Mig
+from .signal import CONST0, CONST1, complement, is_complemented, node_of
+
+PathOrFile = Union[str, TextIO]
+
+
+def _open(target: PathOrFile, mode: str):
+    if isinstance(target, str):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False
+
+
+# ----------------------------------------------------------------------
+# MIG text format
+# ----------------------------------------------------------------------
+
+def write_mig(mig: Mig, target: PathOrFile) -> None:
+    """Serialise *mig* in the textual exchange format."""
+    handle, owned = _open(target, "w")
+    try:
+        handle.write(f"mig {mig.name or 'unnamed'}\n")
+        for i in range(mig.num_pis):
+            handle.write(f"input {mig.pi_name(i)}\n")
+        names: Dict[int, str] = {0: "0"}
+        for i, node in enumerate(mig.pis()):
+            names[node] = mig.pi_name(i)
+        live = mig.live_mask()
+        for node in mig.gates():
+            if not live[node]:
+                continue
+            names[node] = f"n{node}"
+            ops = " ".join(
+                _format_ref(s, names) for s in mig.fanins(node)
+            )
+            handle.write(f"node n{node} = <{ops}>\n")
+        for i, s in enumerate(mig.pos()):
+            handle.write(
+                f"output {mig.po_name(i)} = {_format_ref(s, names)}\n"
+            )
+    finally:
+        if owned:
+            handle.close()
+
+
+def _format_ref(signal: int, names: Dict[int, str]) -> str:
+    if signal == CONST0:
+        return "0"
+    if signal == CONST1:
+        return "1"
+    prefix = "~" if is_complemented(signal) else ""
+    return prefix + names[node_of(signal)]
+
+
+def dumps_mig(mig: Mig) -> str:
+    """:func:`write_mig` into a string."""
+    buffer = _io.StringIO()
+    write_mig(mig, buffer)
+    return buffer.getvalue()
+
+
+class MigParseError(ValueError):
+    """Malformed MIG text."""
+
+
+def read_mig(source: PathOrFile) -> Mig:
+    """Parse the textual exchange format back into a :class:`Mig`."""
+    handle, owned = _open(source, "r")
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    return loads_mig(text)
+
+
+def loads_mig(text: str) -> Mig:
+    """Parse MIG text from a string."""
+    mig: Mig = Mig()
+    names: Dict[str, int] = {"0": CONST0, "1": CONST1}
+    seen_header = False
+
+    def resolve(token: str, line_no: int) -> int:
+        compl = token.startswith("~")
+        name = token[1:] if compl else token
+        if name not in names:
+            raise MigParseError(f"line {line_no}: unknown signal {name!r}")
+        sig = names[name]
+        return complement(sig) if compl else sig
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "mig":
+            mig.name = parts[1] if len(parts) > 1 else ""
+            seen_header = True
+        elif kind == "input":
+            if len(parts) != 2:
+                raise MigParseError(f"line {line_no}: bad input declaration")
+            names[parts[1]] = mig.add_pi(parts[1])
+        elif kind == "node":
+            # node NAME = <a b c>
+            try:
+                name = parts[1]
+                assert parts[2] == "="
+                body = line.split("=", 1)[1].strip()
+                assert body.startswith("<") and body.endswith(">")
+                ops = body[1:-1].split()
+                assert len(ops) == 3
+            except (IndexError, AssertionError):
+                raise MigParseError(
+                    f"line {line_no}: expected 'node NAME = <a b c>'"
+                ) from None
+            sig = mig.add_maj(*(resolve(op, line_no) for op in ops))
+            names[name] = sig
+        elif kind == "output":
+            try:
+                name = parts[1]
+                assert parts[2] == "="
+                ref = parts[3]
+            except (IndexError, AssertionError):
+                raise MigParseError(
+                    f"line {line_no}: expected 'output NAME = signal'"
+                ) from None
+            mig.add_po(resolve(ref, line_no), name)
+        else:
+            raise MigParseError(f"line {line_no}: unknown directive {kind!r}")
+    if not seen_header:
+        raise MigParseError("missing 'mig NAME' header")
+    return mig
+
+
+# ----------------------------------------------------------------------
+# Program text format
+# ----------------------------------------------------------------------
+
+def write_program(program: Program, target: PathOrFile) -> None:
+    """Serialise a PLiM program as a readable instruction listing."""
+    handle, owned = _open(target, "w")
+    try:
+        handle.write(f"program {program.name or 'unnamed'}\n")
+        handle.write(f"cells {program.num_cells}\n")
+        if program.pi_cells:
+            handle.write(
+                "inputs " + " ".join(str(c) for c in program.pi_cells) + "\n"
+            )
+        if program.po_cells:
+            handle.write(
+                "outputs " + " ".join(str(c) for c in program.po_cells) + "\n"
+            )
+        for p, q, z in program.instructions:
+            handle.write(f"RM3 {_op_str(p)} {_op_str(q)} @{z}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def _op_str(op: int) -> str:
+    if op == OP_CONST0:
+        return "0"
+    if op == OP_CONST1:
+        return "1"
+    return f"@{op}"
+
+
+def read_program(source: PathOrFile) -> Program:
+    """Parse a program listing back into a :class:`Program`."""
+    handle, owned = _open(source, "r")
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    program = Program()
+
+    def parse_op(token: str, line_no: int) -> int:
+        if token == "0":
+            return OP_CONST0
+        if token == "1":
+            return OP_CONST1
+        if token.startswith("@"):
+            return int(token[1:])
+        raise MigParseError(f"line {line_no}: bad operand {token!r}")
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "program":
+            program.name = parts[1] if len(parts) > 1 else ""
+        elif parts[0] == "cells":
+            program.num_cells = int(parts[1])
+        elif parts[0] == "inputs":
+            program.pi_cells = [int(t) for t in parts[1:]]
+        elif parts[0] == "outputs":
+            program.po_cells = [int(t) for t in parts[1:]]
+        elif parts[0] == "RM3":
+            if len(parts) != 4 or not parts[3].startswith("@"):
+                raise MigParseError(f"line {line_no}: bad RM3 line")
+            program.instructions.append(
+                (
+                    parse_op(parts[1], line_no),
+                    parse_op(parts[2], line_no),
+                    int(parts[3][1:]),
+                )
+            )
+        else:
+            raise MigParseError(
+                f"line {line_no}: unknown directive {parts[0]!r}"
+            )
+    program.validate()
+    return program

@@ -1,0 +1,178 @@
+"""Rebuild-style rewriting engine for MIGs.
+
+Every rewriting *pass* reconstructs the live part of a graph into a fresh,
+structurally hashed MIG, applying one local axiom at each node while the
+translation map is built bottom-up.  The approach (popular in modern logic
+synthesis libraries) trades a copy per pass for trivially maintained
+invariants: the input graph is never mutated, dead nodes vanish
+automatically, and node-creation identities (``Omega.M``) apply everywhere
+for free.
+
+The rewriting *scripts* of the reproduced paper (Algorithm 1, the PLiM
+compiler script of [Soeken et al., DAC'16], and Algorithm 2, the
+endurance-aware script) are sequences of these passes; they live in
+:mod:`repro.core.rewriting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import algebra
+from .graph import Mig
+from .signal import apply_complement, is_complemented, node_of
+
+
+@dataclass
+class RebuildContext:
+    """Read-only facts about the source graph available to a transform."""
+
+    old: Mig
+    refs: List[int]
+    levels: List[int]
+    xlat: Dict[int, int] = field(default_factory=dict)
+
+    def translated(self, old_signal: int) -> int:
+        """New-graph signal corresponding to *old_signal*."""
+        base = self.xlat[node_of(old_signal)]
+        return apply_complement(base, is_complemented(old_signal))
+
+
+#: A transform maps (new_mig, ctx, old_node, translated_children) -> signal.
+Transform = Callable[[Mig, RebuildContext, int, Sequence[int]], int]
+
+
+def rebuild(mig: Mig, transform: Optional[Transform] = None) -> Mig:
+    """Reconstruct the live part of *mig*, applying *transform* per gate.
+
+    With ``transform=None`` this is a cleanup + ``Omega.M`` +
+    structural-hashing pass (the paper's plain ``Omega.M`` step).
+    """
+    new = Mig(mig.name)
+    ctx = RebuildContext(old=mig, refs=mig.fanout_counts(), levels=mig.levels())
+    ctx.xlat[0] = 0
+    for idx, node in enumerate(mig.pis()):
+        ctx.xlat[node] = new.add_pi(mig.pi_name(idx))
+    for node in mig.live_gates():
+        children = [ctx.translated(s) for s in mig.fanins(node)]
+        if transform is None:
+            ctx.xlat[node] = new.add_maj(*children)
+        else:
+            ctx.xlat[node] = transform(new, ctx, node, children)
+    for idx, s in enumerate(mig.pos()):
+        new.add_po(ctx.translated(s), mig.po_name(idx))
+    return new
+
+
+# ----------------------------------------------------------------------
+# Concrete passes
+# ----------------------------------------------------------------------
+
+def majority_pass(mig: Mig) -> Mig:
+    """``Omega.M``: node-creation identities plus structural hashing."""
+    return rebuild(mig)
+
+
+def distributivity_rl_pass(mig: Mig) -> Mig:
+    """``Omega.D(R->L)``: factor shared operand pairs out of fanin nodes."""
+
+    def transform(new: Mig, ctx: RebuildContext, node: int, children) -> int:
+        old_children = ctx.old.fanins(node)
+        residual = {
+            ctx.translated(s): ctx.refs[node_of(s)] for s in old_children
+        }
+
+        def fanout_of(sig: int) -> int:
+            return residual.get(sig, 2)
+
+        result = algebra.try_distributivity_rl(
+            new, children[0], children[1], children[2], fanout_of=fanout_of
+        )
+        if result is not None:
+            return result
+        return new.add_maj(*children)
+
+    return rebuild(mig, transform)
+
+
+def associativity_pass(mig: Mig) -> Mig:
+    """``Omega.A``: swap through shared operands when sharing is exposed."""
+
+    def transform(new: Mig, ctx: RebuildContext, node: int, children) -> int:
+        result = algebra.try_associativity(new, *children)
+        if result is not None:
+            return result
+        return new.add_maj(*children)
+
+    return rebuild(mig, transform)
+
+
+def complementary_associativity_pass(mig: Mig) -> Mig:
+    """``Psi.C``: replace an inner complement of an outer operand."""
+
+    def transform(new: Mig, ctx: RebuildContext, node: int, children) -> int:
+        old_children = ctx.old.fanins(node)
+        residual = {
+            ctx.translated(s): ctx.refs[node_of(s)] for s in old_children
+        }
+        result = algebra.try_complementary_associativity(
+            new, *children, fanout_of=lambda sig: residual.get(sig, 2)
+        )
+        if result is not None:
+            return result
+        return new.add_maj(*children)
+
+    return rebuild(mig, transform)
+
+
+def inverter_propagation_pass(mig: Mig, *, handle_two: bool) -> Mig:
+    """``Omega.I(R->L)``: normalise nodes with 2 (optional) or 3
+    complemented fanins toward the RM3-ideal single-complement form."""
+
+    def transform(new: Mig, ctx: RebuildContext, node: int, children) -> int:
+        result = algebra.propagate_inverters(
+            new, *children, handle_two=handle_two
+        )
+        if result is not None:
+            return result
+        return new.add_maj(*children)
+
+    return rebuild(mig, transform)
+
+
+def inverter_pairs_pass(mig: Mig) -> Mig:
+    """``Omega.I(R->L)(1-3)``: full normalisation (2- and 3-complement)."""
+    return inverter_propagation_pass(mig, handle_two=True)
+
+
+def inverter_triples_pass(mig: Mig) -> Mig:
+    """``Omega.I(R->L)`` rule 1 only: remove triple-complemented nodes."""
+    return inverter_propagation_pass(mig, handle_two=False)
+
+
+#: Registry used by scripts, the CLI, and the ablation benchmarks.
+PASSES: Dict[str, Callable[[Mig], Mig]] = {
+    "M": majority_pass,
+    "D_rl": distributivity_rl_pass,
+    "A": associativity_pass,
+    "Psi_C": complementary_associativity_pass,
+    "I_rl_1_3": inverter_pairs_pass,
+    "I_rl": inverter_triples_pass,
+}
+
+
+def apply_script(mig: Mig, steps: Sequence[str], cycles: int = 1) -> Mig:
+    """Run the named passes *cycles* times in order and clean up.
+
+    *steps* is a sequence of keys into :data:`PASSES`; unknown names raise
+    ``KeyError`` immediately (before any work is done).
+    """
+    for name in steps:
+        if name not in PASSES:
+            raise KeyError(f"unknown rewriting pass {name!r}")
+    result = mig
+    for _ in range(cycles):
+        for name in steps:
+            result = PASSES[name](result)
+    return result.cleanup()

@@ -1,0 +1,148 @@
+"""Signal encoding for Majority-Inverter Graphs.
+
+A *signal* is an integer that packs a node index together with an optional
+complement (inversion) attribute, mirroring the complemented edges of a MIG:
+
+``signal = node_index * 2 + complement_bit``
+
+Node ``0`` is reserved for the Boolean constant *false*, hence the two
+distinguished signals :data:`CONST0` (``0``) and :data:`CONST1` (``1``, the
+complemented constant-false node, i.e. *true*).
+
+The encoding keeps signals hashable, orderable, and cheap, which matters
+because rewriting and compilation traverse graphs with hundreds of thousands
+of edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+#: Signal representing the Boolean constant 0 (node 0, non-complemented).
+CONST0 = 0
+
+#: Signal representing the Boolean constant 1 (node 0, complemented).
+CONST1 = 1
+
+
+def make_signal(node: int, complemented: bool = False) -> int:
+    """Pack a node index and complement attribute into a signal.
+
+    >>> make_signal(3)
+    6
+    >>> make_signal(3, True)
+    7
+    """
+    if node < 0:
+        raise ValueError(f"node index must be non-negative, got {node}")
+    return node * 2 + (1 if complemented else 0)
+
+
+def node_of(signal: int) -> int:
+    """Return the node index referenced by *signal*.
+
+    >>> node_of(7)
+    3
+    """
+    return signal >> 1
+
+
+def is_complemented(signal: int) -> bool:
+    """Return ``True`` if *signal* carries a complement attribute.
+
+    >>> is_complemented(6), is_complemented(7)
+    (False, True)
+    """
+    return bool(signal & 1)
+
+
+def complement(signal: int) -> int:
+    """Return the complemented version of *signal*.
+
+    >>> complement(6)
+    7
+    >>> complement(complement(6))
+    6
+    """
+    return signal ^ 1
+
+
+def apply_complement(signal: int, complemented: bool) -> int:
+    """Complement *signal* iff *complemented* is true.
+
+    Useful when propagating an edge attribute onto an existing signal.
+    """
+    return signal ^ 1 if complemented else signal
+
+
+def regular(signal: int) -> int:
+    """Return *signal* with the complement attribute stripped.
+
+    >>> regular(7)
+    6
+    """
+    return signal & ~1
+
+
+def is_constant(signal: int) -> bool:
+    """Return ``True`` for the constant-0/constant-1 signals."""
+    return signal <= 1
+
+
+def constant_value(signal: int) -> int:
+    """Return the Boolean value (0/1) of a constant signal.
+
+    Raises :class:`ValueError` when *signal* is not a constant.
+    """
+    if not is_constant(signal):
+        raise ValueError(f"signal {signal} is not a constant")
+    return signal & 1
+
+
+def are_complementary(a: int, b: int) -> bool:
+    """Return ``True`` when two signals reference the same node with
+    opposite polarities (``a == NOT b``)."""
+    return (a ^ b) == 1
+
+
+def sorted_fanins(a: int, b: int, c: int) -> Tuple[int, int, int]:
+    """Return the canonical (sorted) fanin triple of a majority node.
+
+    The majority function is fully commutative (axiom Omega.C), so sorting
+    by signal value gives a canonical key for structural hashing while
+    keeping each complement attribute attached to its own operand.
+    """
+    if a > b:
+        a, b = b, a
+    if b > c:
+        b, c = c, b
+    if a > b:
+        a, b = b, a
+    return a, b, c
+
+
+def complement_count(fanins: Iterable[int]) -> int:
+    """Number of complemented signals in *fanins*.
+
+    The RM3 cost model cares about this: a node with exactly one
+    complemented fanin maps to a single RM3 instruction (the second operand
+    of RM3 is inverted for free), while zero or two-plus complemented
+    fanins require repair instructions.
+    """
+    return sum(1 for s in fanins if s & 1)
+
+
+def format_signal(signal: int) -> str:
+    """Human-readable form used by dumps and disassembly.
+
+    >>> format_signal(7)
+    "~n3"
+    >>> format_signal(0), format_signal(1)
+    ('0', '1')
+    """
+    if signal == CONST0:
+        return "0"
+    if signal == CONST1:
+        return "1"
+    prefix = "~" if is_complemented(signal) else ""
+    return f"{prefix}n{node_of(signal)}"

@@ -1,0 +1,163 @@
+"""Bit-parallel simulation of Majority-Inverter Graphs.
+
+Values are plain Python integers used as bit vectors: position ``i`` of every
+value is one independent simulation pattern, so a single sweep over the graph
+evaluates arbitrarily many input patterns at once.  This is the reference
+model against which compiled PLiM programs are verified
+(:mod:`repro.plim.verify`) and the engine behind equivalence checking of
+rewriting passes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .graph import Mig
+from .signal import is_complemented, node_of
+
+#: Refuse exhaustive truth tables beyond this many inputs (2^20 patterns).
+MAX_EXHAUSTIVE_PIS = 20
+
+
+def simulate(mig: Mig, pi_values: Sequence[int], mask: int = 1) -> List[int]:
+    """Evaluate *mig* on bit-parallel input words.
+
+    Parameters
+    ----------
+    pi_values:
+        One integer per primary input; bit ``i`` of each word is pattern
+        ``i``.
+    mask:
+        All-ones mask covering the pattern width (e.g. ``(1 << 64) - 1``
+        for 64 parallel patterns).
+
+    Returns
+    -------
+    One integer per primary output.
+    """
+    if len(pi_values) != mig.num_pis:
+        raise ValueError(
+            f"expected {mig.num_pis} input words, got {len(pi_values)}"
+        )
+    values = [0] * mig.num_nodes
+    for node, word in zip(mig.pis(), pi_values):
+        values[node] = word & mask
+    for node in mig.gates():
+        fa, fb, fc = mig.fanins(node)
+        a = values[node_of(fa)] ^ (mask if fa & 1 else 0)
+        b = values[node_of(fb)] ^ (mask if fb & 1 else 0)
+        c = values[node_of(fc)] ^ (mask if fc & 1 else 0)
+        values[node] = (a & b) | (a & c) | (b & c)
+    outputs = []
+    for s in mig.pos():
+        word = values[node_of(s)]
+        if s & 1:
+            word ^= mask
+        outputs.append(word & mask)
+    return outputs
+
+
+def simulate_one(mig: Mig, assignment: Dict[str, int]) -> Dict[str, int]:
+    """Evaluate a single pattern given by PI name.
+
+    >>> mig = Mig()
+    >>> a, b = mig.add_pi("a"), mig.add_pi("b")
+    >>> _ = mig.add_po(mig.add_and(a, b), "f")
+    >>> simulate_one(mig, {"a": 1, "b": 1})
+    {'f': 1}
+    """
+    words = []
+    for i in range(mig.num_pis):
+        name = mig.pi_name(i)
+        if name not in assignment:
+            raise KeyError(f"missing assignment for input {name!r}")
+        words.append(1 if assignment[name] else 0)
+    outs = simulate(mig, words, mask=1)
+    return {mig.po_name(i): outs[i] for i in range(mig.num_pos)}
+
+
+def truth_tables(mig: Mig) -> List[int]:
+    """Exhaustive truth table per output, as ``2**num_pis``-bit integers.
+
+    Bit ``m`` of each table is the output value under minterm ``m`` (input
+    ``i`` takes bit ``i`` of ``m``).  Only feasible for small input counts.
+    """
+    n = mig.num_pis
+    if n > MAX_EXHAUSTIVE_PIS:
+        raise ValueError(f"too many inputs for exhaustive simulation: {n}")
+    num_patterns = 1 << n
+    mask = (1 << num_patterns) - 1
+    pi_words = []
+    for i in range(n):
+        # Standard variable pattern: blocks of 2^i ones/zeros.
+        block = (1 << (1 << i)) - 1  # 2^i ones
+        period = 1 << (i + 1)
+        word = 0
+        for start in range(1 << i, num_patterns, period):
+            word |= block << start
+        pi_words.append(word)
+    return simulate(mig, pi_words, mask=mask)
+
+
+def random_words(num_inputs: int, width: int, rng: random.Random) -> List[int]:
+    """Draw *num_inputs* random bit-words of *width* patterns."""
+    return [rng.getrandbits(width) for _ in range(num_inputs)]
+
+
+def equivalent(
+    a: Mig,
+    b: Mig,
+    *,
+    exhaustive_limit: int = 14,
+    samples: int = 1024,
+    seed: int = 0xC0FFEE,
+) -> bool:
+    """Check functional equivalence of two MIGs.
+
+    Uses exhaustive truth tables when the input count is small enough,
+    otherwise randomized bit-parallel simulation with *samples* patterns.
+    Random simulation is sound for inequivalence and probabilistic for
+    equivalence, which is the standard trade-off for large circuits.
+    """
+    if a.num_pis != b.num_pis or a.num_pos != b.num_pos:
+        return False
+    if a.num_pis <= exhaustive_limit:
+        return truth_tables(a) == truth_tables(b)
+    rng = random.Random(seed)
+    width = 64
+    rounds = max(1, (samples + width - 1) // width)
+    mask = (1 << width) - 1
+    for _ in range(rounds):
+        words = random_words(a.num_pis, width, rng)
+        if simulate(a, words, mask) != simulate(b, words, mask):
+            return False
+    return True
+
+
+def find_counterexample(
+    a: Mig,
+    b: Mig,
+    *,
+    samples: int = 1024,
+    seed: int = 0xC0FFEE,
+) -> Optional[Dict[str, int]]:
+    """Return an input assignment on which the two MIGs differ, if found."""
+    if a.num_pis != b.num_pis or a.num_pos != b.num_pos:
+        raise ValueError("interface mismatch")
+    rng = random.Random(seed)
+    width = 64
+    mask = (1 << width) - 1
+    for _ in range(max(1, (samples + width - 1) // width)):
+        words = random_words(a.num_pis, width, rng)
+        out_a = simulate(a, words, mask)
+        out_b = simulate(b, words, mask)
+        diff = 0
+        for wa, wb in zip(out_a, out_b):
+            diff |= wa ^ wb
+        if diff:
+            bit = (diff & -diff).bit_length() - 1
+            return {
+                a.pi_name(i): (words[i] >> bit) & 1 for i in range(a.num_pis)
+            }
+    return None

@@ -1,0 +1,96 @@
+"""Derived views over a MIG: fanouts, levels, storage-duration metrics.
+
+The PLiM compiler's node-selection heuristics (both the area/latency-driven
+selection of [Soeken et al., DAC'16] and the endurance-aware selection of
+Algorithm 3 in the reproduced paper) rank candidate nodes by
+
+* the number of RRAM devices *released* by computing the node (children
+  whose last pending use this is), and
+* the *fanout level index*: how long the node's own value must stay resident
+  before its last consumer is computed.
+
+This module computes the static parts of those metrics once per graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .graph import Mig
+from .signal import node_of
+
+
+class FanoutView:
+    """Fanout lists and storage-duration metrics for the live part of a MIG."""
+
+    def __init__(self, mig: Mig) -> None:
+        self.mig = mig
+        self.live = mig.live_mask()
+        self.levels = mig.levels()
+        n = mig.num_nodes
+        self.fanouts: List[List[int]] = [[] for _ in range(n)]
+        self.ref_counts: List[int] = [0] * n
+        for node in range(1, n):
+            if not self.live[node] or not mig.is_gate(node):
+                continue
+            for s in mig.fanins(node):
+                child = node_of(s)
+                self.fanouts[child].append(node)
+                self.ref_counts[child] += 1
+        self.po_refs: List[int] = [0] * n
+        for s in mig.pos():
+            self.po_refs[node_of(s)] += 1
+            self.ref_counts[node_of(s)] += 1
+        self.depth = max(
+            (self.levels[node_of(s)] for s in mig.pos()), default=0
+        )
+
+    def fanout_level_index(self, node: int, aggregate: str = "max") -> int:
+        """Level of the consumer that finally releases *node*'s device.
+
+        ``max`` (default) is the storage-duration reading used by the
+        endurance-aware selection: the device stays blocked until the
+        highest-level fanout is computed.  ``min`` gives the first-use
+        level, exposed for the ablation benchmarks.  Nodes that drive a
+        primary output are pinned until the end of the program and get
+        ``depth + 1``.
+        """
+        if self.po_refs[node]:
+            return self.depth + 1
+        levels = [self.levels[f] for f in self.fanouts[node]]
+        if not levels:
+            return 0
+        if aggregate == "max":
+            return max(levels)
+        if aggregate == "min":
+            return min(levels)
+        raise ValueError(f"unknown aggregate {aggregate!r}")
+
+    def fanout_level_indices(self, aggregate: str = "max") -> List[int]:
+        """Vector of :meth:`fanout_level_index` for every node."""
+        return [
+            self.fanout_level_index(node, aggregate)
+            for node in range(self.mig.num_nodes)
+        ]
+
+    def single_fanout_nodes(self) -> List[int]:
+        """Live nodes with exactly one use (ideal RM3 destinations)."""
+        return [
+            node
+            for node in range(1, self.mig.num_nodes)
+            if self.live[node] and self.ref_counts[node] == 1
+        ]
+
+    def level_spread(self) -> Dict[int, int]:
+        """Histogram of ``fanout_level_index - own_level`` over live gates.
+
+        Large spreads are the "blocked RRAM" pathology of Fig. 2 in the
+        paper: values produced early but consumed late pin their devices.
+        """
+        spread: Dict[int, int] = {}
+        for node in range(1, self.mig.num_nodes):
+            if not self.live[node] or not self.fanouts[node]:
+                continue
+            d = self.fanout_level_index(node) - self.levels[node]
+            spread[d] = spread.get(d, 0) + 1
+        return spread

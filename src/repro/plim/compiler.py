@@ -1,0 +1,436 @@
+"""MIG-to-RM3 compilation for the PLiM computer.
+
+Reimplements the compiler of [Soeken et al., DAC'16] — node *selection*
+(which computable MIG node to schedule next) and node *translation* (how to
+realise one majority node with RM3 instructions) — with the endurance hooks
+of the reproduced paper threaded through:
+
+* the destination/allocation decisions consult an
+  :class:`~repro.plim.allocator.RramAllocator` whose policy implements the
+  minimum/maximum write count strategies;
+* the selection order is pluggable (:mod:`repro.core.selection` provides
+  the DAC'16 and the endurance-aware Algorithm 3 strategies).
+
+Cost model (Section III of the paper)
+-------------------------------------
+A majority node ``<a b c>`` costs a single RM3 when one fanin can serve as
+the second operand ``Q`` for free (a complemented edge or a constant — RM3
+inverts ``Q`` intrinsically) and another fanin can be *overwritten* as the
+destination ``Z`` (a non-complemented edge to a value with no remaining
+readers, stored in a device that may still be written).  Every violation
+costs **two extra instructions and one extra RRAM**:
+
+* missing free ``Q``: invert a fanin into a helper device
+  (write 1 + RM3);
+* missing destination: copy a fanin into a requested device
+  (write 0/1 + RM3); a constant fanin reduces this to a single
+  initialisation write.
+
+The translator enumerates all role assignments of the three fanins and
+picks the cheapest, so those rules emerge from a small cost table rather
+than a case cascade.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..mig.graph import Mig
+from ..mig.signal import is_complemented, node_of
+from ..mig.views import FanoutView
+from .allocator import RramAllocator
+from .isa import OP_CONST0, OP_CONST1, Program, const_operand
+
+
+@dataclass(frozen=True)
+class _Fanin:
+    """One fanin of the node under translation, classified for costing."""
+
+    is_const: bool
+    value: int  # constant value (is_const) — else unused
+    node: int  # MIG node id (var) — else unused
+    complemented: bool
+
+
+# Role kinds used by the assignment enumeration.
+_Q_FREE = 0  # complemented edge or constant: RM3's intrinsic inversion
+_Q_INVERT = 1  # helper inversion required (+2 instructions, +1 device)
+_Z_DIRECT = 0  # overwrite the fanin's own device
+_Z_CONST = 1  # initialise a requested device with the constant (+1)
+_Z_COPY = 2  # copy/copy-invert into a requested device (+2, +1 device)
+_P_FREE = 0  # constant or plain stored value
+_P_INVERT = 1  # helper inversion required (+2 instructions, +1 device)
+
+
+class PlimCompiler:
+    """Compiles MIGs into PLiM programs.
+
+    Parameters
+    ----------
+    selection:
+        A strategy object with ``key(state, node)`` and ``dynamic``
+        attributes (see :mod:`repro.core.selection`); ``None`` selects
+        plain topological order (the naive baseline).
+    allocation:
+        ``"naive"`` (LIFO free list) or ``"min_write"`` (the paper's
+        minimum write count strategy).
+    w_max:
+        Optional maximum write count per device (the paper's maximum
+        write count strategy); devices reaching it are retired.
+    allow_pi_overwrite:
+        Whether devices pre-loaded with primary inputs may be reused as
+        destinations once their value is dead (the DAC'16 compiler's
+        aggressive reuse; disable for ablations).
+    fanout_aggregate:
+        ``"max"`` (storage-duration reading) or ``"min"`` (first-use
+        reading) for the fanout level index used by selection strategies.
+    """
+
+    def __init__(
+        self,
+        selection=None,
+        allocation: str = "naive",
+        w_max: Optional[int] = None,
+        allow_pi_overwrite: bool = True,
+        fanout_aggregate: str = "max",
+    ) -> None:
+        self.selection = selection
+        self.allocation = allocation
+        self.w_max = w_max
+        self.allow_pi_overwrite = allow_pi_overwrite
+        self.fanout_aggregate = fanout_aggregate
+
+    def compile(self, mig: Mig) -> Program:
+        """Translate *mig* into a :class:`~repro.plim.isa.Program`."""
+        run = _Compilation(
+            mig,
+            selection=self.selection,
+            allocator=RramAllocator(self.allocation, self.w_max),
+            allow_pi_overwrite=self.allow_pi_overwrite,
+            fanout_aggregate=self.fanout_aggregate,
+        )
+        return run.run()
+
+
+class _Compilation:
+    """State of one compilation; also the ``state`` view for selection."""
+
+    def __init__(
+        self,
+        mig: Mig,
+        selection,
+        allocator: RramAllocator,
+        allow_pi_overwrite: bool,
+        fanout_aggregate: str,
+    ) -> None:
+        self.mig = mig
+        self.selection = selection
+        self.alloc = allocator
+        self.allow_pi_overwrite = allow_pi_overwrite
+
+        view = FanoutView(mig)
+        self.view = view
+        self.refs: List[int] = list(view.ref_counts)
+        self.fanout_level_index: List[int] = view.fanout_level_indices(
+            fanout_aggregate
+        )
+        self.live = view.live
+
+        n = mig.num_nodes
+        self.cell_of: List[Optional[int]] = [None] * n
+        self.computed = [False] * n
+        self.instructions: List[Tuple[int, int, int]] = []
+
+    # -- selection support ----------------------------------------------
+
+    def releasing_count(self, node: int) -> int:
+        """Devices freed by computing *node*: children at their last use."""
+        count = 0
+        for s in self.mig.fanins(node):
+            child = node_of(s)
+            if child != 0 and self.refs[child] == 1:
+                count += 1
+        return count
+
+    def _key(self, node: int) -> Tuple[int, ...]:
+        if self.selection is None:
+            return (node,)
+        return self.selection.key(self, node)
+
+    # -- emission helpers -------------------------------------------------
+
+    def _emit(self, p: int, q: int, z: int) -> None:
+        self.instructions.append((p, q, z))
+        self.alloc.record_write(z)
+
+    def _emit_const(self, z: int, value: int) -> None:
+        """``Z <- value`` as a single RM3 (write-0 / write-1 idiom)."""
+        if value:
+            self._emit(OP_CONST1, OP_CONST0, z)
+        else:
+            self._emit(OP_CONST0, OP_CONST1, z)
+
+    def _emit_materialize(
+        self, src_cell: int, inverted: bool, extra_headroom: int = 0
+    ) -> int:
+        """Copy (or copy-invert) a stored value into a requested device.
+
+        Returns the new device; costs exactly two instructions — the
+        repair cost the paper charges per fanout/complement violation.
+        ``extra_headroom`` reserves cap room for writes the caller will
+        add afterwards (the final RM3 of a copy destination).
+        """
+        dst = self.alloc.request(headroom=2 + extra_headroom)
+        if inverted:
+            self._emit_const(dst, 1)
+            self._emit(OP_CONST0, src_cell, dst)  # MAJ(0, ~x, 1) = ~x
+        else:
+            self._emit_const(dst, 0)
+            self._emit(src_cell, OP_CONST0, dst)  # MAJ(x, 1, 0) = x
+        return dst
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> Program:
+        mig = self.mig
+
+        pi_cells = []
+        for node in mig.pis():
+            cell = self.alloc.new_cell()
+            self.cell_of[node] = cell
+            pi_cells.append(cell)
+
+        pending = [0] * mig.num_nodes
+        heap: List[Tuple[Tuple[int, ...], int]] = []
+        gates = mig.live_gates()
+        for node in gates:
+            pending[node] = sum(
+                1 for s in mig.fanins(node) if mig.is_gate(node_of(s))
+            )
+            if pending[node] == 0:
+                heapq.heappush(heap, (self._key(node), node))
+
+        parents: List[List[int]] = self.view.fanouts
+        dynamic = self.selection is not None and self.selection.dynamic
+        scheduled = 0
+        while heap:
+            key, node = heapq.heappop(heap)
+            if self.computed[node]:
+                continue
+            if dynamic:
+                fresh = self._key(node)
+                if fresh != key:
+                    heapq.heappush(heap, (fresh, node))
+                    continue
+            self._translate(node)
+            self.computed[node] = True
+            scheduled += 1
+            for parent in parents[node]:
+                pending[parent] -= 1
+                if pending[parent] == 0:
+                    heapq.heappush(heap, (self._key(parent), parent))
+        if scheduled != len(gates):
+            raise RuntimeError(
+                f"scheduled {scheduled} of {len(gates)} gates — "
+                "candidate bookkeeping is inconsistent"
+            )
+
+        po_cells = self._materialize_outputs()
+
+        program = Program(
+            instructions=self.instructions,
+            num_cells=self.alloc.num_cells,
+            pi_cells=pi_cells,
+            po_cells=po_cells,
+            name=mig.name,
+        )
+        program.validate()
+        return program
+
+    # -- node translation ---------------------------------------------------
+
+    def _classify(self, signal: int) -> _Fanin:
+        node = node_of(signal)
+        if node == 0:
+            return _Fanin(
+                is_const=True,
+                value=1 if is_complemented(signal) else 0,
+                node=0,
+                complemented=False,
+            )
+        return _Fanin(
+            is_const=False,
+            value=0,
+            node=node,
+            complemented=is_complemented(signal),
+        )
+
+    def _q_cost(self, f: _Fanin) -> int:
+        if f.is_const or f.complemented:
+            return _Q_FREE
+        return _Q_INVERT
+
+    def _z_kind(self, f: _Fanin) -> int:
+        if f.is_const:
+            return _Z_CONST
+        if (
+            not f.complemented
+            and self.refs[f.node] == 1
+            and self.cell_of[f.node] is not None
+            and self.alloc.writable(self.cell_of[f.node])
+            and (self.allow_pi_overwrite or not self.mig.is_pi(f.node))
+        ):
+            return _Z_DIRECT
+        return _Z_COPY
+
+    def _p_cost(self, f: _Fanin) -> int:
+        if f.is_const or not f.complemented:
+            return _P_FREE
+        return _P_INVERT
+
+    def _translate(self, node: int) -> None:
+        fanins = [self._classify(s) for s in self.mig.fanins(node)]
+
+        # Enumerate the six (Q, Z, P) role assignments; keep the cheapest.
+        best = None
+        for qi in range(3):
+            rest = [i for i in range(3) if i != qi]
+            for zi, pi in (rest, reversed(rest)):
+                q, z, p = fanins[qi], fanins[zi], fanins[pi]
+                q_cost = self._q_cost(q)
+                z_kind = self._z_kind(z)
+                p_cost = self._p_cost(p)
+                # instruction overhead: Q invert 2, Z const 1 / copy 2,
+                # P invert 2
+                extra = (
+                    2 * q_cost
+                    + (1 if z_kind == _Z_CONST else 2 if z_kind == _Z_COPY else 0)
+                    + 2 * p_cost
+                )
+                extra_cells = (
+                    q_cost + p_cost + (0 if z_kind == _Z_DIRECT else 1)
+                )
+                if z_kind == _Z_DIRECT and self.alloc.strategy == "min_write":
+                    z_writes = self.alloc.writes[self.cell_of[z.node]]
+                else:
+                    z_writes = 0
+                rank = (extra, extra_cells, z_kind, z_writes, qi, zi)
+                if best is None or rank < best[0]:
+                    best = (rank, qi, zi, pi, z_kind)
+        assert best is not None
+        _, qi, zi, pi, z_kind = best
+        q, z, p = fanins[qi], fanins[zi], fanins[pi]
+
+        temps: List[int] = []
+
+        # Destination Z holds the contribution of its fanin.
+        overwritten: Optional[int] = None
+        if z_kind == _Z_DIRECT:
+            z_addr = self.cell_of[z.node]
+            overwritten = z.node
+        elif z_kind == _Z_CONST:
+            z_addr = self.alloc.request(headroom=2)  # init + final RM3
+            self._emit_const(z_addr, z.value)
+        else:  # _Z_COPY
+            src = self.cell_of[z.node]
+            z_addr = self._emit_materialize(
+                src, inverted=z.complemented, extra_headroom=1
+            )
+
+        # Second operand Q: RM3 applies ~Q, so Q must hold the *inverse*
+        # of the fanin's contribution.
+        if q.is_const:
+            q_op = const_operand(1 - q.value)
+        elif q.complemented:
+            q_op = self.cell_of[q.node]  # stored value, contribution is ~v
+        else:
+            temp = self.alloc.request(headroom=2)
+            self._emit_const(temp, 1)
+            self._emit(OP_CONST0, self.cell_of[q.node], temp)
+            temps.append(temp)
+            q_op = temp
+
+        # First operand P holds the contribution directly.
+        if p.is_const:
+            p_op = const_operand(p.value)
+        elif not p.complemented:
+            p_op = self.cell_of[p.node]
+        else:
+            temp = self.alloc.request(headroom=2)
+            self._emit_const(temp, 1)
+            self._emit(OP_CONST0, self.cell_of[p.node], temp)
+            temps.append(temp)
+            p_op = temp
+
+        self._emit(p_op, q_op, z_addr)
+
+        # Consume fanin references; free devices at their last use.
+        for f in fanins:
+            if f.is_const:
+                continue
+            self.refs[f.node] -= 1
+            if self.refs[f.node] == 0:
+                cell = self.cell_of[f.node]
+                self.cell_of[f.node] = None
+                if f.node != overwritten and cell is not None:
+                    self._release(f.node, cell)
+        for temp in temps:
+            self.alloc.release(temp)
+
+        self.cell_of[node] = z_addr
+
+    def _release(self, node: int, cell: int) -> None:
+        """Return a dead value's device to the pool.
+
+        With input protection on (``allow_pi_overwrite=False``) devices
+        pre-loaded with primary inputs never re-enter the pool: the flag
+        guarantees input data survives the whole program, not merely the
+        node's own computation.
+        """
+        if not self.allow_pi_overwrite and self.mig.is_pi(node):
+            return
+        self.alloc.release(cell)
+
+    # -- outputs ------------------------------------------------------------
+
+    def _materialize_outputs(self) -> List[int]:
+        """Pin every primary output to a device holding its plain value.
+
+        Complemented outputs need an explicit inversion (the same +2 cost
+        as any other complement violation); constant outputs need a single
+        initialisation write.  Cells are shared between outputs wanting
+        the same signal.
+        """
+        const_cells: dict = {}
+        inverted_cells: dict = {}
+        po_cells: List[int] = []
+        for s in self.mig.pos():
+            node = node_of(s)
+            if node == 0:
+                value = 1 if is_complemented(s) else 0
+                if value not in const_cells:
+                    cell = self.alloc.request(headroom=1)
+                    self._emit_const(cell, value)
+                    const_cells[value] = cell
+                po_cells.append(const_cells[value])
+            elif not is_complemented(s):
+                cell = self.cell_of[node]
+                assert cell is not None, f"output node {node} has no device"
+                po_cells.append(cell)
+            else:
+                if s not in inverted_cells:
+                    src = self.cell_of[node]
+                    assert src is not None, f"output node {node} has no device"
+                    inverted_cells[s] = self._emit_materialize(
+                        src, inverted=True
+                    )
+                po_cells.append(inverted_cells[s])
+                self.refs[node] -= 1
+                if self.refs[node] == 0:
+                    cell = self.cell_of[node]
+                    self.cell_of[node] = None
+                    if cell is not None:
+                        self._release(node, cell)
+        return po_cells

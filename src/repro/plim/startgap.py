@@ -1,0 +1,154 @@
+"""Start-Gap: runtime wear levelling, the alternative the paper cites.
+
+The paper's introduction points at write-balancing schemes developed for
+PCM main memories — most prominently Start-Gap [Qureshi et al.,
+MICRO'09] — as the existing answer to limited write endurance.  Those
+schemes act at *runtime* by periodically rotating the logical-to-physical
+address mapping, so a logically hot line physically wanders across the
+array.  The paper instead balances writes at *compile time*.
+
+This module implements Start-Gap over the PLiM RRAM array so the two
+approaches (and their combination) can be compared quantitatively — see
+``benchmarks/test_ablation_startgap.py`` and EXPERIMENTS.md.
+
+Mechanics (faithful to the original scheme):
+
+* the physical array has one spare cell, the *gap*;
+* every ``gap_interval`` writes, the gap moves one position: the
+  neighbouring line's content is copied into the current gap (one extra
+  write of wear), and the neighbour becomes the new gap;
+* after ``num_cells + 1`` gap movements every logical line has shifted
+  by one physical position (``start`` increments), so sustained traffic
+  visits all physical cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .controller import PlimController
+from .isa import Program
+from .memory import RramArray
+
+
+class StartGapArray:
+    """A logical RRAM array with Start-Gap address rotation.
+
+    Presents the same ``read``/``write``/``preload`` interface as
+    :class:`~repro.plim.memory.RramArray` so the PLiM controller can run
+    on it unmodified, while the physical array underneath has
+    ``num_cells + 1`` cells and a rotating gap.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        gap_interval: int = 100,
+        endurance: Optional[int] = None,
+    ) -> None:
+        if gap_interval < 1:
+            raise ValueError("gap interval must be positive")
+        self.num_logical = num_cells
+        self.gap_interval = gap_interval
+        self.physical = RramArray(num_cells + 1, endurance=endurance)
+        #: physical index of the gap (initially the spare at the end).
+        self.gap = num_cells
+        #: completed full revolutions of the gap (the original scheme's
+        #: ``start`` register increments once per revolution).
+        self.revolutions = 0
+        self._writes_since_move = 0
+        # Explicit permutation (and inverse) between logical lines and
+        # physical cells; -1 marks the gap in the inverse map.
+        self._log_to_phys: List[int] = list(range(num_cells))
+        self._phys_to_log: List[int] = list(range(num_cells)) + [-1]
+
+    # -- address translation ---------------------------------------------
+
+    def physical_address(self, logical: int) -> int:
+        """Current physical cell of a logical address."""
+        if not 0 <= logical < self.num_logical:
+            raise IndexError(f"logical address {logical} out of range")
+        return self._log_to_phys[logical]
+
+    # -- RramArray-compatible interface ------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return self.num_logical
+
+    @property
+    def values(self) -> "_LogicalValues":
+        return _LogicalValues(self)
+
+    def read(self, logical: int) -> int:
+        return self.physical.read(self.physical_address(logical))
+
+    def preload(self, logical: int, value: int) -> None:
+        self.physical.preload(self.physical_address(logical), value)
+
+    def write(self, logical: int, value: int) -> None:
+        self.physical.write(self.physical_address(logical), value)
+        self._writes_since_move += 1
+        if self._writes_since_move >= self.gap_interval:
+            self._writes_since_move = 0
+            self._move_gap()
+
+    def _move_gap(self) -> None:
+        """Move the gap one position (copying the displaced line)."""
+        total = self.num_logical + 1
+        source = (self.gap - 1) % total
+        # the copy costs one real write of wear on the old gap cell
+        self.physical.write(self.gap, self.physical.read(source))
+        line = self._phys_to_log[source]
+        self._log_to_phys[line] = self.gap
+        self._phys_to_log[self.gap] = line
+        self._phys_to_log[source] = -1
+        self.gap = source
+        if self.gap == self.num_logical:
+            self.revolutions += 1
+
+    # -- wear reporting ----------------------------------------------------
+
+    def write_counts(self) -> List[int]:
+        """Physical per-cell write counts (including gap-copy wear)."""
+        return list(self.physical.writes)
+
+    def max_writes(self) -> int:
+        return self.physical.max_writes()
+
+
+class _LogicalValues:
+    """Sequence view translating logical indices on the fly.
+
+    Lets the unmodified controller index ``array.values[addr]``.
+    """
+
+    def __init__(self, array: StartGapArray) -> None:
+        self._array = array
+
+    def __getitem__(self, logical: int) -> int:
+        return self._array.read(logical)
+
+    def __len__(self) -> int:
+        return self._array.num_logical
+
+
+def run_with_start_gap(
+    program: Program,
+    pi_values: Sequence[int],
+    executions: int,
+    gap_interval: int = 100,
+    mask: int = 1,
+) -> StartGapArray:
+    """Execute *program* repeatedly on a Start-Gap array; returns the
+    array so callers can inspect physical wear.
+
+    This is the runtime-only balancing baseline: the compiled write
+    pattern stays as unbalanced as the compiler left it, but rotation
+    spreads it over physical cells across executions.
+    """
+    array = StartGapArray(program.num_cells, gap_interval=gap_interval)
+    controller = PlimController(array)  # duck-typed array interface
+    for _ in range(executions):
+        controller.run(program, pi_values, mask=mask)
+    return array

@@ -1,0 +1,23 @@
+"""Benchmark circuit generators (EPFL-suite stand-ins) and word-level
+building blocks."""
+
+from . import arithmetic, blocks, control, cordic
+from .registry import (
+    BENCHMARKS,
+    BENCHMARK_ORDER,
+    BenchmarkSpec,
+    build_benchmark,
+    build_suite,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkSpec",
+    "arithmetic",
+    "blocks",
+    "build_benchmark",
+    "build_suite",
+    "control",
+    "cordic",
+]

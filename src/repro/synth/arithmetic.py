@@ -1,0 +1,258 @@
+"""Arithmetic benchmark generators (EPFL-suite stand-ins).
+
+Each function builds a complete MIG for one of the arithmetic benchmarks
+in the paper's Table I: ``adder``, ``bar``, ``div``, ``max``,
+``multiplier``, ``sqrt``, ``square`` (``log2`` and ``sin`` live in
+:mod:`repro.synth.cordic`).  Widths are parameters so the same generator
+produces the paper-scale circuit and tractable test/bench versions; the
+registry (:mod:`repro.synth.registry`) holds the presets.
+
+Every generator has a bit-exact Python *model* function next to it
+(``*_model``) describing the implemented register-transfer behaviour;
+the test suite checks circuit-vs-model on random vectors and, where a
+natural mathematical spec exists (``divmod``, ``math.isqrt``, ...),
+model-vs-spec as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..mig.graph import Mig
+from ..mig.signal import CONST0, CONST1, complement
+from . import blocks
+from .blocks import Word
+from .elaborate import new_mig
+
+
+# ----------------------------------------------------------------------
+# adder
+# ----------------------------------------------------------------------
+
+def build_adder(width: int = 128, elaborated: bool = True) -> Mig:
+    """Ripple-carry adder: ``2*width`` inputs, ``width + 1`` outputs.
+
+    Matches the EPFL ``adder`` interface (256/129 at ``width=128``).
+    """
+    mig = new_mig(f"adder{width}", elaborated)
+    a = [mig.add_pi(f"a{i}") for i in range(width)]
+    b = [mig.add_pi(f"b{i}") for i in range(width)]
+    total, carry = blocks.ripple_add(mig, a, b)
+    for i, bit in enumerate(total):
+        mig.add_po(bit, f"s{i}")
+    mig.add_po(carry, f"s{width}")
+    return mig
+
+
+def adder_model(a: int, b: int, width: int) -> int:
+    """Reference: ``(a + b)`` over ``width + 1`` output bits."""
+    return (a + b) & ((1 << (width + 1)) - 1)
+
+
+# ----------------------------------------------------------------------
+# bar (barrel shifter)
+# ----------------------------------------------------------------------
+
+def build_bar(width: int = 128, shift_bits: int = 7, elaborated: bool = True) -> Mig:
+    """Rotating barrel shifter: ``width + shift_bits`` inputs, ``width``
+    outputs (135/128 at the EPFL shape ``width=128, shift_bits=7``)."""
+    mig = new_mig(f"bar{width}", elaborated)
+    data = [mig.add_pi(f"d{i}") for i in range(width)]
+    amount = [mig.add_pi(f"s{i}") for i in range(shift_bits)]
+    rotated = blocks.barrel_shift_left(mig, data, amount, rotate=True)
+    for i, bit in enumerate(rotated):
+        mig.add_po(bit, f"q{i}")
+    return mig
+
+
+def bar_model(data: int, amount: int, width: int) -> int:
+    """Reference: rotate-left of *data* by *amount* modulo *width*."""
+    amount %= width
+    mask = (1 << width) - 1
+    return ((data << amount) | (data >> (width - amount))) & mask
+
+
+# ----------------------------------------------------------------------
+# div (restoring array divider)
+# ----------------------------------------------------------------------
+
+def build_div(width: int = 64, elaborated: bool = True) -> Mig:
+    """Restoring divider: quotient and remainder of ``width``-bit operands.
+
+    ``2*width`` inputs, ``2*width`` outputs (128/128 at ``width=64``),
+    matching the EPFL ``div`` interface.  One subtract-compare-mux row per
+    quotient bit gives the deep, strongly serial structure that makes
+    ``div`` the hardest endurance case in the paper's Table I.
+    """
+    mig = new_mig(f"div{width}", elaborated)
+    dividend = [mig.add_pi(f"n{i}") for i in range(width)]
+    divisor = [mig.add_pi(f"d{i}") for i in range(width)]
+
+    w = width + 1  # remainder register: one guard bit
+    divisor_ext = blocks.zero_extend(divisor, w)
+    remainder: Word = blocks.constant_word(0, w)
+    quotient: List[int] = [CONST0] * width
+
+    for step in range(width - 1, -1, -1):
+        shifted = [dividend[step]] + remainder[:-1]  # (R << 1) | n_step
+        diff, borrow = blocks.ripple_sub(mig, shifted, divisor_ext)
+        quotient[step] = complement(borrow)  # 1 iff shifted >= divisor
+        remainder = blocks.mux_word(mig, borrow, shifted, diff)
+
+    for i in range(width):
+        mig.add_po(quotient[i], f"q{i}")
+    for i in range(width):
+        mig.add_po(remainder[i], f"r{i}")
+    return mig
+
+
+def div_model(dividend: int, divisor: int, width: int) -> Tuple[int, int]:
+    """Bit-exact register model of :func:`build_div`.
+
+    Equals ``divmod`` for nonzero divisors; for a zero divisor the
+    hardware yields an all-ones quotient and a remainder equal to the
+    shifted-in dividend bits (the natural restoring-divider behaviour).
+    """
+    w = width + 1
+    mask = (1 << w) - 1
+    remainder = 0
+    quotient = 0
+    for step in range(width - 1, -1, -1):
+        shifted = ((remainder << 1) | ((dividend >> step) & 1)) & mask
+        if shifted >= divisor:
+            quotient |= 1 << step
+            remainder = (shifted - divisor) & mask
+        else:
+            remainder = shifted
+    return quotient, remainder & ((1 << width) - 1)
+
+
+# ----------------------------------------------------------------------
+# max (4-operand maximum with index)
+# ----------------------------------------------------------------------
+
+def build_max(width: int = 128, operands: int = 4, elaborated: bool = True) -> Mig:
+    """Maximum of *operands* unsigned words plus the argmax index.
+
+    ``operands * width`` inputs, ``width + log2(operands)`` outputs
+    (512/130 at the EPFL shape ``width=128, operands=4``).  Ties resolve
+    to the lowest operand index.
+    """
+    if operands != 4:
+        raise ValueError("the EPFL max benchmark shape uses 4 operands")
+    mig = new_mig(f"max{width}", elaborated)
+    words = [
+        [mig.add_pi(f"x{k}_{i}") for i in range(width)] for k in range(operands)
+    ]
+    m01, s01 = blocks.max_word(mig, words[0], words[1])
+    m23, s23 = blocks.max_word(mig, words[2], words[3])
+    best, s_final = blocks.max_word(mig, m01, m23)
+    idx0 = mig.add_mux(s_final, s23, s01)
+    for i, bit in enumerate(best):
+        mig.add_po(bit, f"m{i}")
+    mig.add_po(idx0, "idx0")
+    mig.add_po(s_final, "idx1")
+    return mig
+
+
+def max_model(values: List[int]) -> Tuple[int, int]:
+    """Reference: ``(max, lowest argmax index)`` of four values."""
+    best = max(values)
+    return best, values.index(best)
+
+
+# ----------------------------------------------------------------------
+# multiplier / square
+# ----------------------------------------------------------------------
+
+def build_multiplier(width: int = 64, elaborated: bool = True) -> Mig:
+    """Array multiplier: ``2*width`` inputs, ``2*width`` outputs
+    (128/128 at the EPFL shape ``width=64``)."""
+    mig = new_mig(f"multiplier{width}", elaborated)
+    a = [mig.add_pi(f"a{i}") for i in range(width)]
+    b = [mig.add_pi(f"b{i}") for i in range(width)]
+    product = blocks.multiply(mig, a, b)
+    for i, bit in enumerate(product):
+        mig.add_po(bit, f"p{i}")
+    return mig
+
+
+def multiplier_model(a: int, b: int) -> int:
+    """Reference: plain integer product."""
+    return a * b
+
+
+def build_square(width: int = 64, elaborated: bool = True) -> Mig:
+    """Squarer: ``width`` inputs, ``2*width`` outputs
+    (64/128 at the EPFL shape ``width=64``)."""
+    mig = new_mig(f"square{width}", elaborated)
+    a = [mig.add_pi(f"a{i}") for i in range(width)]
+    product = blocks.square(mig, a)
+    for i, bit in enumerate(product):
+        mig.add_po(bit, f"p{i}")
+    return mig
+
+
+def square_model(a: int) -> int:
+    """Reference: ``a * a``."""
+    return a * a
+
+
+# ----------------------------------------------------------------------
+# sqrt (restoring square root)
+# ----------------------------------------------------------------------
+
+def build_sqrt(width: int = 128, elaborated: bool = True) -> Mig:
+    """Restoring integer square root: ``width`` inputs, ``width // 2``
+    outputs (128/64 at the EPFL shape ``width=128``).
+
+    Digit-recurrence: per output bit, shift in two radicand bits, try
+    ``rem - (4*root + 1)``, keep on success.
+    """
+    if width % 2:
+        raise ValueError("sqrt width must be even")
+    mig = new_mig(f"sqrt{width}", elaborated)
+    x = [mig.add_pi(f"x{i}") for i in range(width)]
+    out_w = width // 2
+    w = width + 2  # working register width (rem and trial)
+
+    remainder: Word = blocks.constant_word(0, w)
+    root: Word = blocks.constant_word(0, w)
+
+    for step in range(out_w - 1, -1, -1):
+        shifted = [x[2 * step], x[2 * step + 1]] + remainder[:-2]  # rem<<2|bits
+        trial = [CONST1, CONST0] + root[:-2]  # (root << 2) | 1
+        diff, borrow = blocks.ripple_sub(mig, shifted, trial)
+        keep = complement(borrow)  # shifted >= trial
+        remainder = blocks.mux_word(mig, borrow, shifted, diff)
+        root = [keep] + root[:-1]  # root = (root << 1) | keep
+
+    for i in range(out_w):
+        mig.add_po(root[i], f"r{i}")
+    return mig
+
+
+def sqrt_model(x: int, width: int) -> int:
+    """Reference: ``math.isqrt`` (the register model is exact for all
+    inputs — no overflow is possible at ``width + 2`` working bits)."""
+    import math
+
+    return math.isqrt(x)
+
+
+__all__ = [
+    "adder_model",
+    "bar_model",
+    "build_adder",
+    "build_bar",
+    "build_div",
+    "build_max",
+    "build_multiplier",
+    "build_sqrt",
+    "build_square",
+    "div_model",
+    "max_model",
+    "multiplier_model",
+    "sqrt_model",
+    "square_model",
+]

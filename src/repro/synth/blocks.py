@@ -1,0 +1,386 @@
+"""Word-level combinational building blocks over MIG signals.
+
+All functions take a :class:`~repro.mig.graph.Mig` under construction plus
+*words* — lists of signals, least-significant bit first — and return new
+words/signals.  The benchmark generators in :mod:`repro.synth.arithmetic`,
+:mod:`repro.synth.cordic`, and :mod:`repro.synth.control` are built
+entirely from these primitives, and every primitive is unit-tested
+bit-exactly against Python integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..mig.bitvec import full_adder, half_adder, popcount
+from ..mig.graph import Mig
+from ..mig.signal import CONST0, CONST1, complement
+
+Word = List[int]
+
+
+# ----------------------------------------------------------------------
+# Constants, shaping
+# ----------------------------------------------------------------------
+
+def constant_word(value: int, width: int) -> Word:
+    """Constant *value* as a *width*-bit word."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def zero_extend(word: Sequence[int], width: int) -> Word:
+    """Pad *word* with constant zeros up to *width* bits."""
+    if len(word) > width:
+        raise ValueError("word longer than target width")
+    return list(word) + [CONST0] * (width - len(word))
+
+
+def truncate(word: Sequence[int], width: int) -> Word:
+    """Keep the low *width* bits."""
+    return list(word[:width])
+
+
+def not_word(word: Sequence[int]) -> Word:
+    """Bitwise complement."""
+    return [complement(b) for b in word]
+
+
+# ----------------------------------------------------------------------
+# Bitwise words
+# ----------------------------------------------------------------------
+
+def and_word(mig: Mig, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Bitwise AND of equal-width words."""
+    _check_same_width(a, b)
+    return [mig.add_and(x, y) for x, y in zip(a, b)]
+
+
+def or_word(mig: Mig, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Bitwise OR of equal-width words."""
+    _check_same_width(a, b)
+    return [mig.add_or(x, y) for x, y in zip(a, b)]
+
+
+def xor_word(mig: Mig, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Bitwise XOR of equal-width words."""
+    _check_same_width(a, b)
+    return [mig.add_xor(x, y) for x, y in zip(a, b)]
+
+
+def mux_word(mig: Mig, sel: int, t: Sequence[int], e: Sequence[int]) -> Word:
+    """Per-bit multiplexer: ``sel ? t : e``."""
+    _check_same_width(t, e)
+    return [mig.add_mux(sel, x, y) for x, y in zip(t, e)]
+
+
+def reduce_or(mig: Mig, word: Sequence[int]) -> int:
+    """OR of all bits (balanced tree)."""
+    return _reduce_tree(mig.add_or, list(word), CONST0)
+
+
+def reduce_and(mig: Mig, word: Sequence[int]) -> int:
+    """AND of all bits (balanced tree)."""
+    return _reduce_tree(mig.add_and, list(word), CONST1)
+
+
+def reduce_xor(mig: Mig, word: Sequence[int]) -> int:
+    """XOR of all bits (balanced tree)."""
+    return _reduce_tree(mig.add_xor, list(word), CONST0)
+
+
+def _reduce_tree(op, bits: List[int], identity: int) -> int:
+    if not bits:
+        return identity
+    while len(bits) > 1:
+        nxt = []
+        for i in range(0, len(bits) - 1, 2):
+            nxt.append(op(bits[i], bits[i + 1]))
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    return bits[0]
+
+
+# ----------------------------------------------------------------------
+# Addition / subtraction / comparison
+# ----------------------------------------------------------------------
+
+def ripple_add(
+    mig: Mig, a: Sequence[int], b: Sequence[int], carry_in: int = CONST0
+) -> Tuple[Word, int]:
+    """Ripple-carry addition; returns ``(sum_word, carry_out)``.
+
+    The majority-native full adder makes this the canonical PLiM workload:
+    each bit contributes one carry majority plus two sum majorities.
+    """
+    _check_same_width(a, b)
+    carry = carry_in
+    total: Word = []
+    for x, y in zip(a, b):
+        s, carry = full_adder(mig, x, y, carry)
+        total.append(s)
+    return total, carry
+
+
+def ripple_sub(
+    mig: Mig, a: Sequence[int], b: Sequence[int]
+) -> Tuple[Word, int]:
+    """``a - b`` (two's complement); returns ``(difference, borrow)``.
+
+    ``borrow`` is 1 when ``a < b`` (unsigned).
+    """
+    diff, carry = ripple_add(mig, a, not_word(b), CONST1)
+    return diff, complement(carry)
+
+
+def increment(mig: Mig, a: Sequence[int]) -> Tuple[Word, int]:
+    """``a + 1``; returns ``(sum, carry_out)``."""
+    carry = CONST1
+    out: Word = []
+    for x in a:
+        s, carry = half_adder(mig, x, carry)
+        out.append(s)
+    return out, carry
+
+
+def negate(mig: Mig, a: Sequence[int]) -> Word:
+    """Two's-complement negation (``-a``), same width."""
+    out, _ = increment(mig, not_word(a))
+    return out
+
+
+def equals_word(mig: Mig, a: Sequence[int], b: Sequence[int]) -> int:
+    """1 iff the two words are equal."""
+    _check_same_width(a, b)
+    return reduce_and(mig, [mig.add_xnor(x, y) for x, y in zip(a, b)])
+
+
+def less_than(mig: Mig, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned ``a < b`` (the subtraction borrow)."""
+    _, borrow = ripple_sub(mig, a, b)
+    return borrow
+
+
+def greater_equal(mig: Mig, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned ``a >= b``."""
+    return complement(less_than(mig, a, b))
+
+
+def add_signed_overflowless(
+    mig: Mig, a: Sequence[int], b: Sequence[int]
+) -> Word:
+    """Two's-complement addition discarding the carry (same width)."""
+    total, _ = ripple_add(mig, a, b)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Shifts
+# ----------------------------------------------------------------------
+
+def shift_left_const(word: Sequence[int], amount: int) -> Word:
+    """Logical left shift by a constant, same width."""
+    if amount <= 0:
+        return list(word)
+    return ([CONST0] * amount + list(word))[: len(word)]
+
+
+def shift_right_const(word: Sequence[int], amount: int) -> Word:
+    """Logical right shift by a constant, same width."""
+    if amount <= 0:
+        return list(word)
+    return list(word[amount:]) + [CONST0] * min(amount, len(word))
+
+
+def barrel_shift_left(
+    mig: Mig, word: Sequence[int], amount: Sequence[int], rotate: bool = False
+) -> Word:
+    """Logical (or rotating) left shift by a variable amount.
+
+    Classic logarithmic barrel shifter: one mux stage per amount bit.
+    """
+    current = list(word)
+    width = len(word)
+    for stage, sel in enumerate(amount):
+        k = 1 << stage
+        if rotate:
+            shifted = [current[(i - k) % width] for i in range(width)]
+        else:
+            shifted = shift_left_const(current, k)
+        current = mux_word(mig, sel, shifted, current)
+    return current
+
+
+def barrel_shift_right(
+    mig: Mig, word: Sequence[int], amount: Sequence[int], rotate: bool = False
+) -> Word:
+    """Logical (or rotating) right shift by a variable amount."""
+    current = list(word)
+    width = len(word)
+    for stage, sel in enumerate(amount):
+        k = 1 << stage
+        if rotate:
+            shifted = [current[(i + k) % width] for i in range(width)]
+        else:
+            shifted = shift_right_const(current, k)
+        current = mux_word(mig, sel, shifted, current)
+    return current
+
+
+# ----------------------------------------------------------------------
+# Multiplication
+# ----------------------------------------------------------------------
+
+def _reduce_columns(mig: Mig, columns: List[List[int]], width: int) -> Word:
+    """Wallace-style carry-save reduction of a partial-product matrix.
+
+    All columns are compressed 3:2 *simultaneously* per level (the tree
+    stays wide and shallow, like the EPFL ``multiplier``); a final ripple
+    adder resolves the remaining two rows.
+    """
+    while any(len(col) > 2 for col in columns):
+        next_columns: List[List[int]] = [[] for _ in range(width + 1)]
+        for weight, col in enumerate(columns):
+            pending = list(col)
+            while len(pending) >= 3:
+                x, y, z = pending.pop(), pending.pop(), pending.pop()
+                s, cy = full_adder(mig, x, y, z)
+                next_columns[weight].append(s)
+                next_columns[weight + 1].append(cy)
+            next_columns[weight].extend(pending)
+        columns = [col for col in next_columns[:width]]
+    row_a = [col[0] if len(col) >= 1 else CONST0 for col in columns]
+    row_b = [col[1] if len(col) >= 2 else CONST0 for col in columns]
+    total, _carry = ripple_add(mig, row_a, row_b)
+    return total[:width]
+
+
+def multiply(mig: Mig, a: Sequence[int], b: Sequence[int]) -> Word:
+    """Unsigned multiplication; result has ``len(a) + len(b)`` bits.
+
+    Partial products are reduced with parallel 3:2 compressors
+    (carry-save / Wallace reduction) and a final ripple adder — the
+    wide-and-shallow structure the EPFL ``multiplier`` benchmark exhibits.
+    """
+    wa, wb = len(a), len(b)
+    if wa == 0 or wb == 0:
+        return []
+    width = wa + wb
+    columns: List[List[int]] = [[] for _ in range(width)]
+    for i, x in enumerate(a):
+        for j, y in enumerate(b):
+            columns[i + j].append(mig.add_and(x, y))
+    return _reduce_columns(mig, columns, width)
+
+
+def square(mig: Mig, a: Sequence[int]) -> Word:
+    """Unsigned squaring with the folded partial-product optimisation.
+
+    ``a_i & a_i = a_i`` on the diagonal and symmetric cross terms are
+    shared (``a_i a_j`` appears twice → shifted once), roughly halving the
+    partial products relative to a general multiplication.
+    """
+    w = len(a)
+    if w == 0:
+        return []
+    width = 2 * w
+    columns: List[List[int]] = [[] for _ in range(width)]
+    for i in range(w):
+        columns[2 * i].append(a[i])  # diagonal: a_i * a_i = a_i
+        for j in range(i + 1, w):
+            prod = mig.add_and(a[i], a[j])
+            columns[i + j + 1].append(prod)  # doubled cross term
+    return _reduce_columns(mig, columns, width)
+
+
+# ----------------------------------------------------------------------
+# Encoders / decoders
+# ----------------------------------------------------------------------
+
+def decoder(mig: Mig, sel: Sequence[int]) -> Word:
+    """Full ``n -> 2^n`` decoder (one-hot outputs, index order)."""
+    outputs = [CONST1]
+    for bit in sel:
+        expanded: Word = []
+        for term in outputs:
+            expanded.append(mig.add_and(term, complement(bit)))
+        for term in outputs:
+            expanded.append(mig.add_and(term, bit))
+        outputs = expanded
+    return outputs
+
+
+def priority_encoder(
+    mig: Mig, requests: Sequence[int]
+) -> Tuple[Word, int]:
+    """Highest-index-wins priority encoder.
+
+    Returns ``(index_word, valid)`` where ``index_word`` has
+    ``ceil(log2(len(requests)))`` bits and ``valid`` is 1 when any request
+    is asserted.
+    """
+    n = len(requests)
+    bits = max(1, (n - 1).bit_length())
+    index = constant_word(0, bits)
+    for i in range(n):  # low to high: later (higher) indices override
+        here = constant_word(i, bits)
+        index = mux_word(mig, requests[i], here, index)
+    valid = reduce_or(mig, requests)
+    return index, valid
+
+
+def leading_one_position(mig: Mig, word: Sequence[int]) -> Tuple[Word, int]:
+    """Position of the most significant set bit (a priority encode)."""
+    return priority_encoder(mig, word)
+
+
+# ----------------------------------------------------------------------
+# Misc
+# ----------------------------------------------------------------------
+
+def max_word(
+    mig: Mig, a: Sequence[int], b: Sequence[int]
+) -> Tuple[Word, int]:
+    """Unsigned maximum; returns ``(max, b_wins)``."""
+    b_wins = less_than(mig, a, b)
+    return mux_word(mig, b_wins, b, a), b_wins
+
+
+def _check_same_width(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+
+
+__all__ = [
+    "Word",
+    "and_word",
+    "add_signed_overflowless",
+    "barrel_shift_left",
+    "barrel_shift_right",
+    "constant_word",
+    "decoder",
+    "equals_word",
+    "greater_equal",
+    "increment",
+    "leading_one_position",
+    "less_than",
+    "max_word",
+    "multiply",
+    "mux_word",
+    "negate",
+    "not_word",
+    "or_word",
+    "popcount",
+    "priority_encoder",
+    "reduce_and",
+    "reduce_or",
+    "reduce_xor",
+    "ripple_add",
+    "ripple_sub",
+    "shift_left_const",
+    "shift_right_const",
+    "square",
+    "truncate",
+    "xor_word",
+    "zero_extend",
+]

@@ -1,0 +1,273 @@
+"""Control-logic benchmark generators (EPFL-suite stand-ins).
+
+The paper's control benchmarks split into two groups:
+
+* circuits whose function is fully determined by their name —
+  ``dec`` (decoder), ``priority`` (priority encoder), ``voter``
+  (n-way majority), ``int2float`` (integer-to-float converter) — are
+  implemented *exactly*;
+* "random control functions" extracted from real designs —
+  ``cavlc``, ``ctrl``, ``i2c``, ``mem_ctrl``, ``router`` — for which we
+  have no netlists offline.  These are substituted by deterministic,
+  seeded control-logic networks (:func:`random_control_network`) with
+  the same PI/PO shape and a comparable gate mix: cascaded muxes,
+  comparators, and and-or decision logic with random complemented edges.
+  The endurance techniques act on structural properties (fanout and
+  complement distributions, level spread), which the generator's
+  locality and mix knobs reproduce; DESIGN.md §4 documents the
+  substitution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..mig.bitvec import popcount_threshold
+from ..mig.graph import Mig
+from ..mig.signal import complement
+from . import blocks
+from .elaborate import new_mig
+
+
+# ----------------------------------------------------------------------
+# Exact circuits
+# ----------------------------------------------------------------------
+
+def build_dec(sel_bits: int = 8, elaborated: bool = True) -> Mig:
+    """Full decoder: ``sel_bits`` inputs, ``2**sel_bits`` one-hot outputs
+    (8/256 at the EPFL shape)."""
+    mig = new_mig(f"dec{sel_bits}", elaborated)
+    sel = [mig.add_pi(f"s{i}") for i in range(sel_bits)]
+    for i, line in enumerate(blocks.decoder(mig, sel)):
+        mig.add_po(line, f"d{i}")
+    return mig
+
+
+def dec_model(sel: int, sel_bits: int) -> int:
+    """Reference: one-hot word with bit *sel* set."""
+    return 1 << sel
+
+
+def build_priority(width: int = 128, elaborated: bool = True) -> Mig:
+    """Priority encoder: ``width`` inputs, ``log2(width) + 1`` outputs
+    (128/8 at the EPFL shape).  Highest asserted index wins."""
+    mig = new_mig(f"priority{width}", elaborated)
+    requests = [mig.add_pi(f"r{i}") for i in range(width)]
+    index, valid = blocks.priority_encoder(mig, requests)
+    for i, bit in enumerate(index):
+        mig.add_po(bit, f"i{i}")
+    mig.add_po(valid, "valid")
+    return mig
+
+
+def priority_model(requests: int, width: int) -> tuple:
+    """Reference: ``(highest set index or 0, any set)``."""
+    if requests == 0:
+        return 0, 0
+    return requests.bit_length() - 1, 1
+
+
+def build_voter(inputs: int = 1001, elaborated: bool = True) -> Mig:
+    """n-way majority voter: *inputs* inputs, 1 output
+    (1001/1 at the EPFL shape).  Popcount tree plus threshold compare."""
+    if inputs % 2 == 0:
+        raise ValueError("voter needs an odd number of inputs")
+    mig = new_mig(f"voter{inputs}", elaborated)
+    votes = [mig.add_pi(f"v{i}") for i in range(inputs)]
+    mig.add_po(popcount_threshold(mig, votes, inputs // 2 + 1), "maj")
+    return mig
+
+
+def voter_model(votes: int, inputs: int) -> int:
+    """Reference: 1 iff more than half the vote bits are set."""
+    return 1 if bin(votes).count("1") > inputs // 2 else 0
+
+
+def build_int2float(
+    int_bits: int = 11, exp_bits: int = 4, man_bits: int = 3,
+    elaborated: bool = True,
+) -> Mig:
+    """Unsigned integer to tiny float: 11 inputs, 7 outputs at the EPFL
+    ``int2float`` shape (4-bit exponent + 3-bit mantissa).
+
+    ``value = mantissa_with_hidden_one * 2^(exp - 1)``; zero maps to
+    all-zero output; mantissa bits below the window are truncated.
+    """
+    if exp_bits + man_bits != 7 and int_bits == 11:
+        raise ValueError("EPFL int2float shape is 4+3 output bits")
+    mig = new_mig(f"int2float{int_bits}", elaborated)
+    x = [mig.add_pi(f"x{i}") for i in range(int_bits)]
+
+    msb, valid = blocks.priority_encoder(mig, x)
+    # exponent = msb + 1 when valid else 0
+    exp_raw, _ = blocks.increment(mig, blocks.zero_extend(msb, exp_bits))
+    exponent = [mig.add_and(b, valid) for b in exp_raw[:exp_bits]]
+
+    # mantissa: the man_bits bits right below the leading one —
+    # left-normalise then take the window under the MSB position.
+    shift_amount, _ = blocks.ripple_sub(
+        mig, blocks.constant_word(int_bits - 1, len(msb)), msb
+    )
+    normalised = blocks.barrel_shift_left(mig, x, shift_amount)
+    window = normalised[int_bits - 1 - man_bits : int_bits - 1]
+    mantissa = [mig.add_and(b, valid) for b in window]
+
+    for i, bit in enumerate(exponent):
+        mig.add_po(bit, f"e{i}")
+    for i, bit in enumerate(mantissa):
+        mig.add_po(bit, f"m{i}")
+    return mig
+
+
+def int2float_model(x: int, int_bits: int = 11, man_bits: int = 3) -> tuple:
+    """Reference: ``(exponent, mantissa)`` of :func:`build_int2float`."""
+    if x == 0:
+        return 0, 0
+    msb = x.bit_length() - 1
+    exponent = msb + 1
+    normalised = x << (int_bits - 1 - msb)
+    mantissa = (normalised >> (int_bits - 1 - man_bits)) & ((1 << man_bits) - 1)
+    return exponent, mantissa
+
+
+# ----------------------------------------------------------------------
+# Seeded control networks (cavlc / ctrl / i2c / mem_ctrl / router)
+# ----------------------------------------------------------------------
+
+#: Gate mix of the seeded generator: (kind, weight).  Mux-heavy with
+#: and-or decision logic, resembling extracted controller cones.
+_GATE_MIX = (
+    ("and", 4),
+    ("or", 4),
+    ("xor", 2),
+    ("maj", 2),
+    ("mux", 4),
+)
+
+
+def random_control_network(
+    name: str,
+    num_pis: int,
+    num_pos: int,
+    num_gates: int,
+    seed: int,
+    locality: int = 48,
+    complement_prob: float = 0.25,
+    elaborated: bool = True,
+) -> Mig:
+    """Deterministic, seeded control-logic network.
+
+    Gates draw operands preferentially from recently created signals
+    (*locality* controls the window), producing the layered, cone-like
+    structure of real controller logic; edges are complemented with
+    probability *complement_prob* (real control netlists are inverter
+    rich).  Outputs are drawn from the deepest part of the network so
+    every output cone is non-trivial.
+    """
+    rng = random.Random(seed)
+    mig = new_mig(name, elaborated)
+    pool: List[int] = [mig.add_pi(f"x{i}") for i in range(num_pis)]
+
+    kinds = [k for k, w in _GATE_MIX for _ in range(w)]
+
+    def pick_operand() -> int:
+        if len(pool) > locality and rng.random() < 0.7:
+            sig = pool[rng.randrange(len(pool) - locality, len(pool))]
+        else:
+            sig = pool[rng.randrange(len(pool))]
+        if rng.random() < complement_prob:
+            sig = complement(sig)
+        return sig
+
+    created = 0
+    guard = 0
+    while created < num_gates and guard < num_gates * 20:
+        guard += 1
+        kind = kinds[rng.randrange(len(kinds))]
+        a, b = pick_operand(), pick_operand()
+        if kind == "and":
+            sig = mig.add_and(a, b)
+        elif kind == "or":
+            sig = mig.add_or(a, b)
+        elif kind == "xor":
+            sig = mig.add_xor(a, b)
+        elif kind == "maj":
+            sig = mig.add_maj(a, b, pick_operand())
+        else:  # mux
+            sig = mig.add_mux(pick_operand(), a, b)
+        if sig in pool or sig <= 1:
+            continue  # simplified away; try again
+        pool.append(sig)
+        created += 1
+
+    # Outputs: sample without replacement from the deepest half.
+    deep_start = max(num_pis, len(pool) - max(num_pos * 2, len(pool) // 2))
+    candidates = pool[deep_start:]
+    rng.shuffle(candidates)
+    while len(candidates) < num_pos:  # tiny networks: allow reuse
+        candidates.append(pool[rng.randrange(num_pis, len(pool))])
+    for i in range(num_pos):
+        sig = candidates[i]
+        if rng.random() < complement_prob:
+            sig = complement(sig)
+        mig.add_po(sig, f"y{i}")
+    return mig
+
+
+def build_cavlc(num_gates: int = 650, seed: int = 0xCA71C) -> Mig:
+    """CAVLC coefficient-token controller stand-in (10/11)."""
+    return random_control_network("cavlc", 10, 11, num_gates, seed, locality=24)
+
+
+def build_ctrl(num_gates: int = 150, seed: int = 0xC791) -> Mig:
+    """ALU control unit stand-in (7/26)."""
+    return random_control_network("ctrl", 7, 26, num_gates, seed, locality=16)
+
+
+def build_i2c(
+    num_pis: int = 147, num_pos: int = 142, num_gates: int = 1200,
+    seed: int = 0x12C,
+) -> Mig:
+    """I2C controller stand-in (147/142 at the paper shape)."""
+    return random_control_network(
+        "i2c", num_pis, num_pos, num_gates, seed, locality=64
+    )
+
+
+def build_mem_ctrl(
+    num_pis: int = 1204, num_pos: int = 1231, num_gates: int = 9000,
+    seed: int = 0x3E3C,
+) -> Mig:
+    """DRAM memory-controller stand-in (1204/1231 at the paper shape)."""
+    return random_control_network(
+        "mem_ctrl", num_pis, num_pos, num_gates, seed, locality=128
+    )
+
+
+def build_router(
+    num_pis: int = 60, num_pos: int = 30, num_gates: int = 260,
+    seed: int = 0x40073,
+) -> Mig:
+    """Lookup-table router stand-in (60/30)."""
+    return random_control_network(
+        "router", num_pis, num_pos, num_gates, seed, locality=32
+    )
+
+
+__all__ = [
+    "build_cavlc",
+    "build_ctrl",
+    "build_dec",
+    "build_i2c",
+    "build_int2float",
+    "build_mem_ctrl",
+    "build_priority",
+    "build_router",
+    "build_voter",
+    "dec_model",
+    "int2float_model",
+    "priority_model",
+    "random_control_network",
+    "voter_model",
+]

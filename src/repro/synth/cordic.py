@@ -1,0 +1,209 @@
+"""CORDIC-style generators for the ``sin`` and ``log2`` benchmarks.
+
+The EPFL ``sin`` (24/25) and ``log2`` (32/32) circuits are fixed-point
+function evaluators.  We reproduce them with the textbook hardware
+algorithms — CORDIC rotation for sine, leading-one normalisation plus
+squaring digit-recurrence for the base-2 logarithm — parameterised by
+width so tests can run scaled-down instances.
+
+Both builders come with bit-exact integer models (``sin_model``,
+``log2_model``) replicating every truncation of the datapath; tests check
+circuit-vs-model exactly and model-vs-``math`` within an approximation
+tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..mig.graph import Mig
+from ..mig.signal import CONST0, complement
+from . import blocks
+from .blocks import Word
+from .elaborate import new_mig
+
+
+# ----------------------------------------------------------------------
+# sin — CORDIC rotation mode
+# ----------------------------------------------------------------------
+
+def _cordic_parameters(width: int, guard: int = 2) -> Tuple[int, int, List[int], int]:
+    """Shared fixed-point parameters for the circuit and the model.
+
+    Returns ``(internal_width, frac_bits, angle_table, x0)``:
+
+    * amplitudes (x, y) are signed, ``internal_width`` bits with
+      ``frac_bits`` fractional bits;
+    * the residual angle z is kept in *quarter-circle units*: the input
+      word itself (no multiplication by pi/2 needed), extended by a sign
+      bit; the table holds ``atan(2^-i)`` in the same units;
+    * ``x0`` is the CORDIC gain correction ``K = prod(1/sqrt(1+2^-2i))``.
+    """
+    iterations = width
+    frac_bits = width
+    internal = width + 2 + guard
+    quarter = math.pi / 2
+    table = [
+        round(math.atan(2.0 ** -i) / quarter * (1 << width))
+        for i in range(iterations)
+    ]
+    gain = 1.0
+    for i in range(iterations):
+        gain *= math.sqrt(1.0 + 2.0 ** (-2 * i))
+    x0 = round((1.0 / gain) * (1 << frac_bits))
+    return internal, frac_bits, table, x0
+
+
+def _shift_right_arith(word: Word, amount: int) -> Word:
+    """Arithmetic right shift by a constant (sign extension)."""
+    if amount <= 0:
+        return list(word)
+    sign = word[-1]
+    return list(word[amount:]) + [sign] * min(amount, len(word))
+
+
+def _add_or_sub(mig: Mig, a: Word, b: Word, sub: int) -> Word:
+    """``a + b`` when ``sub = 0``; ``a - b`` when ``sub = 1`` (same width)."""
+    b_adj = [mig.add_xor(bit, sub) for bit in b]
+    total, _ = blocks.ripple_add(mig, a, b_adj, carry_in=sub)
+    return total
+
+
+def build_sin(width: int = 24, elaborated: bool = True) -> Mig:
+    """CORDIC sine: ``width`` inputs, ``width + 1`` outputs
+    (24/25 at the EPFL shape ``width=24``).
+
+    The input word is an angle in ``[0, pi/2)`` expressed as a fraction of
+    the quarter circle (``theta = in / 2^width * pi/2``); the output is
+    ``sin(theta)`` with ``width`` fractional bits (so ``width + 1`` bits
+    total — ``sin`` can reach exactly 1).
+    """
+    internal, frac_bits, table, x0 = _cordic_parameters(width)
+    mig = new_mig(f"sin{width}", elaborated)
+    angle = [mig.add_pi(f"a{i}") for i in range(width)]
+
+    # z in quarter-circle units, sign-extended into the internal width.
+    z: Word = blocks.zero_extend(angle, internal)
+    x: Word = blocks.constant_word(x0, internal)
+    y: Word = blocks.constant_word(0, internal)
+
+    for i, alpha in enumerate(table):
+        alpha_word = blocks.constant_word(alpha, internal)
+        neg = z[-1]  # z < 0: rotate the other way
+        pos = complement(neg)
+        x_shift = _shift_right_arith(x, i)
+        y_shift = _shift_right_arith(y, i)
+        # d = +1 when z >= 0:  z -= alpha, x -= y>>i, y += x>>i
+        # d = -1 when z <  0:  z += alpha, x += y>>i, y -= x>>i
+        z = _add_or_sub(mig, z, alpha_word, pos)
+        new_x = _add_or_sub(mig, x, y_shift, pos)
+        new_y = _add_or_sub(mig, y, x_shift, neg)
+        x, y = new_x, new_y
+
+    for i in range(frac_bits + 1):
+        mig.add_po(y[i], f"s{i}")
+    return mig
+
+
+def sin_model(angle: int, width: int) -> int:
+    """Bit-exact integer model of :func:`build_sin`."""
+    internal, frac_bits, table, x0 = _cordic_parameters(width)
+    mask = (1 << internal) - 1
+    sign_bit = 1 << (internal - 1)
+
+    def to_signed(v: int) -> int:
+        return v - (1 << internal) if v & sign_bit else v
+
+    z = angle
+    x = x0
+    y = 0
+    for i, alpha in enumerate(table):
+        if to_signed(z & mask) >= 0:
+            z, dx, dy = z - alpha, -(to_signed(y & mask) >> i), to_signed(
+                x & mask
+            ) >> i
+        else:
+            z, dx, dy = z + alpha, to_signed(y & mask) >> i, -(
+                to_signed(x & mask) >> i
+            )
+        x = (x + dx) & mask
+        y = (y + dy) & mask
+        z &= mask
+    return y & ((1 << (frac_bits + 1)) - 1)
+
+
+# ----------------------------------------------------------------------
+# log2 — normalisation + squaring digit recurrence
+# ----------------------------------------------------------------------
+
+def log2_output_bits(width: int, frac_bits: int) -> int:
+    """Number of outputs: integer part (priority encode) + fraction."""
+    return max(1, (width - 1).bit_length()) + frac_bits
+
+
+def build_log2(width: int = 32, frac_bits: int = 16, elaborated: bool = True) -> Mig:
+    """Fixed-point base-2 logarithm (32/21 at ``width=32, frac_bits=16``;
+    use ``frac_bits = 27`` for the EPFL 32/32 shape).
+
+    Integer part: position of the leading one (priority encoder).
+    Fraction: normalise the input to ``[1, 2)`` with a barrel shifter,
+    then extract one fraction bit per squaring step — ``m <- m^2``; if
+    ``m >= 2`` the next bit is 1 and ``m`` is renormalised.  For a zero
+    input every output is zero (the hardware convention here).
+    """
+    mig = new_mig(f"log2_{width}", elaborated)
+    x = [mig.add_pi(f"x{i}") for i in range(width)]
+
+    msb, _valid = blocks.priority_encoder(mig, x)
+    exp_bits = len(msb)
+
+    # Normalise: m = x << (width - 1 - msb); implemented as a right
+    # rotation... simplest correct form: shift left by (width-1) - msb.
+    shift_amount, _ = blocks.ripple_sub(
+        mig, blocks.constant_word(width - 1, exp_bits), msb
+    )
+    mantissa = blocks.barrel_shift_left(mig, x, shift_amount)
+
+    digits: List[int] = []
+    m: Word = mantissa  # width bits, implicit binary point after the MSB
+    for _ in range(frac_bits):
+        sq = blocks.square(mig, m)  # 2*width bits
+        digit = sq[2 * width - 1]  # m^2 >= 2 ?
+        digits.append(digit)
+        top = sq[width:]  # renormalised (divided by 2)
+        low = sq[width - 1 : 2 * width - 1]
+        m = blocks.mux_word(mig, digit, top, low)
+
+    for i in range(exp_bits):
+        mig.add_po(msb[i], f"e{i}")
+    for k, digit in enumerate(digits):
+        mig.add_po(digit, f"f{k}")  # f0 is the 1/2-weight bit
+    return mig
+
+
+def log2_model(x: int, width: int, frac_bits: int) -> Tuple[int, List[int]]:
+    """Bit-exact model of :func:`build_log2`: ``(exponent, digits)``."""
+    if x == 0:
+        return 0, [0] * frac_bits
+    msb = x.bit_length() - 1
+    m = (x << (width - 1 - msb)) & ((1 << width) - 1)
+    digits: List[int] = []
+    for _ in range(frac_bits):
+        sq = m * m
+        if sq >> (2 * width - 1):
+            digits.append(1)
+            m = sq >> width
+        else:
+            digits.append(0)
+            m = (sq >> (width - 1)) & ((1 << width) - 1)
+    return msb, digits
+
+
+__all__ = [
+    "build_log2",
+    "build_sin",
+    "log2_model",
+    "log2_output_bits",
+    "sin_model",
+]

@@ -1,0 +1,67 @@
+"""Elaborated (naive-translation) MIG construction.
+
+The paper's "naive" baseline compiles MIGs obtained by *translating* the
+EPFL benchmarks without any optimisation.  The EPFL suite is distributed
+as and-inverter graphs (AIGs), so a naive MIG translation maps every AND
+onto ``<a b 0>`` and every OR onto a complemented AND of complements —
+producing graphs full of multi-complemented nodes and no recovered
+majority structure.  That redundancy is precisely what the rewriting
+scripts (Algorithms 1 and 2) then remove.
+
+:class:`ElaboratingMig` reproduces this translation style:
+
+* structural hashing is **off** (naive translation does not share
+  recovered subexpressions; rewriting passes re-enable hashing when they
+  rebuild);
+* ``<a b 1>`` (OR) is built as ``~<~a ~b 0>`` (NAND of complements,
+  the AIG idiom);
+* full three-variable majorities are decomposed into AND/OR logic
+  (``maj(a,b,c) = ab + (a+b)c``), as a gate-level netlist would arrive.
+
+Builders in :mod:`repro.synth` construct benchmarks through this class by
+default, so "naive" compilations see translation-grade MIGs while the
+rewriting configurations measure realistic optimisation gains.  Pass
+``elaborated=False`` to any builder for the hand-optimised
+majority-native form instead.
+"""
+
+from __future__ import annotations
+
+from ..mig.graph import Mig
+from ..mig.signal import CONST0, complement
+
+
+class ElaboratingMig(Mig):
+    """MIG builder that mimics naive AIG-to-MIG benchmark translation."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name, use_strash=False)
+
+    def add_maj(self, a: int, b: int, c: int) -> int:
+        """Create a majority in AIG style.
+
+        Trivial identities still simplify (they never allocate);
+        AND-shaped calls stay ``<x y 0>``; OR-shaped calls become
+        complemented NANDs; full majorities decompose into four
+        AND-level nodes.
+        """
+        if not self.maj_would_allocate(a, b, c):
+            return super().add_maj(a, b, c)
+        operands = sorted((a, b, c))
+        if operands[0] == CONST0:
+            return super().add_maj(a, b, c)  # AND: the AIG primitive
+        if operands[0] == 1:  # OR(x, y) = ~(~x AND ~y)
+            x, y = operands[1], operands[2]
+            return complement(
+                super().add_maj(complement(x), complement(y), CONST0)
+            )
+        # Full majority: ab + (a + b)c, all through the AIG-style ops.
+        ab = self.add_maj(a, b, CONST0)
+        a_or_b = self.add_maj(a, b, 1)
+        bc = self.add_maj(a_or_b, c, CONST0)
+        return self.add_maj(ab, bc, 1)
+
+
+def new_mig(name: str, elaborated: bool) -> Mig:
+    """Factory used by the benchmark builders."""
+    return ElaboratingMig(name) if elaborated else Mig(name)

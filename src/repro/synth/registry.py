@@ -1,0 +1,173 @@
+"""Benchmark registry: the 18 functions of the paper's evaluation.
+
+Each entry names a generator plus three width presets:
+
+* ``tiny``    — seconds-scale, used by the unit/integration tests;
+* ``default`` — minutes-scale for the full 18x5 table harness on a laptop;
+* ``paper``   — the widths of the EPFL circuits the paper used (large
+  arithmetic instances take a while in pure Python).
+
+``PI/PO`` of the *paper* presets match Table I of the paper; scaled
+presets keep the structural character (see DESIGN.md §4 on the
+benchmark substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..mig.graph import Mig
+from . import arithmetic, control, cordic
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: generator, category, and per-preset parameters."""
+
+    name: str
+    builder: Callable[..., Mig]
+    category: str  # "arithmetic" | "control"
+    presets: Dict[str, dict]
+    paper_pi: int
+    paper_po: int
+
+    def build(self, preset: str = "default", **overrides) -> Mig:
+        """Instantiate the benchmark MIG."""
+        if preset not in self.presets:
+            raise ValueError(
+                f"benchmark {self.name!r} has no preset {preset!r}; "
+                f"choose from {sorted(self.presets)}"
+            )
+        params = dict(self.presets[preset])
+        params.update(overrides)
+        mig = self.builder(**params)
+        mig.name = self.name
+        return mig
+
+
+def _spec(name, builder, category, tiny, default, paper, pi, po):
+    return BenchmarkSpec(
+        name=name,
+        builder=builder,
+        category=category,
+        presets={"tiny": tiny, "default": default, "paper": paper},
+        paper_pi=pi,
+        paper_po=po,
+    )
+
+
+#: The 18 benchmarks of the paper's Table I, in table order.
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec(
+            "adder", arithmetic.build_adder, "arithmetic",
+            {"width": 8}, {"width": 32}, {"width": 128}, 256, 129,
+        ),
+        _spec(
+            "bar", arithmetic.build_bar, "arithmetic",
+            {"width": 8, "shift_bits": 3},
+            {"width": 32, "shift_bits": 5},
+            {"width": 128, "shift_bits": 7}, 135, 128,
+        ),
+        _spec(
+            "div", arithmetic.build_div, "arithmetic",
+            {"width": 4}, {"width": 12}, {"width": 64}, 128, 128,
+        ),
+        _spec(
+            "log2", cordic.build_log2, "arithmetic",
+            {"width": 8, "frac_bits": 3},
+            {"width": 16, "frac_bits": 8},
+            {"width": 32, "frac_bits": 27}, 32, 32,
+        ),
+        _spec(
+            "max", arithmetic.build_max, "arithmetic",
+            {"width": 8}, {"width": 32}, {"width": 128}, 512, 130,
+        ),
+        _spec(
+            "multiplier", arithmetic.build_multiplier, "arithmetic",
+            {"width": 6}, {"width": 16}, {"width": 64}, 128, 128,
+        ),
+        _spec(
+            "sin", cordic.build_sin, "arithmetic",
+            {"width": 8}, {"width": 14}, {"width": 24}, 24, 25,
+        ),
+        _spec(
+            "sqrt", arithmetic.build_sqrt, "arithmetic",
+            {"width": 8}, {"width": 24}, {"width": 128}, 128, 64,
+        ),
+        _spec(
+            "square", arithmetic.build_square, "arithmetic",
+            {"width": 8}, {"width": 16}, {"width": 64}, 64, 128,
+        ),
+        _spec(
+            "cavlc", control.build_cavlc, "control",
+            {"num_gates": 80}, {"num_gates": 650}, {"num_gates": 650},
+            10, 11,
+        ),
+        _spec(
+            "ctrl", control.build_ctrl, "control",
+            {"num_gates": 50}, {"num_gates": 150}, {"num_gates": 150},
+            7, 26,
+        ),
+        _spec(
+            "dec", control.build_dec, "control",
+            {"sel_bits": 4}, {"sel_bits": 8}, {"sel_bits": 8}, 8, 256,
+        ),
+        _spec(
+            "i2c", control.build_i2c, "control",
+            {"num_pis": 24, "num_pos": 22, "num_gates": 160},
+            {"num_pis": 48, "num_pos": 44, "num_gates": 420},
+            {"num_pis": 147, "num_pos": 142, "num_gates": 1200}, 147, 142,
+        ),
+        _spec(
+            "int2float", control.build_int2float, "control",
+            {}, {}, {}, 11, 7,
+        ),
+        _spec(
+            "mem_ctrl", control.build_mem_ctrl, "control",
+            {"num_pis": 40, "num_pos": 44, "num_gates": 320},
+            {"num_pis": 160, "num_pos": 170, "num_gates": 2400},
+            {"num_pis": 1204, "num_pos": 1231, "num_gates": 9000},
+            1204, 1231,
+        ),
+        _spec(
+            "priority", control.build_priority, "control",
+            {"width": 16}, {"width": 64}, {"width": 128}, 128, 8,
+        ),
+        _spec(
+            "router", control.build_router, "control",
+            {"num_pis": 20, "num_pos": 10, "num_gates": 80},
+            {"num_pis": 60, "num_pos": 30, "num_gates": 260},
+            {"num_pis": 60, "num_pos": 30, "num_gates": 260}, 60, 30,
+        ),
+        _spec(
+            "voter", control.build_voter, "control",
+            {"inputs": 31}, {"inputs": 201}, {"inputs": 1001}, 1001, 1,
+        ),
+    ]
+}
+
+#: Table-order names (matches the paper's Table I row order).
+BENCHMARK_ORDER: List[str] = list(BENCHMARKS)
+
+
+def build_benchmark(name: str, preset: str = "default", **overrides) -> Mig:
+    """Build one of the 18 paper benchmarks by name."""
+    if name not in BENCHMARKS:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_ORDER}"
+        )
+    return BENCHMARKS[name].build(preset, **overrides)
+
+
+def build_suite(
+    preset: str = "default", names: Optional[List[str]] = None
+) -> List[Tuple[str, Mig]]:
+    """Build (name, mig) pairs for a benchmark subset in table order."""
+    selected = names if names is not None else BENCHMARK_ORDER
+    return [(name, build_benchmark(name, preset)) for name in selected]
+
+
+__all__ = ["BENCHMARKS", "BENCHMARK_ORDER", "BenchmarkSpec", "build_benchmark", "build_suite"]

@@ -1,0 +1,124 @@
+"""Tests for the RRAM allocator policies (min/max write strategies)."""
+
+import pytest
+
+from repro.plim.allocator import MIN_WRITE_CAP, RramAllocator
+
+
+class TestBasics:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            RramAllocator("best-fit")
+
+    def test_low_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RramAllocator("min_write", w_max=MIN_WRITE_CAP - 1)
+
+    def test_new_cells_are_sequential(self):
+        alloc = RramAllocator()
+        assert [alloc.new_cell() for _ in range(3)] == [0, 1, 2]
+        assert alloc.num_cells == 3
+
+    def test_request_prefers_free_pool(self):
+        alloc = RramAllocator()
+        a = alloc.new_cell()
+        alloc.release(a)
+        assert alloc.request() == a
+        assert alloc.num_cells == 1
+
+    def test_request_allocates_when_pool_empty(self):
+        alloc = RramAllocator()
+        assert alloc.request() == 0
+        assert alloc.request() == 1
+
+    def test_double_release_rejected(self):
+        alloc = RramAllocator()
+        a = alloc.new_cell()
+        alloc.release(a)
+        with pytest.raises(ValueError):
+            alloc.release(a)
+
+
+class TestNaiveLifo:
+    def test_lifo_order(self):
+        alloc = RramAllocator("naive")
+        cells = [alloc.new_cell() for _ in range(3)]
+        for c in cells:
+            alloc.release(c)
+        assert alloc.request() == cells[-1]
+        assert alloc.request() == cells[-2]
+
+
+class TestMinWrite:
+    def test_least_written_first(self):
+        alloc = RramAllocator("min_write")
+        a, b, c = (alloc.new_cell() for _ in range(3))
+        for _ in range(5):
+            alloc.record_write(a)
+        for _ in range(2):
+            alloc.record_write(b)
+        alloc.record_write(c)
+        for cell in (a, b, c):
+            alloc.release(cell)
+        assert alloc.request() == c  # 1 write
+        assert alloc.request() == b  # 2 writes
+        assert alloc.request() == a  # 5 writes
+
+    def test_tie_breaks_by_address(self):
+        alloc = RramAllocator("min_write")
+        a, b = alloc.new_cell(), alloc.new_cell()
+        alloc.release(b)
+        alloc.release(a)
+        assert alloc.request() == a
+
+    def test_stale_heap_entries_skipped(self):
+        alloc = RramAllocator("min_write")
+        a = alloc.new_cell()
+        alloc.release(a)
+        got = alloc.request()
+        assert got == a
+        alloc.record_write(a)
+        alloc.record_write(a)
+        b = alloc.new_cell()
+        alloc.release(b)
+        alloc.release(a)  # two heap entries for a now (one stale)
+        assert alloc.request() == b  # 0 writes beats 2
+        assert alloc.request() == a
+
+
+class TestMaxWriteCap:
+    def test_capped_cells_retire_on_release(self):
+        alloc = RramAllocator("min_write", w_max=3)
+        a = alloc.new_cell()
+        for _ in range(3):
+            alloc.record_write(a)
+        alloc.release(a)
+        assert a in alloc.retired
+        # the pool is empty: a fresh cell is allocated
+        assert alloc.request() == 1
+
+    def test_writable_respects_cap(self):
+        alloc = RramAllocator("min_write", w_max=3)
+        a = alloc.new_cell()
+        assert alloc.writable(a)
+        for _ in range(3):
+            alloc.record_write(a)
+        assert not alloc.writable(a)
+
+    def test_headroom(self):
+        alloc = RramAllocator("min_write", w_max=5)
+        a = alloc.new_cell()
+        alloc.record_write(a)
+        assert alloc.headroom(a) == 4
+        uncapped = RramAllocator("min_write")
+        b = uncapped.new_cell()
+        assert uncapped.headroom(b) is None
+
+    def test_uncapped_never_retires(self):
+        alloc = RramAllocator("naive")
+        a = alloc.new_cell()
+        for _ in range(100):
+            alloc.record_write(a)
+        alloc.release(a)
+        assert not alloc.retired
+        assert alloc.writable(a)

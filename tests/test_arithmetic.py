@@ -1,0 +1,184 @@
+"""Benchmark-generator tests: circuits vs bit-exact models vs math specs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mig.simulate import simulate
+from repro.synth import arithmetic as A
+
+
+def run_words(mig, values_bits):
+    """Evaluate a benchmark MIG on a flat list of input bit values."""
+    return simulate(mig, values_bits)
+
+
+def unpack(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def pack(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+W = 6
+vals = st.integers(min_value=0, max_value=(1 << W) - 1)
+
+
+class TestAdder:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return A.build_adder(width=W)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=vals, b=vals)
+    def test_matches_model(self, mig, a, b):
+        outs = run_words(mig, unpack(a, W) + unpack(b, W))
+        assert pack(outs) == A.adder_model(a, b, W)
+
+    def test_interface(self, mig):
+        assert mig.num_pis == 2 * W
+        assert mig.num_pos == W + 1
+
+    def test_elaborated_and_native_equivalent(self):
+        from repro.mig.simulate import equivalent
+
+        assert equivalent(
+            A.build_adder(width=4, elaborated=True),
+            A.build_adder(width=4, elaborated=False),
+        )
+
+    def test_elaborated_is_larger(self):
+        el = A.build_adder(width=8, elaborated=True)
+        opt = A.build_adder(width=8, elaborated=False)
+        assert el.num_live_gates() > opt.num_live_gates()
+
+
+class TestBar:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return A.build_bar(width=8, shift_bits=3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.integers(min_value=0, max_value=255),
+        amt=st.integers(min_value=0, max_value=7),
+    )
+    def test_matches_model(self, mig, data, amt):
+        outs = run_words(mig, unpack(data, 8) + unpack(amt, 3))
+        assert pack(outs) == A.bar_model(data, amt, 8)
+
+    def test_interface(self, mig):
+        assert mig.num_pis == 11
+        assert mig.num_pos == 8
+
+
+class TestDiv:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return A.build_div(width=W)
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=vals, d=vals)
+    def test_matches_model(self, mig, n, d):
+        outs = run_words(mig, unpack(n, W) + unpack(d, W))
+        q = pack(outs[:W])
+        r = pack(outs[W:])
+        mq, mr = A.div_model(n, d, W)
+        assert (q, r) == (mq, mr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=vals, d=vals.filter(lambda v: v != 0))
+    def test_model_matches_divmod(self, n, d):
+        assert A.div_model(n, d, W) == divmod(n, d)
+
+    def test_divide_by_zero_defined(self, mig):
+        outs = run_words(mig, unpack(5, W) + unpack(0, W))
+        q = pack(outs[:W])
+        assert q == (1 << W) - 1  # all-ones quotient
+
+    def test_interface(self, mig):
+        assert mig.num_pis == 2 * W
+        assert mig.num_pos == 2 * W
+
+
+class TestMax:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return A.build_max(width=W)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(vals, min_size=4, max_size=4))
+    def test_matches_model(self, mig, values):
+        flat = []
+        for v in values:
+            flat.extend(unpack(v, W))
+        outs = run_words(mig, flat)
+        best = pack(outs[:W])
+        idx = pack(outs[W:])
+        m_best, m_idx = A.max_model(values)
+        assert best == m_best
+        assert idx == m_idx
+
+    def test_interface(self, mig):
+        assert mig.num_pis == 4 * W
+        assert mig.num_pos == W + 2
+
+    def test_non_four_operands_rejected(self):
+        with pytest.raises(ValueError):
+            A.build_max(width=4, operands=3)
+
+
+class TestMultiplierSquare:
+    @settings(max_examples=30, deadline=None)
+    @given(a=vals, b=vals)
+    def test_multiplier(self, a, b):
+        mig = TestMultiplierSquare._mult()
+        outs = run_words(mig, unpack(a, W) + unpack(b, W))
+        assert pack(outs) == A.multiplier_model(a, b)
+
+    @staticmethod
+    def _mult(cache={}):
+        if "m" not in cache:
+            cache["m"] = A.build_multiplier(width=W)
+        return cache["m"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=vals)
+    def test_square(self, a):
+        mig = TestMultiplierSquare._sq()
+        outs = run_words(mig, unpack(a, W))
+        assert pack(outs) == A.square_model(a)
+
+    @staticmethod
+    def _sq(cache={}):
+        if "s" not in cache:
+            cache["s"] = A.build_square(width=W)
+        return cache["s"]
+
+
+class TestSqrt:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return A.build_sqrt(width=8)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=st.integers(min_value=0, max_value=255))
+    def test_matches_isqrt(self, mig, x):
+        outs = run_words(mig, unpack(x, 8))
+        assert pack(outs) == math.isqrt(x)
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            A.build_sqrt(width=7)
+
+    def test_interface(self, mig):
+        assert mig.num_pis == 8
+        assert mig.num_pos == 4
+
+    def test_exhaustive_small(self):
+        mig = A.build_sqrt(width=6)
+        for x in range(64):
+            outs = run_words(mig, unpack(x, 6))
+            assert pack(outs) == math.isqrt(x), x

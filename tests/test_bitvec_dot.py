@@ -1,0 +1,107 @@
+"""Tests for the low-level bitvec helpers and the DOT exporter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mig.bitvec import full_adder, ge_const, half_adder, popcount, popcount_threshold
+from repro.mig.dot import to_dot, write_dot
+from repro.mig.graph import Mig
+from repro.mig.signal import complement
+from repro.mig.simulate import simulate, truth_tables
+
+
+class TestFullAdder:
+    def test_exhaustive(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        s, cy = full_adder(mig, a, b, c)
+        mig.add_po(s, "s")
+        mig.add_po(cy, "c")
+        ts, tc = truth_tables(mig)
+        for m in range(8):
+            total = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1)
+            assert (ts >> m) & 1 == total & 1
+            assert (tc >> m) & 1 == total >> 1
+
+    def test_carry_is_single_majority(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        before = mig.num_gates
+        _s, _cy = full_adder(mig, a, b, c)
+        assert mig.num_gates - before == 3  # carry + 2 sum nodes
+
+    def test_half_adder_exhaustive(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        s, cy = half_adder(mig, a, b)
+        mig.add_po(s)
+        mig.add_po(cy)
+        ts, tc = truth_tables(mig)
+        assert ts == 0b0110
+        assert tc == 0b1000
+
+
+class TestPopcount:
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=(1 << 10) - 1))
+    def test_popcount_matches(self, value):
+        mig = Mig()
+        bits = [mig.add_pi() for _ in range(10)]
+        for s in popcount(mig, bits):
+            mig.add_po(s)
+        outs = simulate(mig, [(value >> i) & 1 for i in range(10)])
+        got = sum(b << i for i, b in enumerate(outs))
+        assert got == bin(value).count("1")
+
+    def test_empty_popcount(self):
+        mig = Mig()
+        assert popcount(mig, []) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        value=st.integers(min_value=0, max_value=127),
+        k=st.integers(min_value=-1, max_value=9),
+    )
+    def test_threshold(self, value, k):
+        mig = Mig()
+        bits = [mig.add_pi() for _ in range(7)]
+        mig.add_po(popcount_threshold(mig, bits, k))
+        (out,) = simulate(mig, [(value >> i) & 1 for i in range(7)])
+        assert out == (1 if bin(value).count("1") >= k else 0)
+
+    def test_ge_const_boundaries(self):
+        mig = Mig()
+        bits = [mig.add_pi() for _ in range(4)]
+        assert ge_const(mig, bits, 0) == 1  # always true
+        assert ge_const(mig, bits, 16) == 0  # unreachable
+
+
+class TestDot:
+    def test_dot_structure(self):
+        mig = Mig("demo")
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        f = mig.add_and(a, complement(b))
+        mig.add_po(complement(f), "f")
+        text = to_dot(mig)
+        assert text.startswith("digraph mig {")
+        assert 'label="a"' in text
+        assert "style=dashed" in text  # complemented edges drawn dashed
+        assert "invtriangle" in text  # the output marker
+        assert text.rstrip().endswith("}")
+
+    def test_dead_nodes_excluded(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_maj(a, b, c)  # dead
+        mig.add_po(mig.add_and(a, b))
+        text = to_dot(mig)
+        assert text.count('label="MAJ"') == 1
+
+    def test_write_dot(self, tmp_path):
+        mig = Mig("filetest")
+        a = mig.add_pi("a")
+        mig.add_po(a, "f")
+        path = tmp_path / "g.dot"
+        write_dot(mig, str(path), title="T")
+        content = path.read_text()
+        assert 'label="T"' in content

@@ -1,0 +1,242 @@
+"""Bit-exact tests of the word-level building blocks against Python ints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mig.graph import Mig
+from repro.mig.simulate import simulate
+from repro.synth import blocks
+
+WIDTH = 8
+word_values = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+def eval_block(build, num_words, width=WIDTH, extra_bits=0):
+    """Build a block over fresh PI words and return an evaluator."""
+    mig = Mig()
+    words = [
+        [mig.add_pi(f"w{k}_{i}") for i in range(width)]
+        for k in range(num_words)
+    ]
+    bits = [mig.add_pi(f"e{i}") for i in range(extra_bits)]
+    outputs = build(mig, words, bits)
+    for i, sig in enumerate(outputs):
+        mig.add_po(sig, f"o{i}")
+
+    def run(values, extra=0):
+        pi = []
+        for v in values:
+            pi.extend((v >> i) & 1 for i in range(width))
+        pi.extend((extra >> i) & 1 for i in range(extra_bits))
+        outs = simulate(mig, pi)
+        return sum(bit << i for i, bit in enumerate(outs))
+
+    return run
+
+
+class TestConstantsAndShaping:
+    def test_constant_word_roundtrip(self):
+        word = blocks.constant_word(0b1011, 6)
+        assert [b & 1 for b in word] == [1, 1, 0, 1, 0, 0]
+
+    def test_zero_extend(self):
+        word = blocks.constant_word(3, 2)
+        assert len(blocks.zero_extend(word, 5)) == 5
+        with pytest.raises(ValueError):
+            blocks.zero_extend(word, 1)
+
+    def test_truncate(self):
+        word = blocks.constant_word(0b111, 3)
+        assert len(blocks.truncate(word, 2)) == 2
+
+    def test_width_mismatch_rejected(self):
+        mig = Mig()
+        a = [mig.add_pi() for _ in range(3)]
+        b = [mig.add_pi() for _ in range(2)]
+        with pytest.raises(ValueError):
+            blocks.and_word(mig, a, b)
+
+
+class TestArithmetic:
+    @settings(max_examples=40, deadline=None)
+    @given(a=word_values, b=word_values)
+    def test_ripple_add(self, a, b):
+        run = eval_block(
+            lambda m, w, e: (lambda s: s[0] + [s[1]])(
+                blocks.ripple_add(m, w[0], w[1])
+            ),
+            2,
+        )
+        assert run([a, b]) == a + b
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=word_values, b=word_values)
+    def test_ripple_sub(self, a, b):
+        run = eval_block(
+            lambda m, w, e: (lambda s: s[0] + [s[1]])(
+                blocks.ripple_sub(m, w[0], w[1])
+            ),
+            2,
+        )
+        got = run([a, b])
+        diff = got & ((1 << WIDTH) - 1)
+        borrow = got >> WIDTH
+        assert diff == (a - b) & ((1 << WIDTH) - 1)
+        assert borrow == (1 if a < b else 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=word_values)
+    def test_increment_and_negate(self, a):
+        run = eval_block(
+            lambda m, w, e: blocks.increment(m, w[0])[0], 1
+        )
+        assert run([a]) == (a + 1) & ((1 << WIDTH) - 1)
+        run2 = eval_block(lambda m, w, e: blocks.negate(m, w[0]), 1)
+        assert run2([a]) == (-a) & ((1 << WIDTH) - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=word_values, b=word_values)
+    def test_comparisons(self, a, b):
+        run = eval_block(
+            lambda m, w, e: [
+                blocks.less_than(m, w[0], w[1]),
+                blocks.greater_equal(m, w[0], w[1]),
+                blocks.equals_word(m, w[0], w[1]),
+            ],
+            2,
+        )
+        got = run([a, b])
+        assert got & 1 == (1 if a < b else 0)
+        assert (got >> 1) & 1 == (1 if a >= b else 0)
+        assert (got >> 2) & 1 == (1 if a == b else 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=word_values, b=word_values)
+    def test_max_word(self, a, b):
+        run = eval_block(
+            lambda m, w, e: (lambda r: r[0] + [r[1]])(
+                blocks.max_word(m, w[0], w[1])
+            ),
+            2,
+        )
+        got = run([a, b])
+        assert got & ((1 << WIDTH) - 1) == max(a, b)
+        assert got >> WIDTH == (1 if a < b else 0)  # b_wins, ties -> a
+
+
+class TestBitwise:
+    @settings(max_examples=25, deadline=None)
+    @given(a=word_values, b=word_values)
+    def test_bitwise_ops(self, a, b):
+        run = eval_block(
+            lambda m, w, e: blocks.and_word(m, w[0], w[1])
+            + blocks.or_word(m, w[0], w[1])
+            + blocks.xor_word(m, w[0], w[1]),
+            2,
+        )
+        got = run([a, b])
+        mask = (1 << WIDTH) - 1
+        assert got & mask == a & b
+        assert (got >> WIDTH) & mask == a | b
+        assert (got >> (2 * WIDTH)) & mask == a ^ b
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=word_values)
+    def test_reductions(self, a):
+        run = eval_block(
+            lambda m, w, e: [
+                blocks.reduce_or(m, w[0]),
+                blocks.reduce_and(m, w[0]),
+                blocks.reduce_xor(m, w[0]),
+            ],
+            1,
+        )
+        got = run([a])
+        assert got & 1 == (1 if a else 0)
+        assert (got >> 1) & 1 == (1 if a == (1 << WIDTH) - 1 else 0)
+        assert (got >> 2) & 1 == bin(a).count("1") % 2
+
+
+class TestShifts:
+    @settings(max_examples=30, deadline=None)
+    @given(a=word_values, amt=st.integers(min_value=0, max_value=7))
+    def test_barrel_shift_left_logical(self, a, amt):
+        run = eval_block(
+            lambda m, w, e: blocks.barrel_shift_left(m, w[0], e),
+            1,
+            extra_bits=3,
+        )
+        assert run([a], extra=amt) == (a << amt) & ((1 << WIDTH) - 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=word_values, amt=st.integers(min_value=0, max_value=7))
+    def test_barrel_shift_right_rotate(self, a, amt):
+        run = eval_block(
+            lambda m, w, e: blocks.barrel_shift_right(m, w[0], e, rotate=True),
+            1,
+            extra_bits=3,
+        )
+        expected = ((a >> amt) | (a << (WIDTH - amt))) & ((1 << WIDTH) - 1) \
+            if amt else a
+        assert run([a], extra=amt) == expected
+
+    def test_const_shifts(self):
+        word = blocks.constant_word(0b0110, 4)
+        left = blocks.shift_left_const(word, 1)
+        assert [b & 1 for b in left] == [0, 0, 1, 1]
+        right = blocks.shift_right_const(word, 2)
+        assert [b & 1 for b in right] == [1, 0, 0, 0]
+
+
+class TestMultiply:
+    @settings(max_examples=30, deadline=None)
+    @given(a=word_values, b=word_values)
+    def test_multiply(self, a, b):
+        run = eval_block(lambda m, w, e: blocks.multiply(m, w[0], w[1]), 2)
+        assert run([a, b]) == a * b
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=word_values)
+    def test_square(self, a):
+        run = eval_block(lambda m, w, e: blocks.square(m, w[0]), 1)
+        assert run([a]) == a * a
+
+    def test_square_cheaper_than_multiply(self):
+        m1 = Mig()
+        a = [m1.add_pi() for _ in range(WIDTH)]
+        for s in blocks.square(m1, a):
+            m1.add_po(s)
+        m2 = Mig()
+        a = [m2.add_pi() for _ in range(WIDTH)]
+        b = [m2.add_pi() for _ in range(WIDTH)]
+        for s in blocks.multiply(m2, a, b):
+            m2.add_po(s)
+        assert m1.num_gates < m2.num_gates
+
+
+class TestEncoders:
+    @settings(max_examples=25, deadline=None)
+    @given(sel=st.integers(min_value=0, max_value=15))
+    def test_decoder(self, sel):
+        run = eval_block(
+            lambda m, w, e: blocks.decoder(m, e), 0, extra_bits=4
+        )
+        assert run([], extra=sel) == 1 << sel
+
+    @settings(max_examples=30, deadline=None)
+    @given(req=word_values)
+    def test_priority_encoder(self, req):
+        run = eval_block(
+            lambda m, w, e: (lambda r: r[0] + [r[1]])(
+                blocks.priority_encoder(m, w[0])
+            ),
+            1,
+        )
+        got = run([req])
+        idx = got & 0b111
+        valid = got >> 3
+        if req == 0:
+            assert valid == 0
+        else:
+            assert valid == 1
+            assert idx == req.bit_length() - 1

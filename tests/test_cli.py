@@ -1,0 +1,72 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "headline", "fig1",
+                    "fig2", "list"):
+            args = parser.parse_args([cmd] if cmd in ("fig1", "fig2", "list")
+                                     else [cmd, "--preset", "tiny"])
+            assert callable(args.func)
+
+    def test_bench_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nonesuch"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "voter" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "writes per device" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "value lifetime" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "dec", "--preset", "tiny", "--wmax", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "ea-full" in out and "wmax10" in out
+
+    def test_table1_subset(self, capsys):
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "dec", "ctrl",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "dec" in out
+
+    def test_table2_subset(self, capsys):
+        assert main([
+            "table2", "--preset", "tiny", "--benchmarks", "dec",
+            "--no-verify",
+        ]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_table3_subset(self, capsys):
+        assert main([
+            "table3", "--preset", "tiny", "--benchmarks", "ctrl",
+        ]) == 0
+        assert "TABLE III" in capsys.readouterr().out
+
+    def test_headline_subset(self, capsys):
+        assert main([
+            "headline", "--preset", "tiny", "--benchmarks", "dec", "ctrl",
+        ]) == 0
+        assert "HEADLINE" in capsys.readouterr().out

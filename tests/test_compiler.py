@@ -1,0 +1,231 @@
+"""Tests for the MIG-to-RM3 compiler: cost model, invariants, correctness.
+
+The cost model cases follow Section III of the paper: an "ideal" node
+(one complemented fanin, one overwritable destination) is a single RM3;
+each complement/fanout violation adds exactly two instructions and one
+device.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.selection import make_selection
+from repro.mig.graph import Mig
+from repro.mig.signal import CONST0, CONST1, complement
+from repro.plim.compiler import PlimCompiler
+from repro.plim.verify import cross_check_truth_tables, verify_program
+from .conftest import make_random_mig
+
+
+def compile_mig(mig, **kwargs):
+    return PlimCompiler(**kwargs).compile(mig)
+
+
+def count_node_instructions(mig):
+    """#I of a single-gate MIG whose PO is that gate, uncomplemented."""
+    program = compile_mig(mig)
+    verify_program(program, mig)
+    return program.num_instructions
+
+
+class TestCostModel:
+    def _single_node(self, complements, fanouts):
+        """One majority over three PIs; `complements[i]` inverts edge i,
+        `fanouts[i]` adds an extra consumer to pin PI i."""
+        mig = Mig()
+        pis = [mig.add_pi(f"x{i}") for i in range(3)]
+        extra = mig.add_pi("extra")
+        ops = [
+            complement(s) if c else s for s, c in zip(pis, complements)
+        ]
+        node = mig.add_maj(*ops)
+        mig.add_po(node, "f")
+        for s, pinned in zip(pis, fanouts):
+            if pinned:
+                mig.add_po(mig.add_maj(s, extra, CONST0), f"pin{s}")
+        return mig
+
+    def test_ideal_node_single_instruction(self):
+        # one complemented fanin, destination and P free
+        mig = self._single_node([True, False, False], [False, False, False])
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 1
+
+    def test_zero_complements_needs_q_inversion(self):
+        # no complemented fanin, no constant: +2 instructions
+        mig = self._single_node([False, False, False], [False, False, False])
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 3
+
+    def test_and_node_is_free_via_constant(self):
+        # <a b 0>: Q takes the constant, Z overwrites a fanin
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_and(a, b), "f")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 1
+
+    def test_or_node_is_free_via_constant(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_or(a, b), "f")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 1
+
+    def test_all_fanouts_blocked_needs_copy(self):
+        # one complemented fanin but both other fanins multi-fanout:
+        # +2 (copy) -> 3 instructions for the node, plus 2 pin gates
+        mig = self._single_node([True, False, False], [False, True, True])
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        # pins are ANDs (1 each); the node pays 1 + 2
+        assert program.num_instructions == 2 + 3
+
+    def test_two_complements_cost(self):
+        # Q free (first complement), P inversion (+2), Z direct
+        mig = self._single_node([True, True, False], [False, False, False])
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 3
+
+    def test_three_complements_cost(self):
+        # Q free, P inversion (+2), Z copy-invert (+2)
+        mig = self._single_node([True, True, True], [False, False, False])
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 5
+
+    def test_complemented_po_costs_two(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        f = mig.add_and(a, b)
+        mig.add_po(complement(f), "nf")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 1 + 2
+
+    def test_constant_po_costs_one(self):
+        mig = Mig()
+        mig.add_pi("a")
+        mig.add_po(CONST1, "one")
+        mig.add_po(CONST0, "zero")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 2
+
+    def test_shared_constant_pos(self):
+        mig = Mig()
+        mig.add_pi("a")
+        mig.add_po(CONST1, "one_a")
+        mig.add_po(CONST1, "one_b")
+        program = compile_mig(mig)
+        assert program.num_instructions == 1
+        assert program.po_cells[0] == program.po_cells[1]
+
+    def test_pi_as_po_uses_pi_cell(self):
+        mig = Mig()
+        a = mig.add_pi("a")
+        mig.add_po(a, "f")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 0
+        assert program.po_cells == [program.pi_cells[0]]
+
+    def test_duplicate_complemented_po_shares_inversion(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        f = mig.add_and(a, b)
+        mig.add_po(complement(f), "nf1")
+        mig.add_po(complement(f), "nf2")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+        assert program.num_instructions == 3  # AND + one shared inversion
+        assert program.po_cells[0] == program.po_cells[1]
+
+
+class TestInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_min_write_changes_neither_instructions_nor_rrams(self, seed):
+        """Stated explicitly in Section IV of the paper."""
+        mig = make_random_mig(6, 50, seed=seed)
+        naive = compile_mig(mig, allocation="naive")
+        minw = compile_mig(mig, allocation="min_write")
+        assert naive.num_instructions == minw.num_instructions
+        assert naive.num_rrams == minw.num_rrams
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_all_selections_verify(self, seed):
+        mig = make_random_mig(6, 40, seed=seed)
+        for name in ("topo", "dac16", "endurance"):
+            sel = None if name == "topo" else make_selection(name)
+            program = compile_mig(mig, selection=sel)
+            verify_program(program, mig, patterns=64)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_write_cap_respected(self, seed):
+        mig = make_random_mig(6, 50, seed=seed)
+        for cap in (3, 5, 10):
+            program = compile_mig(
+                mig, allocation="min_write", w_max=cap
+            )
+            verify_program(program, mig, patterns=64)
+            assert max(program.write_counts()) <= cap
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_tighter_cap_never_cheaper(self, seed):
+        mig = make_random_mig(6, 50, seed=seed)
+        loose = compile_mig(mig, allocation="min_write", w_max=20)
+        tight = compile_mig(mig, allocation="min_write", w_max=3)
+        assert tight.num_rrams >= loose.num_rrams
+
+    def test_pi_overwrite_flag(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_and(a, b), "f")
+        reuse = compile_mig(mig, allow_pi_overwrite=True)
+        fresh = compile_mig(mig, allow_pi_overwrite=False)
+        verify_program(reuse, mig)
+        verify_program(fresh, mig)
+        assert reuse.num_rrams == 2  # destination overwrites an input
+        assert fresh.num_rrams == 3  # input devices preserved
+        assert fresh.num_instructions == reuse.num_instructions + 2
+
+    def test_po_complement_releases_dead_source(self):
+        # a node used only by a complemented PO frees its device
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        f = mig.add_and(a, b)
+        mig.add_po(complement(f), "nf")
+        program = compile_mig(mig)
+        verify_program(program, mig)
+
+
+class TestEndToEnd:
+    def test_exhaustive_cross_check_small(self):
+        mig = make_random_mig(6, 30, seed=99, num_pos=4)
+        program = compile_mig(mig, allocation="min_write", w_max=5)
+        assert cross_check_truth_tables(program, mig) is None
+
+    def test_empty_graph(self):
+        mig = Mig()
+        mig.add_pi("a")
+        program = compile_mig(mig)
+        assert program.num_instructions == 0
+        assert program.num_rrams == 1  # the input device
+
+    def test_no_strash_graph_compiles(self):
+        mig = make_random_mig(5, 30, seed=5, use_strash=False)
+        program = compile_mig(mig)
+        verify_program(program, mig, patterns=64)
+
+    def test_scheduler_covers_all_gates(self, tiny_adder):
+        program = compile_mig(tiny_adder)
+        verify_program(program, tiny_adder)

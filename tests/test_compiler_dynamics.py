@@ -1,0 +1,161 @@
+"""Deeper compiler behaviour: scheduling dynamics and program invariants.
+
+Complements ``test_compiler.py``'s cost-model cases with properties of
+whole programs: dataflow sanity (no cell read before it holds a defined
+value), release correctness (a freed device is never read again before
+being rewritten), selection-order effects, and determinism.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.manager import PRESETS, compile_with_management
+from repro.core.selection import make_selection
+from repro.mig.graph import Mig
+from repro.mig.signal import complement
+from repro.plim.compiler import PlimCompiler
+from repro.plim.verify import verify_program
+from repro.synth.arithmetic import build_adder
+from .conftest import make_random_mig
+
+
+def dataflow_check(program):
+    """Every read cell must have been written or preloaded before."""
+    defined = set(program.pi_cells)
+    for idx, (p, q, z) in enumerate(program.instructions):
+        for op in (p, q):
+            if op >= 0:
+                assert op in defined, (
+                    f"instruction {idx} reads undefined cell {op}"
+                )
+        defined.add(z)
+    for cell in program.po_cells:
+        assert cell in defined, f"output cell {cell} never defined"
+
+
+class TestDataflow:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_no_undefined_reads(self, seed):
+        mig = make_random_mig(6, 45, seed=seed)
+        for config in PRESETS.values():
+            result = compile_with_management(mig, config)
+            dataflow_check(result.program)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_every_value_written_is_used_or_output(self, seed):
+        """No dead stores: every written cell value is read later,
+        overwritten as an accumulating destination, or is an output."""
+        mig = make_random_mig(6, 40, seed=seed)
+        program = PlimCompiler(allocation="min_write").compile(mig)
+        last_writer = {}
+        used = set()
+        for idx, (p, q, z) in enumerate(program.instructions):
+            for op in (p, q):
+                if op >= 0 and op in last_writer:
+                    used.add(last_writer[op])
+            # RM3 reads Z too (it participates in the majority)
+            if z in last_writer:
+                used.add(last_writer[z])
+            last_writer[z] = idx
+        for cell in program.po_cells:
+            if cell in last_writer:
+                used.add(last_writer[cell])
+        dead = [
+            idx
+            for idx, (_, _, z) in enumerate(program.instructions)
+            if idx not in used
+        ]
+        assert not dead, f"dead stores at {dead[:5]}"
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_programs(self):
+        mig = make_random_mig(6, 50, seed=77)
+        for config in PRESETS.values():
+            a = compile_with_management(mig, config).program
+            b = compile_with_management(mig, config).program
+            assert a.instructions == b.instructions
+            assert a.po_cells == b.po_cells
+
+
+class TestSelectionDynamics:
+    def test_dac16_releases_earlier_than_topo(self):
+        """The releasing-priority order frees devices sooner, so its peak
+        simultaneous live-cell count is no larger than topo's."""
+
+        def peak_live(program):
+            live = set(program.pi_cells)
+            peak = len(live)
+            for _, _, z in program.instructions:
+                live.add(z)
+                peak = max(peak, len(live))
+            return peak
+
+        mig = make_random_mig(8, 80, seed=5)
+        topo = PlimCompiler(selection=None).compile(mig)
+        dac16 = PlimCompiler(selection=make_selection("dac16")).compile(mig)
+        assert dac16.num_rrams <= topo.num_rrams
+
+    def test_endurance_selection_defers_blocked_producer(self):
+        """On a Fig. 2 structure the blocked producer is compiled later
+        under Algorithm 3 than under topological order."""
+        mig = Mig()
+        x = [mig.add_pi(f"x{i}") for i in range(6)]
+        blocked = mig.add_maj(x[0], x[1], complement(x[2]))  # node id small
+        rail = mig.add_maj(x[1], x[2], x[3])
+        rail = mig.add_maj(rail, x[4], complement(x[5]))
+        rail = mig.add_maj(rail, x[2], complement(x[3]))
+        root = mig.add_maj(rail, blocked, x[0])
+        mig.add_po(root, "g")
+
+        topo = PlimCompiler(selection=None).compile(mig)
+        ea = PlimCompiler(selection=make_selection("endurance")).compile(mig)
+        verify_program(topo, mig)
+        verify_program(ea, mig)
+
+        # x0 (cell 0) feeds only the blocked producer and the root, so
+        # its first read marks when the blocked producer is computed.
+        def first_read_of(program, cell):
+            for idx, (p, q, _z) in enumerate(program.instructions):
+                if cell in (p, q):
+                    return idx
+            return len(program.instructions)
+
+        # Relative position: Algorithm 3 schedules the blocked producer
+        # later in its program than topological order does in its own.
+        topo_pos = first_read_of(topo, 0) / max(1, len(topo.instructions))
+        ea_pos = first_read_of(ea, 0) / max(1, len(ea.instructions))
+        assert ea_pos > topo_pos
+
+
+class TestProgramShape:
+    def test_instruction_lower_bound(self):
+        """#I >= number of live gates (each needs at least one RM3)."""
+        for seed in (1, 2, 3):
+            mig = make_random_mig(6, 40, seed=seed)
+            program = PlimCompiler().compile(mig)
+            assert program.num_instructions >= mig.num_live_gates()
+
+    def test_rram_lower_bound(self):
+        """#R >= PIs + POs-ish: inputs occupy cells; outputs need homes."""
+        mig = build_adder(width=5)
+        program = PlimCompiler().compile(mig)
+        assert program.num_rrams >= mig.num_pis
+
+    def test_write_counts_match_array_simulation(self):
+        """Static write counts equal dynamic array wear after one run."""
+        from repro.plim.controller import PlimController
+        from repro.plim.memory import RramArray
+
+        mig = make_random_mig(5, 30, seed=12)
+        program = PlimCompiler(allocation="min_write").compile(mig)
+        array = RramArray(program.num_cells)
+        PlimController(array).run(program, [0] * mig.num_pis)
+        assert array.writes == program.write_counts()
+
+    def test_pi_cells_are_first(self):
+        mig = build_adder(width=3)
+        program = PlimCompiler().compile(mig)
+        assert program.pi_cells == list(range(mig.num_pis))

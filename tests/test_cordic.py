@@ -1,0 +1,89 @@
+"""Tests for the CORDIC sine and squaring-log2 generators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mig.simulate import simulate
+from repro.synth import cordic
+
+
+def unpack(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def pack(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+SIN_W = 8
+
+
+class TestSin:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return cordic.build_sin(width=SIN_W)
+
+    @settings(max_examples=40, deadline=None)
+    @given(angle=st.integers(min_value=0, max_value=(1 << SIN_W) - 1))
+    def test_circuit_matches_model(self, mig, angle):
+        outs = simulate(mig, unpack(angle, SIN_W))
+        assert pack(outs) == cordic.sin_model(angle, SIN_W)
+
+    def test_interface(self, mig):
+        assert mig.num_pis == SIN_W
+        assert mig.num_pos == SIN_W + 1
+
+    @pytest.mark.parametrize("angle_frac", [0.1, 0.25, 0.5, 0.75, 0.9])
+    def test_model_approximates_sin(self, angle_frac):
+        width = 12
+        angle = int(angle_frac * (1 << width))
+        theta = angle / (1 << width) * math.pi / 2
+        got = cordic.sin_model(angle, width) / (1 << width)
+        assert abs(got - math.sin(theta)) < 0.01
+
+    def test_zero_angle(self):
+        # sin(0) = 0 up to CORDIC truncation noise
+        width = 10
+        got = cordic.sin_model(0, width) / (1 << width)
+        assert got < 0.01 or got > 1.9  # tiny positive or tiny negative wrap
+
+
+LOG_W = 8
+LOG_F = 4
+
+
+class TestLog2:
+    @pytest.fixture(scope="class")
+    def mig(self):
+        return cordic.build_log2(width=LOG_W, frac_bits=LOG_F)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.integers(min_value=0, max_value=(1 << LOG_W) - 1))
+    def test_circuit_matches_model(self, mig, x):
+        outs = simulate(mig, unpack(x, LOG_W))
+        exp_bits = max(1, (LOG_W - 1).bit_length())
+        exp = pack(outs[:exp_bits])
+        digits = [o & 1 for o in outs[exp_bits:]]
+        m_exp, m_digits = cordic.log2_model(x, LOG_W, LOG_F)
+        assert exp == m_exp
+        assert digits == m_digits
+
+    def test_interface(self, mig):
+        assert mig.num_pos == cordic.log2_output_bits(LOG_W, LOG_F)
+
+    def test_zero_input_all_zero(self):
+        assert cordic.log2_model(0, LOG_W, LOG_F) == (0, [0] * LOG_F)
+
+    @pytest.mark.parametrize("x", [3, 10, 100, 200, 255])
+    def test_model_approximates_log2(self, x):
+        exp, digits = cordic.log2_model(x, LOG_W, 10)
+        frac = sum(d / (1 << (i + 1)) for i, d in enumerate(digits))
+        assert abs((exp + frac) - math.log2(x)) < 0.01
+
+    def test_powers_of_two_exact(self):
+        for k in range(LOG_W):
+            exp, digits = cordic.log2_model(1 << k, LOG_W, LOG_F)
+            assert exp == k
+            assert digits == [0] * LOG_F

@@ -1,0 +1,75 @@
+"""Tests for the naive-translation (elaborated) construction mode."""
+
+from repro.mig.graph import Mig
+from repro.mig.simulate import equivalent, truth_tables
+from repro.synth.elaborate import ElaboratingMig, new_mig
+
+
+class TestElaboratingMig:
+    def test_no_structural_hashing(self):
+        mig = ElaboratingMig()
+        a, b = mig.add_pi(), mig.add_pi()
+        f1 = mig.add_and(a, b)
+        f2 = mig.add_and(a, b)
+        assert f1 != f2
+
+    def test_or_becomes_nand_of_complements(self):
+        mig = ElaboratingMig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        f = mig.add_or(a, b)
+        mig.add_po(f, "f")
+        # functionally an OR ...
+        assert truth_tables(mig) == [0b1110]
+        # ... but structurally a complemented AND node
+        from repro.mig.signal import is_complemented, node_of
+
+        assert is_complemented(f)
+        fa, fb, fc = mig.fanins(node_of(f))
+        assert min(fa, fb, fc) == 0  # the AND constant
+
+    def test_majority_decomposes(self):
+        mig = ElaboratingMig()
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        f = mig.add_maj(a, b, c)
+        mig.add_po(f, "f")
+        assert mig.num_gates == 4  # ab, a+b, (a+b)c, or
+        assert truth_tables(mig) == [0b11101000]
+
+    def test_identities_still_simplify(self):
+        mig = ElaboratingMig()
+        a, c = mig.add_pi(), mig.add_pi()
+        assert mig.add_maj(a, a, c) == a
+        assert mig.num_gates == 0
+
+    def test_equivalent_to_native(self):
+        def build(mig):
+            a, b, c, d = (mig.add_pi(n) for n in "abcd")
+            f = mig.add_maj(mig.add_xor(a, b), mig.add_or(c, d), a)
+            mig.add_po(f, "f")
+            return mig
+
+        native = build(Mig())
+        elaborated = build(ElaboratingMig())
+        assert equivalent(native, elaborated)
+        assert elaborated.num_gates > native.num_gates
+
+    def test_factory(self):
+        assert isinstance(new_mig("x", True), ElaboratingMig)
+        built = new_mig("x", False)
+        assert isinstance(built, Mig)
+        assert not isinstance(built, ElaboratingMig)
+        assert built.use_strash
+
+    def test_rewriting_recovers_sharing(self):
+        """Rewriting an elaborated graph with structural hashing merges
+        the duplicates naive translation left behind."""
+        from repro.mig.rewrite import majority_pass
+
+        mig = ElaboratingMig()
+        a, b = mig.add_pi(), mig.add_pi()
+        f1 = mig.add_and(a, b)
+        f2 = mig.add_and(a, b)
+        mig.add_po(mig.add_or(f1, f2))
+        rewritten = majority_pass(mig)
+        assert rewritten.num_live_gates() < mig.num_live_gates()
+        assert equivalent(mig, rewritten)

@@ -1,0 +1,111 @@
+"""Tests for MIG / program text serialisation."""
+
+import pytest
+
+from repro.mig.graph import Mig
+from repro.mig.io import (
+    MigParseError,
+    dumps_mig,
+    loads_mig,
+    read_mig,
+    read_program,
+    write_mig,
+    write_program,
+)
+from repro.mig.signal import complement
+from repro.mig.simulate import equivalent
+from repro.plim.compiler import PlimCompiler
+from repro.plim.verify import verify_program
+from .conftest import make_random_mig
+
+
+class TestMigRoundTrip:
+    def test_simple_roundtrip(self, xor_mig):
+        text = dumps_mig(xor_mig)
+        back = loads_mig(text)
+        assert equivalent(xor_mig, back)
+        assert back.num_pis == xor_mig.num_pis
+        assert back.pi_name(0) == xor_mig.pi_name(0)
+        assert back.po_name(0) == xor_mig.po_name(0)
+
+    def test_random_roundtrip(self):
+        for seed in (1, 2, 3):
+            mig = make_random_mig(6, 40, seed=seed)
+            assert equivalent(mig, loads_mig(dumps_mig(mig)))
+
+    def test_complemented_outputs_and_constants(self):
+        mig = Mig("t")
+        a = mig.add_pi("a")
+        mig.add_po(complement(a), "na")
+        mig.add_po(1, "one")
+        back = loads_mig(dumps_mig(mig))
+        assert equivalent(mig, back)
+
+    def test_file_roundtrip(self, tmp_path, small_random_mig):
+        path = tmp_path / "g.mig"
+        write_mig(small_random_mig, str(path))
+        assert equivalent(small_random_mig, read_mig(str(path)))
+
+    def test_dead_nodes_not_serialised(self):
+        mig = Mig("t")
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        mig.add_maj(a, b, c)  # dead
+        mig.add_po(mig.add_and(a, b), "f")
+        text = dumps_mig(mig)
+        assert text.count("node ") == 1
+
+
+class TestMigParsing:
+    def test_comments_and_blanks(self):
+        text = """
+        # a comment
+        mig demo
+        input a   # trailing comment
+        input b
+        node n1 = <a b 0>
+        output f = ~n1
+        """
+        mig = loads_mig(text)
+        assert mig.num_pis == 2
+        assert mig.num_gates == 1
+
+    def test_unknown_signal(self):
+        with pytest.raises(MigParseError, match="unknown signal"):
+            loads_mig("mig x\noutput f = q\n")
+
+    def test_missing_header(self):
+        with pytest.raises(MigParseError, match="header"):
+            loads_mig("input a\noutput f = a\n")
+
+    def test_bad_node_syntax(self):
+        with pytest.raises(MigParseError):
+            loads_mig("mig x\ninput a\nnode n1 = <a a>\noutput f = n1\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(MigParseError, match="unknown directive"):
+            loads_mig("mig x\nlatch q\n")
+
+
+class TestProgramRoundTrip:
+    def test_compiled_program_roundtrip(self, tmp_path, tiny_adder):
+        program = PlimCompiler(allocation="min_write").compile(tiny_adder)
+        path = tmp_path / "p.rm3"
+        write_program(program, str(path))
+        back = read_program(str(path))
+        assert back.instructions == program.instructions
+        assert back.num_cells == program.num_cells
+        assert back.pi_cells == program.pi_cells
+        assert back.po_cells == program.po_cells
+        verify_program(back, tiny_adder)
+
+    def test_bad_operand(self, tmp_path):
+        path = tmp_path / "bad.rm3"
+        path.write_text("program x\ncells 1\nRM3 ? 0 @0\n")
+        with pytest.raises(MigParseError):
+            read_program(str(path))
+
+    def test_validation_applied(self, tmp_path):
+        path = tmp_path / "bad2.rm3"
+        path.write_text("program x\ncells 1\nRM3 0 1 @7\n")
+        with pytest.raises(ValueError):
+            read_program(str(path))

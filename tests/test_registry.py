@@ -1,0 +1,78 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.synth.registry import (
+    BENCHMARKS,
+    BENCHMARK_ORDER,
+    build_benchmark,
+    build_suite,
+)
+
+
+class TestRegistry:
+    def test_all_18_paper_benchmarks_present(self):
+        expected = {
+            "adder", "bar", "div", "log2", "max", "multiplier", "sin",
+            "sqrt", "square", "cavlc", "ctrl", "dec", "i2c", "int2float",
+            "mem_ctrl", "priority", "router", "voter",
+        }
+        assert set(BENCHMARK_ORDER) == expected
+        assert len(BENCHMARK_ORDER) == 18
+
+    def test_order_matches_paper_table(self):
+        assert BENCHMARK_ORDER[0] == "adder"
+        assert BENCHMARK_ORDER[-1] == "voter"
+        # arithmetic block first, control block second
+        assert BENCHMARK_ORDER.index("square") < BENCHMARK_ORDER.index("cavlc")
+
+    def test_every_spec_has_three_presets(self):
+        for spec in BENCHMARKS.values():
+            assert set(spec.presets) == {"tiny", "default", "paper"}
+
+    def test_paper_pi_po_recorded(self):
+        assert BENCHMARKS["adder"].paper_pi == 256
+        assert BENCHMARKS["adder"].paper_po == 129
+        assert BENCHMARKS["mem_ctrl"].paper_pi == 1204
+        assert BENCHMARKS["voter"].paper_pi == 1001
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            build_benchmark("nonesuch")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            build_benchmark("adder", preset="huge")
+
+    def test_overrides(self):
+        mig = build_benchmark("adder", preset="tiny", width=5)
+        assert mig.num_pis == 10
+
+    def test_name_assigned(self):
+        assert build_benchmark("bar", preset="tiny").name == "bar"
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_tiny_preset_builds(self, name):
+        mig = build_benchmark(name, preset="tiny")
+        assert mig.num_pis > 0
+        assert mig.num_pos > 0
+        assert mig.num_live_gates() > 0
+
+    def test_paper_interfaces_match_table1(self):
+        """For exactly-shaped benchmarks the paper preset reproduces the
+        paper's PI/PO columns."""
+        for name in ("adder", "bar", "div", "max", "multiplier", "sin",
+                     "sqrt", "square", "dec", "int2float", "priority",
+                     "voter", "i2c", "mem_ctrl", "router", "cavlc", "ctrl"):
+            spec = BENCHMARKS[name]
+            params = spec.presets["paper"]
+            # don't build the giant ones; check declared params only
+            if name in ("adder", "bar", "dec", "int2float", "router",
+                        "cavlc", "ctrl"):
+                mig = spec.build("paper")
+                assert mig.num_pis == spec.paper_pi, name
+                assert mig.num_pos == spec.paper_po, name
+
+    def test_build_suite_subset(self):
+        suite = build_suite(preset="tiny", names=["dec", "ctrl"])
+        assert [name for name, _ in suite] == ["dec", "ctrl"]

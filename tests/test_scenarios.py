@@ -1,0 +1,98 @@
+"""Tests reproducing the phenomena of the paper's Fig. 1 and Fig. 2."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    fig1_chain,
+    fig1_mig,
+    fig2_ladder,
+    fig2_mig,
+    storage_pressure,
+)
+from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro.plim.verify import verify_program
+
+
+class TestFig1:
+    def test_structure_matches_paper(self):
+        mig = fig1_mig()
+        assert mig.num_pis == 5
+        assert mig.num_pos == 2
+        assert mig.num_live_gates() == 4
+        assert mig.num_complemented_edges() >= 1  # D's dotted edge
+
+    def test_repeated_destination_under_naive(self):
+        """The same device receives the results of A, then B, then C."""
+        mig = fig1_mig()
+        result = compile_with_management(mig, PRESETS["naive"])
+        verify_program(result.program, mig)
+        assert result.stats.max_writes >= 3
+
+    def test_chain_pathology_grows_with_length(self):
+        short = compile_with_management(fig1_chain(4), PRESETS["naive"])
+        long = compile_with_management(fig1_chain(16), PRESETS["naive"])
+        assert long.stats.max_writes > short.stats.max_writes
+        assert long.stats.max_writes >= 16  # ~one write per chain step
+
+    def test_min_write_alone_cannot_fix_chain(self):
+        """Section III-B: the minimum write strategy is 'not sufficient'
+        when the structure forces the same destination repeatedly."""
+        mig = fig1_chain(16)
+        minw = compile_with_management(mig, PRESETS["min-write"])
+        verify_program(minw.program, mig)
+        assert minw.stats.max_writes >= 10
+
+    def test_write_cap_bounds_chain(self):
+        """The maximum write strategy caps the hot cell, paying
+        instructions and devices."""
+        mig = fig1_chain(16)
+        naive = compile_with_management(mig, PRESETS["naive"])
+        capped = compile_with_management(mig, full_management(5))
+        verify_program(capped.program, mig)
+        assert capped.stats.max_writes <= 5
+        assert capped.num_rrams >= naive.num_rrams
+        assert capped.stats.stdev < naive.stats.stdev
+
+    def test_chain_validates_input(self):
+        with pytest.raises(ValueError):
+            fig1_chain(0)
+
+
+class TestFig2:
+    def test_structure_matches_paper(self):
+        mig = fig2_mig()
+        assert mig.num_pis == 6
+        assert mig.num_pos == 1
+        assert mig.num_live_gates() == 7  # nodes A..G
+
+    def test_blocked_node_has_long_lifetime(self):
+        mig = fig2_mig()
+        result = compile_with_management(mig, PRESETS["dac16"])
+        verify_program(result.program, mig)
+        longest, _mean = storage_pressure(result.program)
+        assert longest >= 4  # A's value waits for G
+
+    def test_endurance_selection_improves_ladder_balance(self):
+        """Algorithm 3 computes short-storage nodes first; on the ladder
+        this reduces both the write stdev and the hottest cell."""
+        mig = fig2_ladder(12)
+        dac16 = compile_with_management(mig, PRESETS["dac16"])
+        ea = compile_with_management(mig, PRESETS["ea-full"])
+        verify_program(dac16.program, mig)
+        verify_program(ea.program, mig)
+        assert ea.stats.stdev < dac16.stats.stdev
+        assert ea.stats.max_writes < dac16.stats.max_writes
+
+    def test_ladder_scales(self):
+        small = compile_with_management(fig2_ladder(4), PRESETS["dac16"])
+        big = compile_with_management(fig2_ladder(16), PRESETS["dac16"])
+        assert big.stats.max_writes >= small.stats.max_writes
+
+    def test_ladder_validates_input(self):
+        with pytest.raises(ValueError):
+            fig2_ladder(0)
+
+    def test_storage_pressure_empty_program(self):
+        from repro.plim.isa import Program
+
+        assert storage_pressure(Program()) == (0, 0.0)

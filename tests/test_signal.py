@@ -1,0 +1,84 @@
+"""Unit tests for the signal encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mig import signal as S
+
+
+class TestEncoding:
+    def test_constants(self):
+        assert S.CONST0 == 0
+        assert S.CONST1 == 1
+        assert S.complement(S.CONST0) == S.CONST1
+
+    def test_make_and_decompose(self):
+        sig = S.make_signal(5, True)
+        assert S.node_of(sig) == 5
+        assert S.is_complemented(sig)
+        assert not S.is_complemented(S.make_signal(5, False))
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            S.make_signal(-1)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.booleans())
+    def test_roundtrip(self, node, compl):
+        sig = S.make_signal(node, compl)
+        assert S.node_of(sig) == node
+        assert S.is_complemented(sig) == compl
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_complement_involution(self, sig):
+        assert S.complement(S.complement(sig)) == sig
+        assert S.complement(sig) != sig
+
+    def test_apply_complement(self):
+        assert S.apply_complement(4, True) == 5
+        assert S.apply_complement(4, False) == 4
+        assert S.apply_complement(5, True) == 4
+
+    def test_regular(self):
+        assert S.regular(7) == 6
+        assert S.regular(6) == 6
+
+
+class TestPredicates:
+    def test_is_constant(self):
+        assert S.is_constant(0) and S.is_constant(1)
+        assert not S.is_constant(2)
+
+    def test_constant_value(self):
+        assert S.constant_value(0) == 0
+        assert S.constant_value(1) == 1
+        with pytest.raises(ValueError):
+            S.constant_value(2)
+
+    def test_are_complementary(self):
+        assert S.are_complementary(4, 5)
+        assert not S.are_complementary(4, 4)
+        assert not S.are_complementary(4, 6)
+
+
+class TestHelpers:
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=100),
+        )
+    )
+    def test_sorted_fanins_is_sorted_permutation(self, abc):
+        result = S.sorted_fanins(*abc)
+        assert sorted(result) == list(result)
+        assert sorted(result) == sorted(abc)
+
+    def test_complement_count(self):
+        assert S.complement_count((2, 4, 6)) == 0
+        assert S.complement_count((3, 4, 7)) == 2
+
+    def test_format_signal(self):
+        assert S.format_signal(0) == "0"
+        assert S.format_signal(1) == "1"
+        assert S.format_signal(6) == "n3"
+        assert S.format_signal(7) == "~n3"

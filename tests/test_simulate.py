@@ -1,0 +1,133 @@
+"""Tests for bit-parallel MIG simulation and equivalence checking."""
+
+import pytest
+
+from repro.mig.graph import Mig
+from repro.mig.signal import complement
+from repro.mig.simulate import (
+    equivalent,
+    find_counterexample,
+    simulate,
+    simulate_one,
+    truth_tables,
+)
+from .conftest import make_random_mig
+
+
+class TestSimulate:
+    def test_constant_outputs(self):
+        mig = Mig()
+        mig.add_pi("a")
+        mig.add_po(0, "zero")
+        mig.add_po(1, "one")
+        assert simulate(mig, [0]) == [0, 1]
+        assert simulate(mig, [1]) == [0, 1]
+
+    def test_majority_single_pattern(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_po(mig.add_maj(a, b, c))
+        assert simulate(mig, [1, 1, 0]) == [1]
+        assert simulate(mig, [1, 0, 0]) == [0]
+
+    def test_bit_parallel_matches_serial(self):
+        mig = make_random_mig(5, 30, seed=3)
+        mask = (1 << 8) - 1
+        words = [0b10110010, 0b01011100, 0b11110000, 0b00001111, 0b10101010]
+        parallel = simulate(mig, words, mask=mask)
+        for bit in range(8):
+            serial = simulate(mig, [(w >> bit) & 1 for w in words])
+            for po in range(mig.num_pos):
+                assert (parallel[po] >> bit) & 1 == serial[po]
+
+    def test_wrong_arity_raises(self):
+        mig = Mig()
+        mig.add_pi()
+        mig.add_po(0)
+        with pytest.raises(ValueError):
+            simulate(mig, [0, 1])
+
+    def test_complemented_po(self):
+        mig = Mig()
+        a = mig.add_pi("a")
+        mig.add_po(complement(a), "na")
+        assert simulate(mig, [1]) == [0]
+        assert simulate(mig, [0]) == [1]
+
+    def test_simulate_one_by_name(self):
+        mig = Mig()
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_and(a, b), "f")
+        assert simulate_one(mig, {"a": 1, "b": 1}) == {"f": 1}
+        assert simulate_one(mig, {"a": 1, "b": 0}) == {"f": 0}
+        with pytest.raises(KeyError):
+            simulate_one(mig, {"a": 1})
+
+
+class TestTruthTables:
+    def test_xor(self, xor_mig):
+        assert truth_tables(xor_mig) == [0b0110]
+
+    def test_too_many_inputs(self):
+        mig = Mig()
+        for _ in range(21):
+            mig.add_pi()
+        mig.add_po(0)
+        with pytest.raises(ValueError):
+            truth_tables(mig)
+
+    def test_variable_pattern_convention(self):
+        # PI i toggles with period 2^(i+1): bit m of its word is bit i of m.
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        mig.add_po(a)
+        mig.add_po(b)
+        ta, tb = truth_tables(mig)
+        assert ta == 0b1010
+        assert tb == 0b1100
+
+
+class TestEquivalence:
+    def test_identical_equivalent(self, small_random_mig):
+        assert equivalent(small_random_mig, small_random_mig.clone())
+
+    def test_detects_difference(self):
+        m1 = Mig()
+        a, b = m1.add_pi(), m1.add_pi()
+        m1.add_po(m1.add_and(a, b))
+        m2 = Mig()
+        a, b = m2.add_pi(), m2.add_pi()
+        m2.add_po(m2.add_or(a, b))
+        assert not equivalent(m1, m2)
+
+    def test_interface_mismatch(self):
+        m1 = Mig()
+        m1.add_pi()
+        m1.add_po(0)
+        m2 = Mig()
+        m2.add_pi()
+        m2.add_pi()
+        m2.add_po(0)
+        assert not equivalent(m1, m2)
+
+    def test_random_path_for_many_inputs(self):
+        m1 = make_random_mig(20, 60, seed=11)
+        m2 = m1.clone()
+        assert equivalent(m1, m2, exhaustive_limit=4)
+
+    def test_counterexample_found(self):
+        m1 = Mig()
+        a, b = m1.add_pi("a"), m1.add_pi("b")
+        m1.add_po(m1.add_and(a, b), "f")
+        m2 = Mig()
+        a, b = m2.add_pi("a"), m2.add_pi("b")
+        m2.add_po(m2.add_or(a, b), "f")
+        cex = find_counterexample(m1, m2)
+        assert cex is not None
+        va, vb = cex["a"], cex["b"]
+        assert (va & vb) != (va | vb)
+
+    def test_counterexample_none_for_equal(self, small_random_mig):
+        assert find_counterexample(
+            small_random_mig, small_random_mig.clone()
+        ) is None

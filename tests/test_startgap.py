@@ -1,0 +1,107 @@
+"""Tests for the Start-Gap runtime wear-levelling extension."""
+
+import pytest
+
+from repro.core.manager import PRESETS, compile_with_management
+from repro.plim.controller import PlimController
+from repro.plim.memory import RramArray
+from repro.plim.startgap import StartGapArray, run_with_start_gap
+from repro.synth.arithmetic import build_adder
+
+
+class TestAddressTranslation:
+    def test_initial_identity_mapping(self):
+        array = StartGapArray(8)
+        for logical in range(8):
+            assert array.physical_address(logical) == logical
+
+    def test_out_of_range(self):
+        array = StartGapArray(4)
+        with pytest.raises(IndexError):
+            array.physical_address(4)
+
+    def test_gap_interval_validation(self):
+        with pytest.raises(ValueError):
+            StartGapArray(4, gap_interval=0)
+
+    def test_mapping_is_bijective_through_rotations(self):
+        array = StartGapArray(6, gap_interval=1)
+        for step in range(50):
+            mapped = {array.physical_address(l) for l in range(6)}
+            assert len(mapped) == 6
+            assert array.gap not in mapped
+            array.write(step % 6, step & 1)
+
+    def test_full_revolution_counted(self):
+        n = 5
+        array = StartGapArray(n, gap_interval=1)
+        for i in range(n + 1):
+            array.write(i % n, 1)
+        assert array.revolutions == 1
+
+
+class TestDataConsistency:
+    def test_values_survive_rotation(self):
+        array = StartGapArray(4, gap_interval=1)
+        for logical in range(4):
+            array.preload(logical, logical % 2)
+        expected = {l: l % 2 for l in range(4)}
+        # lots of writes, lots of gap movement
+        for step in range(40):
+            target = step % 4
+            value = (step // 4) & 1
+            array.write(target, value)
+            expected[target] = value
+            for logical in range(4):
+                assert array.read(logical) == expected[logical], (step, logical)
+
+    def test_controller_runs_identically_on_startgap(self):
+        """Program outputs are mapping-invariant."""
+        mig = build_adder(width=4)
+        program = compile_with_management(mig, PRESETS["min-write"]).program
+        words = [(i * 29) & 1 for i in range(mig.num_pis)]
+        plain = PlimController(RramArray(program.num_cells)).run(
+            program, words
+        )
+        for interval in (1, 3, 17):
+            sg = StartGapArray(program.num_cells, gap_interval=interval)
+            got = PlimController(sg).run(program, words)
+            assert got == plain, interval
+
+
+class TestWearLevelling:
+    def test_rotation_spreads_static_hotspot(self):
+        """A single hot logical cell wears the whole physical array."""
+        n = 8
+        array = StartGapArray(n, gap_interval=4)
+        for _ in range(800):
+            array.write(0, 1)  # always the same logical address
+        counts = array.write_counts()
+        # no physical cell takes more than half the traffic
+        assert max(counts) < 800 // 2
+        # and every physical cell participated
+        assert min(counts) > 0
+
+    def test_no_rotation_concentrates(self):
+        array = RramArray(8)
+        for _ in range(800):
+            array.write(0, 1)
+        assert array.max_writes() == 800
+
+    def test_run_with_start_gap_end_to_end(self):
+        mig = build_adder(width=3)
+        program = compile_with_management(mig, PRESETS["naive"]).program
+        words = [0] * mig.num_pis
+        static_counts = program.write_counts()
+        executions = 30
+        array = run_with_start_gap(
+            program, words, executions=executions, gap_interval=16
+        )
+        physical = array.write_counts()
+        # rotation beats the static concentration: hottest physical cell
+        # is cooler than executions * hottest static cell
+        assert max(physical) < executions * max(static_counts)
+        # total wear grows only by the gap-copy overhead
+        base = executions * sum(static_counts)
+        assert sum(physical) >= base
+        assert sum(physical) <= base * 1.2

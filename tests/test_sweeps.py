@@ -1,0 +1,76 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    by_config,
+    render_sweep,
+    scaling_exponent,
+    sweep_widths,
+)
+from repro.synth.arithmetic import build_adder
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_widths(lambda w: build_adder(width=w), [3, 6])
+
+
+class TestSweep:
+    def test_point_grid_complete(self, points):
+        assert len(points) == 2 * 3  # widths x default configs
+        assert {p.config for p in points} == {"naive", "ea-full", "wmax20"}
+
+    def test_by_config_ordering(self, points):
+        naive = by_config(points, "naive")
+        assert [p.parameter for p in naive] == [3, 6]
+
+    def test_writes_per_gate(self, points):
+        for p in points:
+            assert p.writes_per_gate == p.instructions / p.gates
+
+    def test_capped_points_respect_cap(self, points):
+        for p in by_config(points, "wmax20"):
+            assert p.max_writes <= 20
+
+    def test_render(self, points):
+        text = render_sweep(points)
+        assert "naive" in text and "wmax20" in text
+        assert text.count("\n") == len(points)
+
+    def test_custom_configs(self):
+        from repro.core.manager import PRESETS
+
+        pts = sweep_widths(
+            lambda w: build_adder(width=w), [3],
+            configs={"only": PRESETS["min-write"]},
+        )
+        assert len(pts) == 1
+        assert pts[0].config == "only"
+
+
+class TestScalingExponent:
+    def test_linear_series(self):
+        pts = [
+            SweepPoint(w, "c", w, w * 10, w, 1.0, w, 100)
+            for w in (2, 4, 8, 16)
+        ]
+        assert abs(scaling_exponent(pts, "max_writes") - 1.0) < 1e-9
+        assert abs(scaling_exponent(pts, "instructions") - 1.0) < 1e-9
+
+    def test_quadratic_series(self):
+        pts = [
+            SweepPoint(w, "c", w, w * w, w, 1.0, w * w, 100)
+            for w in (2, 4, 8)
+        ]
+        assert abs(scaling_exponent(pts, "instructions") - 2.0) < 1e-9
+
+    def test_flat_series(self):
+        pts = [SweepPoint(w, "c", w, 5, w, 1.0, 7, 100) for w in (2, 4, 8)]
+        assert abs(scaling_exponent(pts, "max_writes")) < 1e-9
+
+    def test_single_parameter_rejected(self):
+        pts = [SweepPoint(4, "c", 1, 1, 1, 1.0, 1, 1)]
+        with pytest.raises(ValueError):
+            scaling_exponent(pts, "max_writes")
