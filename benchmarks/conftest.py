@@ -2,13 +2,19 @@
 
 Every file under ``benchmarks/`` regenerates one table or figure of the
 paper.  Suite evaluations are expensive (18 benchmarks x 9 compiler
-configurations), so they are computed once per pytest session and shared
-through the memoised helpers below.  Rendered tables are written to
+configurations), so all of them run through one session-scoped
+:class:`~repro.analysis.runner.ExperimentCache`: each (benchmark,
+configuration) pair is built, rewritten, and compiled exactly once per
+pytest session no matter how many table/figure modules ask for it — in
+particular, the capped Table III evaluation reuses every Table I column
+instead of recompiling it.  Rendered tables are written to
 ``benchmarks/output/`` so a harness run leaves the reproduced artefacts
 on disk.
 
 Set ``REPRO_BENCH_PRESET=tiny`` for a fast smoke run, ``paper`` for the
-paper's full widths (slow in pure Python).
+paper's full widths (slow in pure Python).  ``REPRO_BENCH_PARALLEL=N``
+fans the suite evaluation out over N worker processes (results are
+identical to the serial run).
 """
 
 from __future__ import annotations
@@ -16,25 +22,80 @@ from __future__ import annotations
 import functools
 import os
 import pathlib
+import warnings
 
+import pytest
+
+from repro.analysis.runner import ExperimentCache
 from repro.analysis.tables import TABLE3_CAPS, evaluate_suite
+
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything collected under ``benchmarks/`` as ``bench``.
+
+    Centralised here so new table/figure modules land in the slow lane
+    (`-m "not bench"` deselects them) without per-file boilerplate.  The
+    hook sees the whole session's items, hence the path filter.
+    """
+    for item in items:
+        if _BENCH_DIR in item.path.parents:
+            item.add_marker(pytest.mark.bench)
 
 #: Benchmark widths used by the harness (see repro.synth.registry).
 PRESET = os.environ.get("REPRO_BENCH_PRESET", "default")
 
+def _parallel_from_env() -> "int | None":
+    """Parse REPRO_BENCH_PARALLEL; serial when unset, <= 1, or garbage."""
+    raw = os.environ.get("REPRO_BENCH_PARALLEL", "")
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+        if value < 0:
+            raise ValueError("negative worker count")
+    except ValueError as exc:
+        warnings.warn(
+            f"ignoring REPRO_BENCH_PARALLEL={raw!r} ({exc}); running serially",
+            stacklevel=1,
+        )
+        return None
+    return value if value > 1 else None
+
+
+#: Worker processes for the suite evaluation (serial when unset/<=1).
+PARALLEL = _parallel_from_env()
+
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: One cache per pytest session, shared by every benchmark module.
+SESSION_CACHE = ExperimentCache()
 
 
 @functools.lru_cache(maxsize=None)
 def suite_plain():
     """The five Table I configurations over all 18 benchmarks."""
-    return evaluate_suite(preset=PRESET, verify=False)
+    return evaluate_suite(
+        preset=PRESET, verify=False, cache=SESSION_CACHE, parallel=PARALLEL
+    )
 
 
 @functools.lru_cache(maxsize=None)
 def suite_with_caps():
-    """Table I configurations plus the four Table III write caps."""
-    return evaluate_suite(preset=PRESET, caps=tuple(TABLE3_CAPS), verify=False)
+    """Table I configurations plus the four Table III write caps.
+
+    With the shared session cache this only compiles the four capped
+    configurations on top of :func:`suite_plain`'s results.
+    """
+    return evaluate_suite(
+        preset=PRESET,
+        caps=tuple(TABLE3_CAPS),
+        verify=False,
+        cache=SESSION_CACHE,
+        parallel=PARALLEL,
+    )
 
 
 def write_artifact(name: str, text: str) -> pathlib.Path:

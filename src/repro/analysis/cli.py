@@ -42,6 +42,13 @@ def _add_suite_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip program-vs-MIG co-simulation (faster)",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan benchmarks out over N worker processes",
+    )
 
 
 def _suite(args, caps=None):
@@ -51,6 +58,7 @@ def _suite(args, caps=None):
         caps=caps,
         effort=args.effort,
         verify=not args.no_verify,
+        parallel=args.parallel,
     )
 
 
@@ -73,6 +81,20 @@ def cmd_table3(args) -> int:
 def cmd_headline(args) -> int:
     evaluations = _suite(args, caps=[100])
     print(report.render_headline(evaluations))
+    return 0
+
+
+def cmd_report(args) -> int:
+    artifacts = report.full_report(
+        preset=args.preset,
+        names=args.benchmarks,
+        effort=args.effort,
+        verify=not args.no_verify,
+        parallel=args.parallel,
+    )
+    for name in ("table1", "table2", "table3", "headline"):
+        print(artifacts[name])
+        print()
     return 0
 
 
@@ -149,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("table2", cmd_table2, "instructions and RRAMs (Table II)"),
         ("table3", cmd_table3, "write-cap sweep (Table III)"),
         ("headline", cmd_headline, "abstract headline numbers"),
+        ("report", cmd_report, "all tables + headline from one cached run"),
     ]:
         p = sub.add_parser(name, help=doc)
         _add_suite_options(p)

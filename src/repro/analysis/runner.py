@@ -1,0 +1,500 @@
+"""Keyed, session-scoped experiment runner for the evaluation harness.
+
+Every table, figure, sweep, and benchmark module of the harness compiles
+the same (benchmark, configuration) pairs.  This module makes those
+compilations *shared work*:
+
+* :class:`ExperimentCache` memoizes the three expensive stages
+  independently — benchmark construction, MIG rewriting, and compilation
+  — keyed by the *semantics* of an :class:`EnduranceConfig` (rewriting
+  script, selection strategy, allocation policy, write cap, effort), not
+  its display name.  Two configs that differ only in ``name`` (e.g.
+  ``with_cap`` relabels) hit the same cache line; every configuration
+  sharing a rewriting script reuses one rewriting run.
+* :func:`run_matrix` evaluates a benchmarks x configurations matrix,
+  either serially through a shared cache or fanned out over worker
+  processes with ``concurrent.futures`` — results are assembled in
+  matrix order, so the parallel path is bit-for-bit identical to the
+  serial one.
+
+The table/report layer (:mod:`repro.analysis.tables`,
+:mod:`repro.analysis.report`) and the benchmark harness conftest are thin
+views over this runner.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.manager import (
+    CompilationResult,
+    EnduranceConfig,
+    PRESETS,
+    compile_with_management,
+    full_management,
+)
+from ..core.rewriting import DEFAULT_EFFORT, rewrite
+from ..core.stats import improvement_percent
+from ..mig.graph import Mig
+from ..plim.verify import verify_program
+from ..synth.registry import BENCHMARK_ORDER, build_benchmark
+
+#: A configuration request: a preset name or an explicit config object.
+ConfigLike = Union[str, EnduranceConfig]
+
+#: The five incremental Table I configuration presets, in column order —
+#: the default matrix columns.  Deliberately an explicit list rather than
+#: ``list(PRESETS)``: the preset registry may grow aliases without every
+#: default table silently changing shape.
+TABLE1_PRESETS: List[str] = [
+    "naive",
+    "dac16",
+    "min-write",
+    "ea-rewrite",
+    "ea-full",
+]
+
+
+def config_key(config: EnduranceConfig) -> Tuple:
+    """Semantic identity of a configuration (display name excluded).
+
+    Two configurations with equal keys compile any MIG to the identical
+    program, so cached results may be shared between them — in particular
+    across :meth:`EnduranceConfig.with_cap` relabellings.
+    """
+    return (
+        config.rewriting,
+        config.selection,
+        config.allocation.strategy,
+        config.allocation.w_max,
+        config.effort,
+        config.allow_pi_overwrite,
+    )
+
+
+def mig_key(mig: Mig) -> Tuple:
+    """Default cache identity of a MIG.
+
+    Name, interface, size, *and* a structural digest over the fanin/PO
+    lists — so two hand-built graphs that merely coincide in name and
+    node counts never share cache lines.  The digest is process-local
+    (plain ``hash``); worker processes re-derive keys from the actual
+    graph objects they adopt, so this never crosses a process boundary.
+    """
+    return (
+        mig.name,
+        mig.num_pis,
+        mig.num_pos,
+        mig.num_nodes,
+        mig.num_gates,
+        mig.structural_digest(),
+    )
+
+
+def result_label(config: EnduranceConfig) -> str:
+    """Result-dictionary key used by the tables (``wmaxN`` for caps)."""
+    if config.name.startswith("ea-full+wmax"):
+        return "wmax" + config.name.split("wmax")[1]
+    return config.name
+
+
+@dataclass
+class BenchmarkEvaluation:
+    """All configurations of one benchmark, verified and summarised."""
+
+    name: str
+    num_pis: int
+    num_pos: int
+    gates: int
+    results: Dict[str, CompilationResult] = field(default_factory=dict)
+
+    def stats(self, config: str):
+        return self.results[config].stats
+
+    def improvement(self, config: str, baseline: str = "naive") -> float:
+        """Stdev improvement of *config* over *baseline*, percent."""
+        return improvement_percent(
+            self.stats(baseline).stdev, self.stats(config).stdev
+        )
+
+
+class ExperimentCache:
+    """Session-scoped memo of built, rewritten, and compiled artefacts.
+
+    All stages are keyed semantically (see :func:`config_key` /
+    :func:`mig_key`); hit/miss counters cover the compilation stage and
+    back the cache tests.  The cache is lock-protected, so one instance
+    may be shared by threads; worker *processes* get their own instance.
+    """
+
+    def __init__(self) -> None:
+        self._migs: Dict[Tuple, Mig] = {}
+        self._rewrites: Dict[Tuple, Mig] = {}
+        self._results: Dict[Tuple, Tuple[CompilationResult, int]] = {}
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- stages ----------------------------------------------------------
+
+    def cached_mig(self, name: str, preset: str) -> Optional[Mig]:
+        """Fetch an already-built registry benchmark, or ``None``."""
+        with self._lock:
+            return self._migs.get((name, preset))
+
+    def benchmark_mig(self, name: str, preset: str) -> Mig:
+        """Build (or fetch) a registry benchmark."""
+        key = (name, preset)
+        with self._lock:
+            mig = self._migs.get(key)
+        if mig is None:
+            mig = build_benchmark(name, preset)
+            with self._lock:
+                mig = self._migs.setdefault(key, mig)
+        return mig
+
+    def rewritten(
+        self, mig: Mig, script: str, effort: int, key: Optional[Tuple] = None
+    ) -> Mig:
+        """Rewriting result shared by every config running *script*."""
+        cache_key = (key or mig_key(mig), script, effort)
+        with self._lock:
+            result = self._rewrites.get(cache_key)
+        if result is None:
+            result = rewrite(mig, script, effort=effort)
+            with self._lock:
+                result = self._rewrites.setdefault(cache_key, result)
+        return result
+
+    def compile(
+        self,
+        mig: Mig,
+        config: EnduranceConfig,
+        *,
+        key: Optional[Tuple] = None,
+        verify: bool = False,
+        verify_patterns: int = 64,
+    ) -> CompilationResult:
+        """Compile *mig* under *config*, memoized on semantic keys.
+
+        With ``verify=True`` the compiled program is co-simulated against
+        the MIG once per cache entry; re-requests at the same or lower
+        pattern count reuse the stored certificate.  Racing threads may
+        duplicate a compilation, but the first stored result wins and
+        verification certificates are never downgraded.
+        """
+        graph_id = key or mig_key(mig)
+        cache_key = (graph_id, config_key(config))
+        with self._lock:
+            entry = self._results.get(cache_key)
+            if entry is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        if entry is not None:
+            result, verified = entry
+        else:
+            prewritten = self.rewritten(
+                mig, config.rewriting, config.effort, key=graph_id
+            )
+            result = compile_with_management(
+                mig, config, rewritten=prewritten
+            )
+            verified = 0
+        if verify and verify_patterns > verified:
+            verify_program(result.program, mig, patterns=verify_patterns)
+            verified = verify_patterns
+        with self._lock:
+            stored = self._results.get(cache_key)
+            if stored is not None:
+                result = stored[0]
+                verified = max(verified, stored[1])
+            self._results[cache_key] = (result, verified)
+        return result
+
+    def has(
+        self,
+        mig_or_key,
+        config: EnduranceConfig,
+        *,
+        verified_patterns: int = 0,
+    ) -> bool:
+        """Whether a stored result satisfies this pair's requirements.
+
+        With a nonzero *verified_patterns* the entry must also carry a
+        verification certificate at least that wide — an unverified
+        entry does not satisfy a verifying request.
+        """
+        graph_id = (
+            mig_or_key if isinstance(mig_or_key, tuple) else mig_key(mig_or_key)
+        )
+        with self._lock:
+            entry = self._results.get((graph_id, config_key(config)))
+            return entry is not None and entry[1] >= verified_patterns
+
+    def adopt(
+        self,
+        name: str,
+        preset: str,
+        mig: Mig,
+        configs: Sequence[EnduranceConfig],
+        evaluation: "BenchmarkEvaluation",
+        verified_patterns: int = 0,
+    ) -> None:
+        """Merge results computed elsewhere (a worker process) into this
+        cache.
+
+        Existing result objects are kept (first stored wins), but their
+        verification certificates are upgraded: compilation is
+        deterministic, so a worker verifying its recompilation certifies
+        the identical stored program too.
+        """
+        graph_id = mig_key(mig)
+        with self._lock:
+            self._migs.setdefault((name, preset), mig)
+            for cfg in configs:
+                key = (graph_id, config_key(cfg))
+                stored = self._results.get(key)
+                if stored is None:
+                    self._results[key] = (
+                        evaluation.results[result_label(cfg)],
+                        verified_patterns,
+                    )
+                elif verified_patterns > stored[1]:
+                    self._results[key] = (stored[0], verified_patterns)
+
+
+def resolve_configs(
+    configs: Optional[Sequence[ConfigLike]] = None,
+    caps: Optional[Sequence[int]] = None,
+    effort: int = DEFAULT_EFFORT,
+) -> List[EnduranceConfig]:
+    """Expand preset names / explicit configs / write caps into one list.
+
+    The *effort* override applies to preset names and caps; explicit
+    :class:`EnduranceConfig` objects already carry their own effort and
+    pass through untouched.
+    """
+    jobs: List[EnduranceConfig] = []
+    for entry in configs if configs is not None else TABLE1_PRESETS:
+        if isinstance(entry, str):
+            cfg = PRESETS[entry]
+            if cfg.effort != effort:
+                cfg = replace(cfg, effort=effort)
+            jobs.append(cfg)
+        else:
+            jobs.append(entry)
+    for cap in caps or []:
+        cfg = full_management(cap)
+        if cfg.effort != effort:
+            cfg = replace(cfg, effort=effort)
+        jobs.append(cfg)
+    return jobs
+
+
+def evaluate_mig_cached(
+    mig: Mig,
+    configs: Sequence[EnduranceConfig],
+    *,
+    cache: Optional[ExperimentCache] = None,
+    key: Optional[Tuple] = None,
+    verify: bool = False,
+    verify_patterns: int = 64,
+) -> BenchmarkEvaluation:
+    """Compile *mig* under every configuration through a cache."""
+    cache = cache if cache is not None else ExperimentCache()
+    evaluation = BenchmarkEvaluation(
+        name=mig.name,
+        num_pis=mig.num_pis,
+        num_pos=mig.num_pos,
+        gates=mig.num_live_gates(),
+    )
+    labels: Dict[str, Tuple] = {}
+    for cfg in configs:
+        label = result_label(cfg)
+        semantic = config_key(cfg)
+        if labels.setdefault(label, semantic) != semantic:
+            # A silent last-wins overwrite here would also poison the
+            # shared cache through adopt(), which maps labels back to
+            # configurations — refuse loudly instead.
+            raise ValueError(
+                f"distinct configurations share the result label {label!r}; "
+                "rename one of them"
+            )
+        evaluation.results[label] = cache.compile(
+            mig, cfg, key=key, verify=verify, verify_patterns=verify_patterns
+        )
+    return evaluation
+
+
+#: Directory containing the ``repro`` package, for worker bootstrap.
+_PACKAGE_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+
+# Refcounted PYTHONPATH patch: os.environ is process-global, so
+# concurrent pools must not restore it while a sibling is still
+# spawning workers.
+_ENV_LOCK = threading.Lock()
+_ENV_DEPTH = 0
+_ENV_SAVED: object = None
+_ENV_UNTOUCHED = object()  # sentinel: nothing to restore
+
+
+@contextmanager
+def _importable_in_workers():
+    """Make ``repro`` importable in spawned worker processes.
+
+    Under the ``fork`` start method children inherit the parent's
+    ``sys.path``, but ``spawn`` (Windows, macOS default) re-executes the
+    interpreter, which only sees ``PYTHONPATH`` — and the pytest
+    ``pythonpath`` ini option patches the test process, not the
+    environment.  The package root is exported while any pool is alive
+    (refcounted across threads) and restored when the last one exits.
+    """
+    global _ENV_DEPTH, _ENV_SAVED
+    with _ENV_LOCK:
+        if _ENV_DEPTH == 0:
+            existing = os.environ.get("PYTHONPATH")
+            parts = existing.split(os.pathsep) if existing else []
+            if _PACKAGE_ROOT in parts:
+                _ENV_SAVED = _ENV_UNTOUCHED
+            else:
+                _ENV_SAVED = existing
+                os.environ["PYTHONPATH"] = os.pathsep.join(
+                    [_PACKAGE_ROOT] + parts
+                )
+        _ENV_DEPTH += 1
+    try:
+        yield
+    finally:
+        with _ENV_LOCK:
+            _ENV_DEPTH -= 1
+            if _ENV_DEPTH == 0 and _ENV_SAVED is not _ENV_UNTOUCHED:
+                if _ENV_SAVED is None:
+                    os.environ.pop("PYTHONPATH", None)
+                else:
+                    os.environ["PYTHONPATH"] = _ENV_SAVED
+
+
+def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation]:
+    """Worker-process entry: evaluate one benchmark with a local cache.
+
+    Returns the built MIG alongside the evaluation so the parent can
+    adopt both into a shared cache.
+    """
+    name, preset, configs, verify, verify_patterns = args
+    cache = ExperimentCache()
+    mig = cache.benchmark_mig(name, preset)
+    evaluation = evaluate_mig_cached(
+        mig,
+        configs,
+        cache=cache,
+        verify=verify,
+        verify_patterns=verify_patterns,
+    )
+    return mig, evaluation
+
+
+def run_matrix(
+    benchmarks: Optional[Iterable[str]] = None,
+    configs: Optional[Sequence[ConfigLike]] = None,
+    *,
+    preset: str = "default",
+    caps: Optional[Sequence[int]] = None,
+    effort: int = DEFAULT_EFFORT,
+    verify: bool = False,
+    verify_patterns: int = 64,
+    parallel: Optional[int] = None,
+    cache: Optional[ExperimentCache] = None,
+) -> List[BenchmarkEvaluation]:
+    """Evaluate a benchmarks x configurations matrix.
+
+    Parameters
+    ----------
+    benchmarks:
+        Registry benchmark names (default: all 18, table order).
+    configs:
+        Configuration preset names or explicit :class:`EnduranceConfig`
+        objects (default: the five Table I columns).
+    caps:
+        Additional ``full_management(cap)`` columns, labelled ``wmaxN``.
+    parallel:
+        ``None``/``0``/``1`` — run serially through *cache* (created on
+        demand).  ``N > 1`` — fan benchmarks out over ``N`` worker
+        processes; each worker holds a process-local cache, and results
+        are assembled in matrix order, so the output is identical to the
+        serial run (asserted by the runner tests).  A shared *cache*
+        cooperates with the pool: already-compiled (benchmark, config)
+        pairs are served from it, only the missing remainder is
+        dispatched, and worker results are adopted back into the cache.
+    """
+    names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    jobs = resolve_configs(configs, caps, effort)
+
+    if parallel is not None and parallel > 1 and len(names) > 1:
+        if cache is None:
+            work = [
+                (name, preset, jobs, verify, verify_patterns)
+                for name in names
+            ]
+            with _importable_in_workers(), ProcessPoolExecutor(
+                max_workers=parallel
+            ) as pool:
+                return [ev for _, ev in pool.map(_run_benchmark_job, work)]
+        # Cooperative mode: dispatch only the pairs the cache is missing
+        # (an entry without a wide-enough verification certificate counts
+        # as missing when this run verifies).
+        needed = verify_patterns if verify else 0
+        work = []
+        for name in names:
+            mig = cache.cached_mig(name, preset)
+            missing = (
+                jobs
+                if mig is None
+                else [
+                    cfg
+                    for cfg in jobs
+                    if not cache.has(
+                        mig_key(mig), cfg, verified_patterns=needed
+                    )
+                ]
+            )
+            if missing:
+                work.append((name, preset, missing, verify, verify_patterns))
+        if work:
+            with _importable_in_workers(), ProcessPoolExecutor(
+                max_workers=parallel
+            ) as pool:
+                for job, (mig, evaluation) in zip(
+                    work, pool.map(_run_benchmark_job, work)
+                ):
+                    cache.adopt(
+                        job[0],
+                        preset,
+                        mig,
+                        job[2],
+                        evaluation,
+                        verified_patterns=verify_patterns if verify else 0,
+                    )
+        # Fall through: assemble every evaluation from the now-warm cache
+        # (pure hits), which also keeps matrix order.
+
+    cache = cache if cache is not None else ExperimentCache()
+    evaluations = []
+    for name in names:
+        mig = cache.benchmark_mig(name, preset)
+        evaluations.append(
+            evaluate_mig_cached(
+                mig,
+                jobs,
+                cache=cache,
+                verify=verify,
+                verify_patterns=verify_patterns,
+            )
+        )
+    return evaluations

@@ -15,12 +15,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.manager import (
     EnduranceConfig,
     PRESETS,
-    compile_with_management,
     full_management,
 )
-from ..core.stats import WriteTrafficStats
 from ..mig.graph import Mig
 from ..plim.memory import TYPICAL_ENDURANCE_LOW, estimate_lifetime
+from .runner import ExperimentCache
 
 
 @dataclass(frozen=True)
@@ -47,11 +46,14 @@ def sweep_widths(
     widths: Sequence[int],
     configs: Optional[Dict[str, EnduranceConfig]] = None,
     endurance: int = TYPICAL_ENDURANCE_LOW,
+    cache: Optional[ExperimentCache] = None,
 ) -> List[SweepPoint]:
     """Compile ``builder(width)`` for every width under every config.
 
     *builder* maps an integer size parameter to a MIG (any of the
-    arithmetic generators fits directly).
+    arithmetic generators fits directly).  Compilations run through an
+    :class:`ExperimentCache` (shared when passed in), so configurations
+    with a common rewriting script rewrite each width only once.
     """
     if configs is None:
         configs = {
@@ -59,12 +61,13 @@ def sweep_widths(
             "ea-full": PRESETS["ea-full"],
             "wmax20": full_management(20),
         }
+    cache = cache if cache is not None else ExperimentCache()
     points: List[SweepPoint] = []
     for width in widths:
         mig = builder(width)
         gates = mig.num_live_gates()
         for label, config in configs.items():
-            result = compile_with_management(mig, config)
+            result = cache.compile(mig, config)
             stats = result.stats
             life = estimate_lifetime(
                 result.program.write_counts(), endurance=endurance

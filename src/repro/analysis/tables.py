@@ -1,59 +1,43 @@
 """Experiment runners regenerating the paper's Tables I, II, and III.
 
-One evaluation pass per benchmark compiles every configuration the three
-tables need (the five incremental Table I columns plus the four Table III
-write caps), verifies each compiled program against its source MIG, and
-caches the results; the per-table views then just select columns.
+The heavy lifting — building, rewriting, compiling, verifying — lives in
+:mod:`repro.analysis.runner`, which memoizes each stage per session so
+every (benchmark, configuration) pair compiles exactly once no matter how
+many tables ask for it.  This module keeps the table vocabulary (column
+orders, write caps) and the per-table aggregate views.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..core.manager import (
-    CompilationResult,
-    EnduranceConfig,
-    PRESETS,
-    compile_with_management,
-    full_management,
-)
-from ..core.stats import average_improvement, improvement_percent
+from ..core.stats import average_improvement
 from ..mig.graph import Mig
-from ..plim.verify import verify_program
-from ..synth.registry import BENCHMARK_ORDER, build_benchmark
+from .runner import (
+    BenchmarkEvaluation,
+    ExperimentCache,
+    TABLE1_PRESETS,
+    evaluate_mig_cached,
+    resolve_configs,
+    run_matrix,
+)
 
 #: Table I column order (left to right in the paper).
-TABLE1_CONFIGS: List[str] = [
-    "naive",
-    "dac16",
-    "min-write",
-    "ea-rewrite",
-    "ea-full",
-]
+TABLE1_CONFIGS: List[str] = list(TABLE1_PRESETS)
 
 #: Table III write caps.
 TABLE3_CAPS: List[int] = [10, 20, 50, 100]
 
-
-@dataclass
-class BenchmarkEvaluation:
-    """All configurations of one benchmark, verified and summarised."""
-
-    name: str
-    num_pis: int
-    num_pos: int
-    gates: int
-    results: Dict[str, CompilationResult] = field(default_factory=dict)
-
-    def stats(self, config: str):
-        return self.results[config].stats
-
-    def improvement(self, config: str, baseline: str = "naive") -> float:
-        """Stdev improvement of *config* over *baseline*, percent."""
-        return improvement_percent(
-            self.stats(baseline).stdev, self.stats(config).stdev
-        )
+__all__ = [
+    "BenchmarkEvaluation",
+    "TABLE1_CONFIGS",
+    "TABLE3_CAPS",
+    "average_row",
+    "evaluate_benchmark",
+    "evaluate_mig",
+    "evaluate_suite",
+    "headline_metrics",
+]
 
 
 def evaluate_mig(
@@ -64,6 +48,7 @@ def evaluate_mig(
     effort: int = 5,
     verify: bool = True,
     verify_patterns: int = 64,
+    cache: Optional[ExperimentCache] = None,
 ) -> BenchmarkEvaluation:
     """Compile *mig* under every requested configuration.
 
@@ -71,60 +56,58 @@ def evaluate_mig(
     ``caps`` adds full-management runs keyed ``"wmax{cap}"`` (Table III).
     With ``verify=True`` every compiled program is co-simulated against
     the MIG — a failed check raises, keeping bogus statistics out of the
-    tables.
+    tables.  Passing a shared *cache* deduplicates work across calls.
     """
-    evaluation = BenchmarkEvaluation(
-        name=mig.name,
-        num_pis=mig.num_pis,
-        num_pos=mig.num_pos,
-        gates=mig.num_live_gates(),
+    jobs = resolve_configs(
+        configs if configs is not None else TABLE1_CONFIGS, caps, effort
     )
-    jobs: List[EnduranceConfig] = []
-    for preset in configs if configs is not None else TABLE1_CONFIGS:
-        cfg = PRESETS[preset]
-        if cfg.effort != effort:
-            from dataclasses import replace
-
-            cfg = replace(cfg, effort=effort)
-        jobs.append(cfg)
-    for cap in caps or []:
-        cfg = full_management(cap)
-        if cfg.effort != effort:
-            from dataclasses import replace
-
-            cfg = replace(cfg, effort=effort)
-        jobs.append(cfg)
-
-    for cfg in jobs:
-        result = compile_with_management(mig, cfg)
-        if verify:
-            verify_program(
-                result.program, mig, patterns=verify_patterns
-            )
-        key = cfg.name if not cfg.name.startswith("ea-full+wmax") else (
-            "wmax" + cfg.name.split("wmax")[1]
-        )
-        evaluation.results[key] = result
-    return evaluation
+    return evaluate_mig_cached(
+        mig,
+        jobs,
+        cache=cache,
+        verify=verify,
+        verify_patterns=verify_patterns,
+    )
 
 
 def evaluate_benchmark(
     name: str,
     preset: str = "default",
+    *,
+    cache: Optional[ExperimentCache] = None,
     **kwargs,
 ) -> BenchmarkEvaluation:
     """Build a registry benchmark and evaluate it."""
-    return evaluate_mig(build_benchmark(name, preset), **kwargs)
+    cache = cache if cache is not None else ExperimentCache()
+    return evaluate_mig(
+        cache.benchmark_mig(name, preset), cache=cache, **kwargs
+    )
 
 
 def evaluate_suite(
     preset: str = "default",
     names: Optional[Iterable[str]] = None,
-    **kwargs,
+    *,
+    configs: Optional[Sequence[str]] = None,
+    caps: Optional[Sequence[int]] = None,
+    effort: int = 5,
+    verify: bool = True,
+    verify_patterns: int = 64,
+    parallel: Optional[int] = None,
+    cache: Optional[ExperimentCache] = None,
 ) -> List[BenchmarkEvaluation]:
     """Evaluate a benchmark subset (default: all 18, table order)."""
-    selected = list(names) if names is not None else list(BENCHMARK_ORDER)
-    return [evaluate_benchmark(n, preset, **kwargs) for n in selected]
+    return run_matrix(
+        names,
+        configs if configs is not None else TABLE1_CONFIGS,
+        preset=preset,
+        caps=caps,
+        effort=effort,
+        verify=verify,
+        verify_patterns=verify_patterns,
+        parallel=parallel,
+        cache=cache,
+    )
 
 
 # ----------------------------------------------------------------------

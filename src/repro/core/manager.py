@@ -127,11 +127,18 @@ def full_management(w_max: int) -> EnduranceConfig:
 
 
 def compile_with_management(
-    mig: Mig, config: EnduranceConfig
+    mig: Mig, config: EnduranceConfig, *, rewritten: Optional[Mig] = None
 ) -> CompilationResult:
-    """Rewrite, compile, and summarise *mig* under *config*."""
+    """Rewrite, compile, and summarise *mig* under *config*.
+
+    *rewritten* short-circuits the rewriting stage with a precomputed
+    result of ``rewrite(mig, config.rewriting, effort=config.effort)`` —
+    the hook :class:`repro.analysis.runner.ExperimentCache` uses to share
+    one rewriting run between every configuration with the same script.
+    """
     gates_before = mig.num_live_gates()
-    rewritten = rewrite(mig, config.rewriting, effort=config.effort)
+    if rewritten is None:
+        rewritten = rewrite(mig, config.rewriting, effort=config.effort)
     selection = None
     if config.selection != "topo":
         selection = make_selection(config.selection)

@@ -23,11 +23,16 @@ Design notes
   :mod:`repro.mig.rewrite`), which keeps invariants trivial and avoids
   dangling-pointer style bugs at the price of copying — a good trade for a
   research-grade Python implementation.
+* Derived traversal state (liveness, fanout counts, levels, the flat
+  ``(node, fanin, fanin, fanin)`` gate list used by simulation and
+  compilation) is memoized per graph and invalidated on any mutation, so
+  the many passes that query the same finished graph pay for each
+  traversal exactly once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .signal import (
     CONST0,
@@ -71,6 +76,8 @@ class Mig:
         self._pos: List[int] = []  # output signals, in order
         self._po_names: List[str] = []
         self._strash: Dict[Tuple[int, int, int], int] = {}
+        # Memoized derived state; cleared by any structural mutation.
+        self._derived: Dict[object, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +90,8 @@ class Mig:
         self._pi_index.append(len(self._pis))
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        if self._derived:
+            self._derived.clear()
         return make_signal(node)
 
     def add_pis(self, count: int, prefix: str = "pi") -> List[int]:
@@ -94,6 +103,8 @@ class Mig:
         self._check_signal(signal)
         self._pos.append(signal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        if self._derived:
+            self._derived.clear()
         return len(self._pos) - 1
 
     def add_maj(self, a: int, b: int, c: int) -> int:
@@ -108,9 +119,12 @@ class Mig:
         complement of ``CONST0``, so e.g. ``<0 1 z> = z`` follows from the
         second identity.
         """
-        self._check_signal(a)
-        self._check_signal(b)
-        self._check_signal(c)
+        fanins = self._fanins
+        limit = len(fanins) << 1
+        if a < 0 or a >= limit or b < 0 or b >= limit or c < 0 or c >= limit:
+            self._check_signal(a)
+            self._check_signal(b)
+            self._check_signal(c)
 
         # Omega.M: duplicate operand decides.
         if a == b or a == c:
@@ -118,25 +132,35 @@ class Mig:
         if b == c:
             return b
         # Omega.M: complementary pair forwards the remaining operand.
-        if are_complementary(a, b):
+        if a ^ b == 1:
             return c
-        if are_complementary(a, c):
+        if a ^ c == 1:
             return b
-        if are_complementary(b, c):
+        if b ^ c == 1:
             return a
 
-        key = sorted_fanins(a, b, c)
+        # Inline sorted_fanins: must produce the same canonical key as
+        # maj_would_allocate's sorted_fanins() probe or strash drifts.
+        if a > b:
+            a, b = b, a
+        if b > c:
+            b, c = c, b
+        if a > b:
+            a, b = b, a
+        key = (a, b, c)
         if self.use_strash:
             existing = self._strash.get(key)
             if existing is not None:
-                return make_signal(existing)
+                return existing << 1
 
-        node = len(self._fanins)
-        self._fanins.append(key)
+        node = len(fanins)
+        fanins.append(key)
         self._pi_index.append(-1)
         if self.use_strash:
             self._strash[key] = node
-        return make_signal(node)
+        if self._derived:
+            self._derived.clear()
+        return node << 1
 
     def maj_would_allocate(self, a: int, b: int, c: int) -> bool:
         """Would ``add_maj(a, b, c)`` create a new node?
@@ -153,6 +177,8 @@ class Mig:
             or are_complementary(b, c)
         ):
             return False
+        # sorted_fanins must stay in lockstep with add_maj's inline sort:
+        # both sides key the same strash table.
         return sorted_fanins(a, b, c) not in self._strash
 
     # Convenience gate constructors -------------------------------------
@@ -288,41 +314,104 @@ class Mig:
     # Liveness / traversal
     # ------------------------------------------------------------------
 
+    def _live_mask(self) -> List[bool]:
+        """Memoized liveness mask (the shared list — do not mutate)."""
+        cached = self._derived.get("live_mask")
+        if cached is not None:
+            return cached
+        fanins = self._fanins
+        live = [False] * len(fanins)
+        live[0] = True
+        for node in self._pis:
+            live[node] = True
+        stack = [s >> 1 for s in self._pos]
+        push = stack.append
+        while stack:
+            node = stack.pop()
+            if live[node]:
+                continue
+            live[node] = True
+            fi = fanins[node]
+            if fi is not None:
+                push(fi[0] >> 1)
+                push(fi[1] >> 1)
+                push(fi[2] >> 1)
+        self._derived["live_mask"] = live
+        return live
+
     def live_mask(self) -> List[bool]:
         """Boolean mask of nodes reachable from the outputs.
 
         The constant node and primary inputs are always considered live
         (PIs occupy RRAM devices regardless of use).
         """
-        live = [False] * len(self._fanins)
-        live[0] = True
-        for node in self._pis:
-            live[node] = True
-        stack = [node_of(s) for s in self._pos]
-        while stack:
-            node = stack.pop()
-            if live[node]:
-                continue
-            live[node] = True
-            fi = self._fanins[node]
-            if fi is not None:
-                stack.append(node_of(fi[0]))
-                stack.append(node_of(fi[1]))
-                stack.append(node_of(fi[2]))
-        return live
+        return list(self._live_mask())
+
+    def _live_gates(self) -> List[int]:
+        """Memoized live-gate list (the shared list — do not mutate)."""
+        cached = self._derived.get("live_gates")
+        if cached is None:
+            live = self._live_mask()
+            fanins = self._fanins
+            cached = [
+                node
+                for node in range(1, len(fanins))
+                if fanins[node] is not None and live[node]
+            ]
+            self._derived["live_gates"] = cached
+        return cached
 
     def live_gates(self) -> List[int]:
         """Gate node ids reachable from the outputs, topological order."""
-        live = self.live_mask()
-        return [
-            node
-            for node in range(1, len(self._fanins))
-            if live[node] and self._fanins[node] is not None
-        ]
+        return list(self._live_gates())
 
     def num_live_gates(self) -> int:
         """Number of gates reachable from the outputs."""
-        return len(self.live_gates())
+        return len(self._live_gates())
+
+    def flat_gates(self) -> Tuple[Tuple[int, int, int, int, int, int, int], ...]:
+        """Flat live-gate records for traversal-heavy inner loops.
+
+        One memoized tuple ``(node, fa_node, fa_cmpl, fb_node, fb_cmpl,
+        fc_node, fc_cmpl)`` per live gate, in topological order, with
+        fanin node ids and complement bits pre-split so simulation and
+        compilation avoid per-visit signal decoding.
+        """
+        cached = self._derived.get("flat_gates")
+        if cached is None:
+            fanins = self._fanins
+            cached = tuple(
+                (
+                    node,
+                    fa >> 1,
+                    fa & 1,
+                    fb >> 1,
+                    fb & 1,
+                    fc >> 1,
+                    fc & 1,
+                )
+                for node in self._live_gates()
+                for fa, fb, fc in (fanins[node],)
+            )
+            self._derived["flat_gates"] = cached
+        return cached
+
+    def _fanout_counts(self, include_pos: bool = True) -> List[int]:
+        """Memoized fanout counts (the shared list — do not mutate)."""
+        key = ("fanout_counts", include_pos)
+        cached = self._derived.get(key)
+        if cached is not None:
+            return cached
+        counts = [0] * len(self._fanins)
+        for _, na, _, nb, _, nc, _ in self.flat_gates():
+            counts[na] += 1
+            counts[nb] += 1
+            counts[nc] += 1
+        if include_pos:
+            for s in self._pos:
+                counts[s >> 1] += 1
+        self._derived[key] = counts
+        return counts
 
     def fanout_counts(self, include_pos: bool = True) -> List[int]:
         """Number of references to each node from live gates (and POs).
@@ -331,38 +420,70 @@ class Mig:
         *use count* the PLiM compiler tracks to know when an RRAM device can
         be released.
         """
-        counts = [0] * len(self._fanins)
-        live = self.live_mask()
-        for node in range(1, len(self._fanins)):
-            fi = self._fanins[node]
-            if fi is None or not live[node]:
+        return list(self._fanout_counts(include_pos))
+
+    def _levels(self) -> List[int]:
+        """Memoized per-node levels (the shared list — do not mutate)."""
+        cached = self._derived.get("levels")
+        if cached is not None:
+            return cached
+        fanins = self._fanins
+        level = [0] * len(fanins)
+        for node in range(1, len(fanins)):
+            fi = fanins[node]
+            if fi is None:
                 continue
-            counts[node_of(fi[0])] += 1
-            counts[node_of(fi[1])] += 1
-            counts[node_of(fi[2])] += 1
-        if include_pos:
-            for s in self._pos:
-                counts[node_of(s)] += 1
-        return counts
+            la = level[fi[0] >> 1]
+            lb = level[fi[1] >> 1]
+            lc = level[fi[2] >> 1]
+            if lb > la:
+                la = lb
+            if lc > la:
+                la = lc
+            level[node] = la + 1
+        self._derived["levels"] = level
+        return level
 
     def levels(self) -> List[int]:
         """Level (depth from inputs) per node; constants and PIs are 0."""
-        level = [0] * len(self._fanins)
-        for node in range(1, len(self._fanins)):
-            fi = self._fanins[node]
-            if fi is None:
-                continue
-            level[node] = 1 + max(
-                level[node_of(fi[0])], level[node_of(fi[1])], level[node_of(fi[2])]
-            )
-        return level
+        return list(self._levels())
 
     def depth(self) -> int:
         """Depth of the graph: maximum output level."""
         if not self._pos:
             return 0
-        level = self.levels()
-        return max(level[node_of(s)] for s in self._pos)
+        level = self._levels()
+        return max(level[s >> 1] for s in self._pos)
+
+    def structural_digest(self) -> int:
+        """Process-local hash of the full structure (fanins, PIs, POs).
+
+        Memoized like the other derived state; used by the experiment
+        cache to tell apart graphs whose names and sizes coincide.  Not
+        stable across processes (plain ``hash``) — never persist it.
+        """
+        cached = self._derived.get("digest")
+        if cached is None:
+            cached = hash(
+                (tuple(self._pis), tuple(self._pos), tuple(self._fanins))
+            )
+            self._derived["digest"] = cached
+        return cached
+
+    def fanout_view(self):
+        """Memoized :class:`repro.mig.views.FanoutView` of this graph.
+
+        The view is rebuilt lazily after any mutation; sharing it lets
+        every compiler configuration run on the same derived fanout and
+        storage-duration state.
+        """
+        view = self._derived.get("fanout_view")
+        if view is None:
+            from .views import FanoutView  # local import to avoid cycle
+
+            view = FanoutView(self)
+            self._derived["fanout_view"] = view
+        return view
 
     def complement_histogram(self) -> List[int]:
         """Histogram ``h[k]`` of live gates with ``k`` complemented fanins.
@@ -371,17 +492,14 @@ class Mig:
         scripts try to move mass into it.
         """
         hist = [0, 0, 0, 0]
-        for node in self.live_gates():
-            fi = self._fanins[node]
-            hist[(fi[0] & 1) + (fi[1] & 1) + (fi[2] & 1)] += 1
+        for _, _, ca, _, cb, _, cc in self.flat_gates():
+            hist[ca + cb + cc] += 1
         return hist
 
     def num_complemented_edges(self) -> int:
         """Total complemented fanin edges over live gates (plus POs)."""
         total = sum(
-            (fi[0] & 1) + (fi[1] & 1) + (fi[2] & 1)
-            for node in self.live_gates()
-            for fi in (self._fanins[node],)
+            ca + cb + cc for _, _, ca, _, cb, _, cc in self.flat_gates()
         )
         total += sum(1 for s in self._pos if is_complemented(s))
         return total
@@ -389,6 +507,18 @@ class Mig:
     # ------------------------------------------------------------------
     # Copying
     # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle without the memoized derived state.
+
+        The memo can be several times the size of the bare graph (flat
+        gate tuples, fanout lists, a whole :class:`FanoutView`) and its
+        ``structural_digest`` entry is process-local — receivers must
+        rebuild, not inherit, derived state.
+        """
+        state = self.__dict__.copy()
+        state["_derived"] = {}
+        return state
 
     def clone(self) -> "Mig":
         """Deep copy of the graph."""

@@ -21,22 +21,34 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from . import algebra
 from .graph import Mig
-from .signal import apply_complement, is_complemented, node_of
+from .signal import node_of
 
 
 @dataclass
 class RebuildContext:
-    """Read-only facts about the source graph available to a transform."""
+    """Read-only facts about the source graph available to a transform.
+
+    ``xlat`` maps old node ids to new-graph signals; it is a flat list
+    indexed by node id (``-1`` for not-yet-translated nodes) so the
+    per-edge translation in the rebuild inner loop is a plain index.
+    """
 
     old: Mig
     refs: List[int]
     levels: List[int]
-    xlat: Dict[int, int] = field(default_factory=dict)
+    xlat: List[int] = field(default_factory=list)
 
     def translated(self, old_signal: int) -> int:
-        """New-graph signal corresponding to *old_signal*."""
-        base = self.xlat[node_of(old_signal)]
-        return apply_complement(base, is_complemented(old_signal))
+        """New-graph signal corresponding to *old_signal*.
+
+        Raises :class:`KeyError` for nodes with no translation yet (dead,
+        not yet visited, or out of range), like the dict-backed map it
+        replaced.
+        """
+        node = old_signal >> 1
+        if not 0 <= node < len(self.xlat) or self.xlat[node] < 0:
+            raise KeyError(f"node {node} has not been translated")
+        return self.xlat[node] ^ (old_signal & 1)
 
 
 #: A transform maps (new_mig, ctx, old_node, translated_children) -> signal.
@@ -51,17 +63,27 @@ def rebuild(mig: Mig, transform: Optional[Transform] = None) -> Mig:
     """
     new = Mig(mig.name)
     ctx = RebuildContext(old=mig, refs=mig.fanout_counts(), levels=mig.levels())
-    ctx.xlat[0] = 0
+    xlat = ctx.xlat
+    xlat.extend([-1] * mig.num_nodes)
+    xlat[0] = 0
     for idx, node in enumerate(mig.pis()):
-        ctx.xlat[node] = new.add_pi(mig.pi_name(idx))
-    for node in mig.live_gates():
-        children = [ctx.translated(s) for s in mig.fanins(node)]
-        if transform is None:
-            ctx.xlat[node] = new.add_maj(*children)
-        else:
-            ctx.xlat[node] = transform(new, ctx, node, children)
+        xlat[node] = new.add_pi(mig.pi_name(idx))
+    add_maj = new.add_maj
+    if transform is None:
+        for node, na, ca, nb, cb, nc, cc in mig.flat_gates():
+            xlat[node] = add_maj(
+                xlat[na] ^ ca, xlat[nb] ^ cb, xlat[nc] ^ cc
+            )
+    else:
+        for node, na, ca, nb, cb, nc, cc in mig.flat_gates():
+            xlat[node] = transform(
+                new,
+                ctx,
+                node,
+                (xlat[na] ^ ca, xlat[nb] ^ cb, xlat[nc] ^ cc),
+            )
     for idx, s in enumerate(mig.pos()):
-        new.add_po(ctx.translated(s), mig.po_name(idx))
+        new.add_po(xlat[s >> 1] ^ (s & 1), mig.po_name(idx))
     return new
 
 
@@ -162,17 +184,32 @@ PASSES: Dict[str, Callable[[Mig], Mig]] = {
 }
 
 
+def _same_structure(a: Mig, b: Mig) -> bool:
+    """Structural identity of two rebuild results (same ids, edges, POs)."""
+    return (
+        a._fanins == b._fanins
+        and a._pis == b._pis
+        and a._pos == b._pos
+    )
+
+
 def apply_script(mig: Mig, steps: Sequence[str], cycles: int = 1) -> Mig:
     """Run the named passes *cycles* times in order and clean up.
 
     *steps* is a sequence of keys into :data:`PASSES`; unknown names raise
-    ``KeyError`` immediately (before any work is done).
+    ``KeyError`` immediately (before any work is done).  Scripts converge
+    quickly in practice, so cycling stops early once a full cycle leaves
+    the graph structurally unchanged (every later cycle of the same
+    deterministic passes would reproduce it bit for bit).
     """
     for name in steps:
         if name not in PASSES:
             raise KeyError(f"unknown rewriting pass {name!r}")
     result = mig
     for _ in range(cycles):
+        before = result
         for name in steps:
             result = PASSES[name](result)
+        if _same_structure(before, result):
+            break
     return result.cleanup()

@@ -6,18 +6,61 @@ evaluates arbitrarily many input patterns at once.  This is the reference
 model against which compiled PLiM programs are verified
 (:mod:`repro.plim.verify`) and the engine behind equivalence checking of
 rewriting passes.
+
+The inner loop iterates over the graph's memoized flat gate records
+(:meth:`repro.mig.graph.Mig.flat_gates`), so repeated simulations of the
+same graph pay for the traversal derivation once.  Exhaustive runs past
+:data:`CHUNK_BITS` patterns are evaluated in fixed-width chunks: the cost
+of a chunked sweep grows linearly with the pattern count instead of the
+quadratic blow-up of building multi-megabit input words incrementally.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .graph import Mig
-from .signal import is_complemented, node_of
 
 #: Refuse exhaustive truth tables beyond this many inputs (2^20 patterns).
 MAX_EXHAUSTIVE_PIS = 20
+
+#: log2 of the widest single simulation word used by exhaustive sweeps;
+#: beyond 2^CHUNK_BITS patterns the sweep runs chunk by chunk.
+CHUNK_BITS = 13
+
+
+def input_word(var: int, num_patterns: int, base: int = 0) -> int:
+    """Bit-parallel stimulus for variable *var* over a pattern window.
+
+    Bit ``j`` of the result is bit *var* of minterm ``base + j``.  The
+    periodic pattern is built by doubling (O(log num_patterns) bigint
+    operations), not by setting blocks one at a time.
+    """
+    half = 1 << var
+    period = half << 1
+    offset = base % period
+    # Window inside one half-period: the variable is constant across it.
+    if offset + num_patterns <= half:
+        return 0
+    if half <= offset and offset + num_patterns <= period:
+        return (1 << num_patterns) - 1
+    # One period (2^var zeros then 2^var ones), phase-shifted to base.
+    word = ((1 << half) - 1) << half
+    if offset:
+        word = ((word | (word << period)) >> offset) & ((1 << period) - 1)
+    width = period
+    while width < num_patterns:
+        word |= word << width
+        width <<= 1
+    return word & ((1 << num_patterns) - 1)
+
+
+def exhaustive_words(
+    num_inputs: int, num_patterns: int, base: int = 0
+) -> List[int]:
+    """One stimulus word per input covering minterms ``[base, base+n)``."""
+    return [input_word(i, num_patterns, base) for i in range(num_inputs)]
 
 
 def simulate(mig: Mig, pi_values: Sequence[int], mask: int = 1) -> List[int]:
@@ -43,15 +86,20 @@ def simulate(mig: Mig, pi_values: Sequence[int], mask: int = 1) -> List[int]:
     values = [0] * mig.num_nodes
     for node, word in zip(mig.pis(), pi_values):
         values[node] = word & mask
-    for node in mig.gates():
-        fa, fb, fc = mig.fanins(node)
-        a = values[node_of(fa)] ^ (mask if fa & 1 else 0)
-        b = values[node_of(fb)] ^ (mask if fb & 1 else 0)
-        c = values[node_of(fc)] ^ (mask if fc & 1 else 0)
+    for node, na, ca, nb, cb, nc, cc in mig.flat_gates():
+        a = values[na]
+        if ca:
+            a ^= mask
+        b = values[nb]
+        if cb:
+            b ^= mask
+        c = values[nc]
+        if cc:
+            c ^= mask
         values[node] = (a & b) | (a & c) | (b & c)
     outputs = []
     for s in mig.pos():
-        word = values[node_of(s)]
+        word = values[s >> 1]
         if s & 1:
             word ^= mask
         outputs.append(word & mask)
@@ -77,27 +125,49 @@ def simulate_one(mig: Mig, assignment: Dict[str, int]) -> Dict[str, int]:
     return {mig.po_name(i): outs[i] for i in range(mig.num_pos)}
 
 
-def truth_tables(mig: Mig) -> List[int]:
-    """Exhaustive truth table per output, as ``2**num_pis``-bit integers.
+def exhaustive_chunks(
+    mig: Mig, chunk_bits: int = CHUNK_BITS
+) -> Iterator[Tuple[int, int, List[int]]]:
+    """Exhaustively simulate *mig* in chunks of ``2**chunk_bits`` patterns.
 
-    Bit ``m`` of each table is the output value under minterm ``m`` (input
-    ``i`` takes bit ``i`` of ``m``).  Only feasible for small input counts.
+    Yields ``(base, width, outputs)`` triples covering minterms
+    ``[base, base + width)`` in ascending order.  Keeping each chunk to a
+    fixed word width makes the total exhaustive cost linear in the number
+    of patterns, where one monolithic ``2**num_pis``-bit sweep pays
+    bigint arithmetic proportional to the full table per gate.
     """
     n = mig.num_pis
     if n > MAX_EXHAUSTIVE_PIS:
         raise ValueError(f"too many inputs for exhaustive simulation: {n}")
     num_patterns = 1 << n
-    mask = (1 << num_patterns) - 1
-    pi_words = []
-    for i in range(n):
-        # Standard variable pattern: blocks of 2^i ones/zeros.
-        block = (1 << (1 << i)) - 1  # 2^i ones
-        period = 1 << (i + 1)
-        word = 0
-        for start in range(1 << i, num_patterns, period):
-            word |= block << start
-        pi_words.append(word)
-    return simulate(mig, pi_words, mask=mask)
+    width = min(num_patterns, 1 << chunk_bits)
+    mask = (1 << width) - 1
+    # Low variables (period <= chunk width) repeat identically per chunk.
+    shared = [
+        input_word(i, width) for i in range(n) if (1 << (i + 1)) <= width
+    ]
+    for base in range(0, num_patterns, width):
+        words = list(shared)
+        for i in range(len(shared), n):
+            words.append(mask if (base >> i) & 1 else 0)
+        yield base, width, simulate(mig, words, mask=mask)
+
+
+def truth_tables(mig: Mig, chunk_bits: int = CHUNK_BITS) -> List[int]:
+    """Exhaustive truth table per output, as ``2**num_pis``-bit integers.
+
+    Bit ``m`` of each table is the output value under minterm ``m`` (input
+    ``i`` takes bit ``i`` of ``m``).  Only feasible for input counts up to
+    :data:`MAX_EXHAUSTIVE_PIS`; wide tables are swept chunk by chunk.
+    """
+    n = mig.num_pis
+    if n > MAX_EXHAUSTIVE_PIS:
+        raise ValueError(f"too many inputs for exhaustive simulation: {n}")
+    tables = [0] * mig.num_pos
+    for base, _, outputs in exhaustive_chunks(mig, chunk_bits):
+        for idx, word in enumerate(outputs):
+            tables[idx] |= word << base
+    return tables
 
 
 def random_words(num_inputs: int, width: int, rng: random.Random) -> List[int]:
@@ -109,21 +179,47 @@ def equivalent(
     a: Mig,
     b: Mig,
     *,
-    exhaustive_limit: int = 14,
+    exhaustive_limit: Optional[int] = None,
     samples: int = 1024,
     seed: int = 0xC0FFEE,
 ) -> bool:
     """Check functional equivalence of two MIGs.
 
-    Uses exhaustive truth tables when the input count is small enough,
-    otherwise randomized bit-parallel simulation with *samples* patterns.
-    Random simulation is sound for inequivalence and probabilistic for
-    equivalence, which is the standard trade-off for large circuits.
+    Up to ``exhaustive_limit`` inputs (default: :data:`MAX_EXHAUSTIVE_PIS`,
+    the same ceiling :func:`truth_tables` enforces) the check is exhaustive
+    and therefore exact, evaluated chunk-wise with early exit on the first
+    differing window.
+
+    Beyond the limit an exhaustive check is infeasible, and the function
+    *refuses* rather than silently degrading: randomized bit-parallel
+    checking (sound for inequivalence, probabilistic for equivalence) must
+    be requested explicitly by passing ``exhaustive_limit`` — callers that
+    opt in acknowledge the random fallback above their chosen cutoff.
     """
     if a.num_pis != b.num_pis or a.num_pos != b.num_pos:
         return False
-    if a.num_pis <= exhaustive_limit:
-        return truth_tables(a) == truth_tables(b)
+    explicit = exhaustive_limit is not None
+    limit = exhaustive_limit if explicit else MAX_EXHAUSTIVE_PIS
+    if limit > MAX_EXHAUSTIVE_PIS:
+        raise ValueError(
+            f"exhaustive_limit {limit} exceeds MAX_EXHAUSTIVE_PIS "
+            f"({MAX_EXHAUSTIVE_PIS}); exhaustive simulation past 2^"
+            f"{MAX_EXHAUSTIVE_PIS} patterns is not supported"
+        )
+    if a.num_pis <= limit:
+        for (_, _, out_a), (_, _, out_b) in zip(
+            exhaustive_chunks(a), exhaustive_chunks(b)
+        ):
+            if out_a != out_b:
+                return False
+        return True
+    if not explicit:
+        raise ValueError(
+            f"{a.num_pis} inputs exceed the exhaustive-check ceiling of "
+            f"{MAX_EXHAUSTIVE_PIS}; pass exhaustive_limit= explicitly to "
+            "opt in to randomized (probabilistic) equivalence checking, "
+            "or use find_counterexample() for a refutation-only search"
+        )
     rng = random.Random(seed)
     width = 64
     rounds = max(1, (samples + width - 1) // width)

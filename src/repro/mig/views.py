@@ -14,36 +14,47 @@ This module computes the static parts of those metrics once per graph.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from .graph import Mig
 from .signal import node_of
 
 
 class FanoutView:
-    """Fanout lists and storage-duration metrics for the live part of a MIG."""
+    """Fanout lists and storage-duration metrics for the live part of a MIG.
+
+    One instance may be shared by many consumers (it is memoized on the
+    graph via :meth:`repro.mig.graph.Mig.fanout_view`), so ``fanouts``
+    and ``ref_counts`` are immutable tuples; copy before mutating, like
+    the compiler does with its working reference counts.
+    """
 
     def __init__(self, mig: Mig) -> None:
         self.mig = mig
         self.live = mig.live_mask()
         self.levels = mig.levels()
         n = mig.num_nodes
-        self.fanouts: List[List[int]] = [[] for _ in range(n)]
-        self.ref_counts: List[int] = [0] * n
-        for node in range(1, n):
-            if not self.live[node] or not mig.is_gate(node):
-                continue
-            for s in mig.fanins(node):
-                child = node_of(s)
-                self.fanouts[child].append(node)
-                self.ref_counts[child] += 1
+        fanouts: List[List[int]] = [[] for _ in range(n)]
+        ref_counts: List[int] = [0] * n
+        for node, na, _, nb, _, nc, _ in mig.flat_gates():
+            fanouts[na].append(node)
+            ref_counts[na] += 1
+            fanouts[nb].append(node)
+            ref_counts[nb] += 1
+            fanouts[nc].append(node)
+            ref_counts[nc] += 1
         self.po_refs: List[int] = [0] * n
         for s in mig.pos():
             self.po_refs[node_of(s)] += 1
-            self.ref_counts[node_of(s)] += 1
+            ref_counts[node_of(s)] += 1
+        self.fanouts: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(f) for f in fanouts
+        )
+        self.ref_counts: Tuple[int, ...] = tuple(ref_counts)
         self.depth = max(
             (self.levels[node_of(s)] for s in mig.pos()), default=0
         )
+        self._level_indices: Dict[str, List[int]] = {}
 
     def fanout_level_index(self, node: int, aggregate: str = "max") -> int:
         """Level of the consumer that finally releases *node*'s device.
@@ -67,11 +78,22 @@ class FanoutView:
         raise ValueError(f"unknown aggregate {aggregate!r}")
 
     def fanout_level_indices(self, aggregate: str = "max") -> List[int]:
-        """Vector of :meth:`fanout_level_index` for every node."""
-        return [
-            self.fanout_level_index(node, aggregate)
-            for node in range(self.mig.num_nodes)
-        ]
+        """Vector of :meth:`fanout_level_index` per node (memoized)."""
+        cached = self._level_indices.get(aggregate)
+        if cached is None:
+            if aggregate not in ("max", "min"):
+                raise ValueError(f"unknown aggregate {aggregate!r}")
+            reduce = max if aggregate == "max" else min
+            levels = self.levels
+            pinned = self.depth + 1
+            cached = [
+                pinned
+                if self.po_refs[node]
+                else reduce((levels[f] for f in fanout), default=0)
+                for node, fanout in enumerate(self.fanouts)
+            ]
+            self._level_indices[aggregate] = cached
+        return list(cached)
 
     def single_fanout_nodes(self) -> List[int]:
         """Live nodes with exactly one use (ideal RM3 destinations)."""

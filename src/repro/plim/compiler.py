@@ -39,7 +39,6 @@ from typing import List, Optional, Tuple
 
 from ..mig.graph import Mig
 from ..mig.signal import is_complemented, node_of
-from ..mig.views import FanoutView
 from .allocator import RramAllocator
 from .isa import OP_CONST0, OP_CONST1, Program, const_operand
 
@@ -130,27 +129,35 @@ class _Compilation:
         self.alloc = allocator
         self.allow_pi_overwrite = allow_pi_overwrite
 
-        view = FanoutView(mig)
+        view = mig.fanout_view()
         self.view = view
         self.refs: List[int] = list(view.ref_counts)
         self.fanout_level_index: List[int] = view.fanout_level_indices(
             fanout_aggregate
         )
-        self.live = view.live
 
         n = mig.num_nodes
         self.cell_of: List[Optional[int]] = [None] * n
         self.computed = [False] * n
         self.instructions: List[Tuple[int, int, int]] = []
+        # Per-gate fanin node-id triples, for the hot selection keys.
+        self._fanin_nodes: List[Optional[Tuple[int, int, int]]] = [None] * n
+        for node, na, _, nb, _, nc, _ in mig.flat_gates():
+            self._fanin_nodes[node] = (na, nb, nc)
 
     # -- selection support ----------------------------------------------
 
     def releasing_count(self, node: int) -> int:
         """Devices freed by computing *node*: children at their last use."""
+        refs = self.refs
+        fanins = self._fanin_nodes[node]
+        if fanins is None:
+            # Not a live gate: dead gates still answer (the flat records
+            # only cover live ones); non-gates raise as they always did.
+            fanins = tuple(s >> 1 for s in self.mig.fanins(node))
         count = 0
-        for s in self.mig.fanins(node):
-            child = node_of(s)
-            if child != 0 and self.refs[child] == 1:
+        for child in fanins:
+            if child != 0 and refs[child] == 1:
                 count += 1
         return count
 
@@ -207,12 +214,12 @@ class _Compilation:
         gates = mig.live_gates()
         for node in gates:
             pending[node] = sum(
-                1 for s in mig.fanins(node) if mig.is_gate(node_of(s))
+                1 for child in self._fanin_nodes[node] if mig.is_gate(child)
             )
             if pending[node] == 0:
                 heapq.heappush(heap, (self._key(node), node))
 
-        parents: List[List[int]] = self.view.fanouts
+        parents = self.view.fanouts  # immutable Tuple[Tuple[int, ...], ...]
         dynamic = self.selection is not None and self.selection.dynamic
         scheduled = 0
         while heap:

@@ -13,7 +13,7 @@ import random
 from typing import Optional
 
 from ..mig.graph import Mig
-from ..mig.simulate import simulate, truth_tables
+from ..mig.simulate import exhaustive_words, simulate, truth_tables
 from .controller import PlimController
 from .isa import Program
 from .memory import RramArray
@@ -47,15 +47,7 @@ def verify_program(
     if mig.num_pis <= exhaustive_limit:
         width = 1 << mig.num_pis
         mask = (1 << width) - 1
-        words = []
-        for i in range(mig.num_pis):
-            block = (1 << (1 << i)) - 1
-            period = 1 << (i + 1)
-            word = 0
-            for start in range(1 << i, width, period):
-                word |= block << start
-            words.append(word)
-        batches = [words]
+        batches = [exhaustive_words(mig.num_pis, width)]
     else:
         rng = random.Random(seed)
         width = 64
@@ -91,14 +83,7 @@ def cross_check_truth_tables(program: Program, mig: Mig) -> Optional[int]:
     tables = truth_tables(mig)
     width = 1 << mig.num_pis
     mask = (1 << width) - 1
-    words = []
-    for i in range(mig.num_pis):
-        block = (1 << (1 << i)) - 1
-        period = 1 << (i + 1)
-        word = 0
-        for start in range(1 << i, width, period):
-            word |= block << start
-        words.append(word)
+    words = exhaustive_words(mig.num_pis, width)
     array = RramArray(program.num_cells)
     got = PlimController(array).run(program, words, mask=mask)
     for idx, (table, word) in enumerate(zip(tables, got)):

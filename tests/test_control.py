@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mig.simulate import equivalent, simulate
+from repro.mig.simulate import MAX_EXHAUSTIVE_PIS, equivalent, simulate
 from repro.synth import control as C
 
 
@@ -125,8 +125,12 @@ class TestRandomNetworks:
             assert mig.num_pos == pos
 
     def test_named_builders_deterministic(self):
+        # 60 inputs: too wide for exhaustive checking, so opt in to the
+        # randomized check explicitly (the silent fallback is gone).
         assert equivalent(
-            C.build_router(num_gates=50), C.build_router(num_gates=50)
+            C.build_router(num_gates=50),
+            C.build_router(num_gates=50),
+            exhaustive_limit=MAX_EXHAUSTIVE_PIS,
         )
 
     def test_outputs_depend_on_logic(self):

@@ -254,3 +254,94 @@ class TestCopying:
         assert "input a" in text
         assert "output f" in text
         assert "~" in text
+
+
+class TestMemoization:
+    """Derived traversal state is cached and invalidated on mutation."""
+
+    def _build(self):
+        mig = Mig()
+        a, b, c = mig.add_pi("a"), mig.add_pi("b"), mig.add_pi("c")
+        mig.add_po(mig.add_maj(a, b, c), "f")
+        return mig, (a, b, c)
+
+    def test_derived_state_is_cached(self):
+        mig, _ = self._build()
+        assert mig._live_mask() is mig._live_mask()
+        assert mig.flat_gates() is mig.flat_gates()
+        assert mig.fanout_view() is mig.fanout_view()
+
+    def test_public_views_are_defensive_copies(self):
+        mig, _ = self._build()
+        mig.live_mask()[0] = False
+        counts = mig.fanout_counts()
+        counts[0] += 99
+        assert mig.live_mask()[0] is True
+        assert mig.fanout_counts() != counts
+
+    def test_add_maj_invalidates(self):
+        mig, (a, b, c) = self._build()
+        before = mig.flat_gates()
+        assert mig.num_live_gates() == 1
+        g = mig.add_maj(a, complement(b), c)
+        mig.add_po(g, "g")
+        after = mig.flat_gates()
+        assert after is not before
+        assert len(after) == 2
+        assert mig.num_live_gates() == 2
+
+    def test_add_po_invalidates_liveness(self):
+        mig, (a, b, c) = self._build()
+        dead = mig.add_maj(a, complement(b), complement(c))
+        node = dead >> 1
+        assert not mig.live_mask()[node]  # dead: no PO reaches it
+        mig.add_po(dead, "g")
+        assert mig.live_mask()[node]
+        assert mig.fanout_counts()[node] == 1
+
+    def test_add_pi_invalidates(self):
+        mig, _ = self._build()
+        n_before = len(mig.live_mask())
+        mig.add_pi("late")
+        assert len(mig.live_mask()) == n_before + 1
+
+    def test_non_allocating_add_maj_keeps_cache(self):
+        mig, (a, b, c) = self._build()
+        cached = mig.flat_gates()
+        assert mig.add_maj(a, b, c) == mig.add_maj(b, a, c)  # strash hit
+        assert mig.add_maj(a, a, b) == a  # Omega.M identity
+        assert mig.flat_gates() is cached
+
+    def test_simulation_consistent_across_mutation(self):
+        mig, (a, b, c) = self._build()
+        from repro.mig.simulate import truth_tables
+
+        assert truth_tables(mig) == [0b11101000]
+        mig.add_po(mig.add_xor(a, b), "x")
+        assert truth_tables(mig) == [0b11101000, 0b01100110]
+
+    def test_pickle_drops_derived_state(self):
+        import pickle
+
+        mig = Mig()
+        a, b, c = mig.add_pi("a"), mig.add_pi("b"), mig.add_pi("c")
+        mig.add_po(mig.add_maj(a, b, c), "f")
+        mig.flat_gates()
+        mig.fanout_view()
+        assert mig._derived
+        back = pickle.loads(pickle.dumps(mig))
+        assert back._derived == {}  # receivers rebuild derived state
+        assert back.flat_gates() == mig.flat_gates()
+        assert back._fanins == mig._fanins
+
+    def test_strash_key_agreement_with_probe(self):
+        # add_maj's inline canonicalization and maj_would_allocate's
+        # sorted_fanins() probe must key the same strash table.
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        for ops in [(a, b, c), (complement(c), b, a), (b, complement(a), c)]:
+            assert mig.maj_would_allocate(*ops)
+            sig = mig.add_maj(*ops)
+            for perm in [(ops[2], ops[0], ops[1]), (ops[1], ops[2], ops[0])]:
+                assert not mig.maj_would_allocate(*perm)
+                assert mig.add_maj(*perm) == sig

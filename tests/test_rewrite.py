@@ -102,3 +102,25 @@ class TestScripts:
     def test_effort_zero_is_identity_cleanup(self, small_random_mig):
         out = rewrite_dac16(small_random_mig, effort=0)
         assert equivalent(small_random_mig, out)
+
+
+class TestRebuildContext:
+    def test_translated_raises_for_untranslated_node(self):
+        from repro.mig.rewrite import rebuild
+
+        seen = {}
+
+        def transform(new, ctx, node, children):
+            if "probe" not in seen:
+                seen["probe"] = True
+                # the node currently being rebuilt has no translation yet
+                with pytest.raises(KeyError):
+                    ctx.translated(node << 1)
+            return new.add_maj(*children)
+
+        mig = make_random_mig(4, 10, seed=2)
+        out = rebuild(mig, transform)
+        assert seen["probe"]
+        from repro.mig.simulate import equivalent
+
+        assert equivalent(mig, out)

@@ -1,0 +1,262 @@
+"""Tests for the cached experiment runner (repro.analysis.runner)."""
+
+import pytest
+
+from repro.analysis.runner import (
+    BenchmarkEvaluation,
+    ExperimentCache,
+    config_key,
+    mig_key,
+    resolve_configs,
+    result_label,
+    run_matrix,
+)
+from repro.core.manager import PRESETS, full_management
+from repro.synth.arithmetic import build_adder
+
+SUBSET = ["adder", "dec", "ctrl"]
+
+
+def _result_signature(evaluation):
+    """Comparable digest of one evaluation (programs incl. write counts)."""
+    return {
+        key: (
+            res.num_instructions,
+            res.num_rrams,
+            tuple(res.program.write_counts()),
+        )
+        for key, res in evaluation.results.items()
+    }
+
+
+class TestConfigKey:
+    def test_name_is_not_part_of_identity(self):
+        from dataclasses import replace
+
+        base = PRESETS["ea-full"]
+        renamed = replace(base, name="relabelled")
+        assert renamed.name != base.name
+        assert config_key(renamed) == config_key(base)
+        # with_cap(None) relabels nothing and keeps the identity too
+        assert config_key(base.with_cap(None)) == config_key(base)
+
+    def test_with_cap_changes_identity(self):
+        base = PRESETS["ea-full"]
+        assert config_key(base.with_cap(100)) != config_key(base)
+        assert config_key(base.with_cap(100)) != config_key(base.with_cap(10))
+
+    def test_full_management_matches_with_cap(self):
+        assert config_key(full_management(20)) == config_key(
+            PRESETS["ea-full"].with_cap(20)
+        )
+
+    def test_result_label_strips_cap_prefix(self):
+        assert result_label(full_management(50)) == "wmax50"
+        assert result_label(PRESETS["naive"]) == "naive"
+
+
+class TestExperimentCache:
+    def test_hit_on_semantically_equal_config(self):
+        cache = ExperimentCache()
+        mig = build_adder(width=4)
+        first = cache.compile(mig, full_management(20))
+        assert (cache.hits, cache.misses) == (0, 1)
+        # with_cap relabels but does not change semantics
+        second = cache.compile(mig, PRESETS["ea-full"].with_cap(20))
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first is second
+
+    def test_miss_on_different_cap(self):
+        cache = ExperimentCache()
+        mig = build_adder(width=4)
+        cache.compile(mig, full_management(20))
+        cache.compile(mig, full_management(10))
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_rewrite_shared_between_configs(self):
+        cache = ExperimentCache()
+        mig = build_adder(width=4)
+        cache.compile(mig, PRESETS["ea-rewrite"])
+        cache.compile(mig, PRESETS["ea-full"])  # same rewriting script
+        assert len(cache._rewrites) == 1
+
+    def test_benchmark_mig_memoized(self):
+        cache = ExperimentCache()
+        assert cache.benchmark_mig("adder", "tiny") is cache.benchmark_mig(
+            "adder", "tiny"
+        )
+        assert cache.benchmark_mig("adder", "tiny") is not cache.benchmark_mig(
+            "dec", "tiny"
+        )
+
+    def test_verification_runs_once_per_entry(self):
+        cache = ExperimentCache()
+        mig = build_adder(width=3)
+        cache.compile(mig, PRESETS["naive"], verify=True, verify_patterns=16)
+        # re-request with verification: served from the stored certificate
+        cache.compile(mig, PRESETS["naive"], verify=True, verify_patterns=16)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_distinct_migs_do_not_collide(self):
+        cache = ExperimentCache()
+        small = cache.compile(build_adder(width=3), PRESETS["naive"])
+        large = cache.compile(build_adder(width=5), PRESETS["naive"])
+        assert small.num_instructions != large.num_instructions
+        assert cache.misses == 2
+
+    def test_mig_key_distinguishes_widths(self):
+        assert mig_key(build_adder(width=3)) != mig_key(build_adder(width=5))
+
+
+class TestRunMatrix:
+    def test_caps_extend_table1_columns(self):
+        evaluations = run_matrix(
+            ["adder"], preset="tiny", caps=[10], verify=False
+        )
+        (ev,) = evaluations
+        assert isinstance(ev, BenchmarkEvaluation)
+        for key in ("naive", "dac16", "min-write", "ea-rewrite", "ea-full",
+                    "wmax10"):
+            assert key in ev.results
+
+    def test_shared_cache_makes_second_pass_free(self):
+        cache = ExperimentCache()
+        run_matrix(SUBSET, preset="tiny", verify=False, cache=cache)
+        misses = cache.misses
+        run_matrix(SUBSET, preset="tiny", verify=False, cache=cache)
+        assert cache.misses == misses  # pure cache hits
+
+    def test_effort_override_changes_identity(self):
+        cache = ExperimentCache()
+        run_matrix(
+            ["adder"], ["dac16"], preset="tiny", effort=1, cache=cache
+        )
+        run_matrix(
+            ["adder"], ["dac16"], preset="tiny", effort=2, cache=cache
+        )
+        assert cache.misses == 2
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial(self):
+        serial = run_matrix(SUBSET, preset="tiny", caps=[10], verify=False)
+        fanned = run_matrix(
+            SUBSET, preset="tiny", caps=[10], verify=False, parallel=2
+        )
+        assert [e.name for e in fanned] == [e.name for e in serial]
+        for a, b in zip(serial, fanned):
+            assert _result_signature(a) == _result_signature(b)
+
+    @pytest.mark.slow
+    def test_parallel_cooperates_with_shared_cache(self):
+        from repro.analysis.runner import ExperimentCache
+
+        cache = ExperimentCache()
+        plain = run_matrix(
+            SUBSET, preset="tiny", verify=False, cache=cache
+        )
+        compiled = cache.misses
+        # capped pass in parallel: Table I columns come from the cache,
+        # only the wmax10 column is dispatched to workers
+        capped = run_matrix(
+            SUBSET,
+            preset="tiny",
+            caps=[10],
+            verify=False,
+            parallel=2,
+            cache=cache,
+        )
+        assert cache.misses == compiled  # nothing recompiled in-process
+        for a, b in zip(plain, capped):
+            assert _result_signature(a).items() <= _result_signature(b).items()
+            assert "wmax10" in b.results
+        # serial reference run must agree exactly
+        reference = run_matrix(SUBSET, preset="tiny", caps=[10], verify=False)
+        for a, b in zip(reference, capped):
+            assert _result_signature(a) == _result_signature(b)
+
+    def test_resolve_configs_defaults_to_table1(self):
+        jobs = resolve_configs()
+        assert [c.name for c in jobs] == [
+            "naive", "dac16", "min-write", "ea-rewrite", "ea-full",
+        ]
+
+
+class TestMigKeyStructure:
+    def test_same_shape_different_function_distinct(self):
+        from repro.mig.graph import Mig
+
+        def build(op):
+            mig = Mig()  # anonymous: name and all counts coincide
+            a, b = mig.add_pi("a"), mig.add_pi("b")
+            mig.add_po(getattr(mig, op)(a, b), "f")
+            return mig
+
+        and_mig, or_mig = build("add_and"), build("add_or")
+        assert and_mig.num_nodes == or_mig.num_nodes
+        assert mig_key(and_mig) != mig_key(or_mig)
+        cache = ExperimentCache()
+        p1 = cache.compile(and_mig, PRESETS["naive"], verify=True)
+        p2 = cache.compile(or_mig, PRESETS["naive"], verify=True)
+        assert cache.misses == 2  # no cross-function cache hit
+        assert p1 is not p2
+
+    def test_digest_memoized_and_invalidated(self):
+        mig = build_adder(width=3)
+        d = mig.structural_digest()
+        assert mig.structural_digest() == d
+        mig.add_po(mig.pi_signals()[0], "extra")
+        assert mig.structural_digest() != d
+
+
+class TestCooperativeVerification:
+    @pytest.mark.slow
+    def test_verifying_run_dispatches_unverified_entries(self):
+        cache = ExperimentCache()
+        run_matrix(
+            ["adder", "dec"], ["naive"], preset="tiny",
+            verify=False, cache=cache,
+        )
+        mig = cache.cached_mig("adder", "tiny")
+        cfg = PRESETS["naive"]
+        assert cache.has(mig, cfg)
+        assert not cache.has(mig, cfg, verified_patterns=16)
+        # verifying parallel pass: entries count as missing, workers
+        # verify, and the adopted certificate upgrades the stored entry
+        run_matrix(
+            ["adder", "dec"], ["naive"], preset="tiny",
+            verify=True, verify_patterns=16, parallel=2, cache=cache,
+        )
+        assert cache.has(mig, cfg, verified_patterns=16)
+
+
+class TestResolveConfigEffort:
+    def test_effort_override_applies_to_names_only(self):
+        from repro.core.manager import EnduranceConfig
+
+        custom = EnduranceConfig(name="custom", rewriting="dac16", effort=2)
+        jobs = resolve_configs(["naive", custom], caps=[10], effort=3)
+        by_name = {c.name: c for c in jobs}
+        assert by_name["naive"].effort == 3          # preset: overridden
+        assert by_name["custom"].effort == 2         # explicit: preserved
+        assert by_name["ea-full+wmax10"].effort == 3  # cap: overridden
+
+
+class TestDuplicateLabels:
+    def test_distinct_configs_sharing_a_label_refused(self):
+        from dataclasses import replace
+
+        from repro.analysis.runner import evaluate_mig_cached
+
+        impostor = replace(PRESETS["dac16"], name="naive")
+        with pytest.raises(ValueError, match="share the result label"):
+            evaluate_mig_cached(
+                build_adder(width=3), [PRESETS["naive"], impostor]
+            )
+
+    def test_repeated_identical_config_allowed(self):
+        from repro.analysis.runner import evaluate_mig_cached
+
+        ev = evaluate_mig_cached(
+            build_adder(width=3), [PRESETS["naive"], PRESETS["naive"]]
+        )
+        assert set(ev.results) == {"naive"}

@@ -131,3 +131,74 @@ class TestEquivalence:
         assert find_counterexample(
             small_random_mig, small_random_mig.clone()
         ) is None
+
+
+class TestChunkedExhaustive:
+    def test_input_word_matches_definition(self):
+        from repro.mig.simulate import input_word
+
+        for var in range(5):
+            for base in (0, 3, 8, 21):
+                word = input_word(var, 16, base)
+                for j in range(16):
+                    assert (word >> j) & 1 == ((base + j) >> var) & 1, (
+                        var, base, j,
+                    )
+
+    def test_exhaustive_words_cover_all_minterms(self):
+        from repro.mig.simulate import exhaustive_words
+
+        words = exhaustive_words(3, 8)
+        patterns = {
+            tuple((w >> m) & 1 for w in words) for m in range(8)
+        }
+        assert len(patterns) == 8  # all 2^3 assignments, each once
+
+    def test_chunked_equals_monolithic(self):
+        from repro.mig.simulate import truth_tables
+
+        mig = make_random_mig(8, 60, seed=5)
+        assert truth_tables(mig, chunk_bits=4) == truth_tables(
+            mig, chunk_bits=13
+        )
+
+    def test_wide_exhaustive_beyond_default_chunk(self):
+        # 15 inputs = 2^15 patterns: forces the chunked path (2^13 words)
+        mig = make_random_mig(15, 40, seed=9)
+        assert equivalent(mig, mig.clone())
+
+
+class TestEquivalentLimits:
+    def test_default_limit_is_unified_constant(self):
+        from repro.mig.simulate import MAX_EXHAUSTIVE_PIS
+
+        assert MAX_EXHAUSTIVE_PIS == 20
+
+    def test_refuses_silent_random_fallback(self):
+        from repro.mig.simulate import MAX_EXHAUSTIVE_PIS
+
+        m1 = make_random_mig(MAX_EXHAUSTIVE_PIS + 1, 30, seed=13)
+        with pytest.raises(ValueError, match="exhaustive_limit"):
+            equivalent(m1, m1.clone())
+
+    def test_explicit_limit_opts_into_random(self):
+        m1 = make_random_mig(22, 30, seed=13)
+        assert equivalent(m1, m1.clone(), exhaustive_limit=4)
+
+    def test_limit_above_ceiling_rejected(self):
+        from repro.mig.simulate import MAX_EXHAUSTIVE_PIS
+
+        m1 = make_random_mig(4, 10, seed=1)
+        with pytest.raises(ValueError, match="MAX_EXHAUSTIVE_PIS"):
+            equivalent(
+                m1, m1.clone(), exhaustive_limit=MAX_EXHAUSTIVE_PIS + 1
+            )
+
+    def test_exhaustive_early_exit_on_difference(self):
+        m1 = Mig()
+        pis = [m1.add_pi() for _ in range(15)]
+        m1.add_po(m1.add_and(pis[0], pis[1]))
+        m2 = Mig()
+        pis = [m2.add_pi() for _ in range(15)]
+        m2.add_po(m2.add_or(pis[0], pis[1]))
+        assert not equivalent(m1, m2)

@@ -31,7 +31,7 @@ class TestFanoutView:
     def test_fanout_lists(self):
         mig, sigs = build_fig2_like()
         view = FanoutView(mig)
-        assert view.fanouts[node_of(sigs["b"])] == [node_of(sigs["d"])]
+        assert view.fanouts[node_of(sigs["b"])] == (node_of(sigs["d"]),)
         assert sorted(view.fanouts[node_of(sigs["c"])]) == sorted(
             [node_of(sigs["d"]), node_of(sigs["e"])]
         )
