@@ -14,20 +14,34 @@ on disk.
 Set ``REPRO_BENCH_PRESET=tiny`` for a fast smoke run, ``paper`` for the
 paper's full widths (slow in pure Python).  ``REPRO_BENCH_PARALLEL=N``
 fans the suite evaluation out over N worker processes (results are
-identical to the serial run).
+identical to the serial run).  With ``REPRO_CACHE_DIR=<dir>`` the
+session cache reads through / writes back to the persistent on-disk
+cache, so a warm rerun of the harness deserialises instead of
+recompiling.
+
+Every benchmark session additionally emits a timing artefact,
+``benchmarks/output/BENCH_suite.json``: suite wall-clock per evaluation
+stage, experiment-cache hit rates (memory and disk), the active
+simulation backend, and the backend micro-benchmark numbers recorded by
+``test_simbackend.py`` — the perf trajectory of the harness is tracked
+from these files.
 """
 
 from __future__ import annotations
 
 import functools
+import json
 import os
 import pathlib
+import time
 import warnings
 
 import pytest
 
+from repro.analysis.diskcache import disk_cache_from_env
 from repro.analysis.runner import ExperimentCache
 from repro.analysis.tables import TABLE3_CAPS, evaluate_suite
+from repro.mig.kernel import get_kernel
 
 
 _BENCH_DIR = pathlib.Path(__file__).parent
@@ -70,16 +84,24 @@ PARALLEL = _parallel_from_env()
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
-#: One cache per pytest session, shared by every benchmark module.
-SESSION_CACHE = ExperimentCache()
+#: One cache per pytest session, shared by every benchmark module;
+#: persistent across sessions when REPRO_CACHE_DIR points at a root.
+SESSION_CACHE = ExperimentCache(disk=disk_cache_from_env())
+
+#: Accumulated BENCH_suite.json content (stage timings, backend
+#: micro-benchmarks); written out at session finish.
+BENCH_REPORT: dict = {"suite_seconds": {}}
 
 
 @functools.lru_cache(maxsize=None)
 def suite_plain():
     """The five Table I configurations over all 18 benchmarks."""
-    return evaluate_suite(
+    start = time.perf_counter()
+    result = evaluate_suite(
         preset=PRESET, verify=False, cache=SESSION_CACHE, parallel=PARALLEL
     )
+    BENCH_REPORT["suite_seconds"]["plain"] = time.perf_counter() - start
+    return result
 
 
 @functools.lru_cache(maxsize=None)
@@ -89,13 +111,16 @@ def suite_with_caps():
     With the shared session cache this only compiles the four capped
     configurations on top of :func:`suite_plain`'s results.
     """
-    return evaluate_suite(
+    start = time.perf_counter()
+    result = evaluate_suite(
         preset=PRESET,
         caps=tuple(TABLE3_CAPS),
         verify=False,
         cache=SESSION_CACHE,
         parallel=PARALLEL,
     )
+    BENCH_REPORT["suite_seconds"]["with_caps"] = time.perf_counter() - start
+    return result
 
 
 def write_artifact(name: str, text: str) -> pathlib.Path:
@@ -104,3 +129,30 @@ def write_artifact(name: str, text: str) -> pathlib.Path:
     path = OUTPUT_DIR / name
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+def pytest_sessionfinish(session):
+    """Emit ``BENCH_suite.json`` when any benchmark stage actually ran."""
+    if not BENCH_REPORT["suite_seconds"] and "sim_backend" not in BENCH_REPORT:
+        return
+    disk = SESSION_CACHE.disk
+    report = {
+        "preset": PRESET,
+        "parallel": PARALLEL,
+        "backend": get_kernel().name,
+        "cache": {
+            "memory_hits": SESSION_CACHE.hits,
+            "memory_misses": SESSION_CACHE.misses,
+            "disk": (
+                {
+                    "root": str(disk.root),
+                    "hits": disk.hits,
+                    "misses": disk.misses,
+                }
+                if disk is not None
+                else None
+            ),
+        },
+        **BENCH_REPORT,
+    }
+    write_artifact("BENCH_suite.json", json.dumps(report, indent=2))

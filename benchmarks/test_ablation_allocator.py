@@ -6,11 +6,10 @@ a finer W_max sweep than the paper's four points to expose the knee of
 the balance/area trade-off.
 """
 
-from repro.core.manager import EnduranceConfig, compile_with_management, full_management
+from repro.core.manager import EnduranceConfig, full_management
 from repro.core.policies import AllocationPolicy
-from repro.synth.registry import build_benchmark
 
-from .conftest import PRESET, write_artifact
+from .conftest import PRESET, SESSION_CACHE, write_artifact
 
 CASES = ["adder", "sin", "cavlc", "priority"]
 
@@ -22,9 +21,9 @@ def test_allocation_policy_isolated(benchmark):
     def run():
         table = {}
         for name in CASES:
-            mig = build_benchmark(name, preset=PRESET)
+            mig = SESSION_CACHE.benchmark_mig(name, PRESET)
             table[name] = {
-                strategy: compile_with_management(
+                strategy: SESSION_CACHE.compile(
                     mig,
                     EnduranceConfig(
                         name=strategy,
@@ -63,12 +62,12 @@ def test_allocation_policy_isolated(benchmark):
 def test_wmax_fine_sweep(benchmark):
     """Finer W_max resolution than Table III: the stdev/#R trade-off is
     monotone all the way down to the minimum feasible cap."""
-    mig = build_benchmark("sin", preset=PRESET)
+    mig = SESSION_CACHE.benchmark_mig("sin", PRESET)
     caps = [4, 6, 8, 10, 15, 20, 35, 50, 75, 100]
 
     def run():
         return {
-            cap: compile_with_management(mig, full_management(cap))
+            cap: SESSION_CACHE.compile(mig, full_management(cap))
             for cap in caps
         }
 

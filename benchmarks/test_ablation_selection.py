@@ -6,11 +6,10 @@ orders, quantifying what each contributes to write balance and device
 count — the design choice DESIGN.md calls out.
 """
 
-from repro.core.manager import EnduranceConfig, compile_with_management
+from repro.core.manager import EnduranceConfig
 from repro.core.policies import AllocationPolicy
-from repro.synth.registry import build_benchmark
 
-from .conftest import PRESET, write_artifact
+from .conftest import PRESET, SESSION_CACHE, write_artifact
 
 SELECTIONS = ["topo", "dac16", "endurance", "releasing-only", "level-only"]
 CASES = ["adder", "bar", "sin", "cavlc", "priority"]
@@ -29,9 +28,9 @@ def test_selection_ablation(benchmark):
     def run():
         table = {}
         for name in CASES:
-            mig = build_benchmark(name, preset=PRESET)
+            mig = SESSION_CACHE.benchmark_mig(name, PRESET)
             table[name] = {
-                sel: compile_with_management(mig, _config(sel))
+                sel: SESSION_CACHE.compile(mig, _config(sel))
                 for sel in SELECTIONS
             }
         return table

@@ -1,0 +1,76 @@
+"""Simulation-backend micro-benchmark: bigint vs numpy at 2^18 patterns.
+
+Runs the exhaustive hot paths of the harness — full truth tables and an
+exhaustive equivalence check — on the ``multiplier`` benchmark sized to
+18 primary inputs (262 144 patterns), under both simulation kernels,
+asserting bit-identical results and recording the measured wall-clock
+and speedups into ``BENCH_suite.json`` (see ``conftest.BENCH_REPORT``).
+
+The speedup floor asserted here is deliberately conservative (shared CI
+runners jitter); the JSON artefact carries the exact numbers so the
+trajectory is tracked per run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mig import kernel
+from repro.mig.simulate import equivalent, truth_tables
+from repro.synth.arithmetic import build_multiplier
+
+from .conftest import BENCH_REPORT
+
+#: 2 * 9 input bits -> 2^18 exhaustive patterns.
+MULT_WIDTH = 9
+
+#: Conservative floor for the numpy speedup assertions; the measured
+#: values land in BENCH_suite.json.
+MIN_SPEEDUP = 1.5
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.skipif(
+    not kernel.numpy_available(), reason="numpy backend not installed"
+)
+def test_numpy_backend_speedup_at_2e18_patterns():
+    mig = build_multiplier(MULT_WIDTH)
+    assert mig.num_pis == 2 * MULT_WIDTH
+    other = mig.clone()
+    try:
+        bigint = kernel.set_backend("bigint")
+        tables_big = truth_tables(mig)
+        tt_big = _best_of(lambda: truth_tables(mig))
+        eq_big = _best_of(lambda: equivalent(mig, other))
+
+        numpy_k = kernel.set_backend("numpy")
+        tables_np = truth_tables(mig)
+        tt_np = _best_of(lambda: truth_tables(mig))
+        eq_np = _best_of(lambda: equivalent(mig, other))
+    finally:
+        kernel.set_backend(None)
+
+    assert tables_np == tables_big  # bit-identical across backends
+    assert bigint.name == "bigint" and numpy_k.name == "numpy"
+
+    BENCH_REPORT["sim_backend"] = {
+        "benchmark": f"multiplier(width={MULT_WIDTH})",
+        "patterns": 1 << mig.num_pis,
+        "gates": mig.num_live_gates(),
+        "truth_tables_seconds": {"bigint": tt_big, "numpy": tt_np},
+        "truth_tables_speedup": tt_big / tt_np,
+        "equivalence_seconds": {"bigint": eq_big, "numpy": eq_np},
+        "equivalence_speedup": eq_big / eq_np,
+    }
+    assert tt_big / tt_np >= MIN_SPEEDUP
+    assert eq_big / eq_np >= MIN_SPEEDUP

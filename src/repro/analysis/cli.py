@@ -6,18 +6,25 @@ Subcommands regenerate each experiment of the paper:
 * ``headline`` — the abstract's aggregate numbers;
 * ``fig1`` / ``fig2`` — the motivating write-imbalance scenarios;
 * ``bench NAME`` — one benchmark under all configurations;
+* ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
 * ``list`` — available benchmarks and presets.
+
+Suite commands accept ``--cache-dir`` (or honour ``$REPRO_CACHE_DIR``)
+to persist built/compiled artefacts across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from ..core.manager import PRESETS, compile_with_management, full_management
 from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER, build_benchmark
 from . import report, scenarios, tables
+from .diskcache import DEFAULT_ROOT, DiskCache, disk_cache_from_env
+from .runner import ExperimentCache
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +56,23 @@ def _add_suite_options(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="fan benchmarks out over N worker processes",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist built/compiled artefacts under DIR across runs "
+            "(default: $REPRO_CACHE_DIR if set, else no persistence)"
+        ),
+    )
+
+
+def _session_cache(args) -> Optional[ExperimentCache]:
+    """Experiment cache for one CLI invocation, disk-backed on request."""
+    if getattr(args, "cache_dir", None):
+        return ExperimentCache(disk=DiskCache(args.cache_dir))
+    disk = disk_cache_from_env()
+    return ExperimentCache(disk=disk) if disk is not None else None
 
 
 def _suite(args, caps=None):
@@ -59,6 +83,7 @@ def _suite(args, caps=None):
         effort=args.effort,
         verify=not args.no_verify,
         parallel=args.parallel,
+        cache=_session_cache(args),
     )
 
 
@@ -91,6 +116,7 @@ def cmd_report(args) -> int:
         effort=args.effort,
         verify=not args.no_verify,
         parallel=args.parallel,
+        cache=_session_cache(args),
     )
     for name in ("table1", "table2", "table3", "headline"):
         print(artifacts[name])
@@ -144,6 +170,35 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _cache_for_maintenance(args) -> DiskCache:
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_ROOT
+    return DiskCache(root)
+
+
+def cmd_cache_stats(args) -> int:
+    stats = _cache_for_maintenance(args).stats()
+    print(f"cache root   : {stats['root']}")
+    print(f"code version : {stats['fingerprint']}")
+    print(f"entries      : {stats['entries']} ({stats['bytes']} bytes)")
+    for shard in stats["shards"]:
+        marker = " (current)" if shard["current"] else " (stale)"
+        print(
+            f"  shard {shard['fingerprint']}{marker}: "
+            f"{shard['entries']} entries, {shard['bytes']} bytes"
+        )
+    if not stats["shards"]:
+        print("  (empty)")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    cache = _cache_for_maintenance(args)
+    removed = cache.clear(all_versions=args.all)
+    scope = "all code versions" if args.all else "current code version"
+    print(f"removed {removed} entries ({scope}) under {cache.root}")
+    return 0
+
+
 def cmd_list(args) -> int:
     print("benchmarks (name: paper PI/PO, category):")
     for name in BENCHMARK_ORDER:
@@ -189,6 +244,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wmax", type=int, default=None,
                    help="additionally run full management at this cap")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("cache", help="inspect/clear the on-disk experiment cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser("stats", help="entry/byte counts per code version")
+    pc.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)")
+    pc.set_defaults(func=cmd_cache_stats)
+    pc = cache_sub.add_parser("clear", help="delete cached artefacts")
+    pc.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)")
+    pc.add_argument("--all", action="store_true",
+                    help="clear every code-version shard, not just the current one")
+    pc.set_defaults(func=cmd_cache_clear)
 
     p = sub.add_parser("list", help="list benchmarks and configurations")
     p.set_defaults(func=cmd_list)

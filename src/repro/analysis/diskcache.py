@@ -1,0 +1,226 @@
+"""Persistent, content-addressed experiment cache.
+
+The session-scoped :class:`~repro.analysis.runner.ExperimentCache` dies
+with the process, so every new harness run (a pytest session, a CLI
+invocation, a CI job) rebuilds and recompiles the same (benchmark,
+configuration) pairs.  This module adds the cross-session layer: a
+directory of pickled stage artefacts keyed by
+
+* the *benchmark key* — registry name + width preset (hand-built MIGs
+  have no stable cross-process identity and are never persisted),
+* the *semantic configuration key* (:func:`~repro.analysis.runner.config_key`),
+* and a *code-version fingerprint* — a SHA-256 over every ``repro``
+  source file, so any change to the package invalidates the whole shard
+  rather than serving artefacts a different compiler produced.
+
+Entries are written atomically (temp file + ``os.replace``) and loaded
+through an integrity check (magic, payload digest, key match); torn,
+truncated, or otherwise corrupt files are treated as misses, never as
+data.  Multiple processes — e.g. ``run_matrix(parallel=N)`` workers —
+may share one cache root concurrently.
+
+Layout::
+
+    <root>/<fingerprint>/<sha256(key)>.pkl
+
+``repro cache stats`` / ``repro cache clear`` expose the directory from
+the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Iterable, Optional, Tuple
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_ROOT = ".repro_cache"
+
+#: Environment variable overriding/enabling the cache root.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: File magic; bump when the entry format changes.
+_MAGIC = b"RPCH1\n"
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package sources (hex, memoized).
+
+    Any edit to any module under ``repro`` yields a new fingerprint, so
+    persisted artefacts can never outlive the code that produced them.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class DiskCache:
+    """One cache root; stores and retrieves pickled stage artefacts.
+
+    Thread-compatible in the same way the rest of the runner is: loads
+    are pure reads, stores are atomic renames, and racing writers of the
+    same key produce identical content (stage computation is
+    deterministic), so last-writer-wins is harmless.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]" = DEFAULT_ROOT,
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ----------------------------------------------------------
+
+    def _path(self, key: Tuple) -> pathlib.Path:
+        name = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.root / self.fingerprint[:16] / f"{name}.pkl"
+
+    # -- read/write ------------------------------------------------------
+
+    def load(self, key: Tuple):
+        """Return the stored payload for *key*, or ``None``.
+
+        Anything wrong with the file — missing, truncated, bad digest,
+        unpicklable, or keyed differently (a hash collision or format
+        drift) — is a miss; corruption is never surfaced as data.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = self._decode(blob, key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    @staticmethod
+    def _decode(blob: bytes, key: Tuple):
+        if not blob.startswith(_MAGIC):
+            return None
+        digest_end = len(_MAGIC) + 64
+        digest = blob[len(_MAGIC):digest_end]
+        body = blob[digest_end:]
+        if hashlib.sha256(body).hexdigest().encode() != digest:
+            return None
+        try:
+            stored_key, payload = pickle.loads(body)
+        except Exception:
+            # A well-digested but unloadable body can only mean format
+            # drift (e.g. a renamed class in a stale shard): miss.
+            return None
+        if stored_key != repr(key):
+            return None
+        return payload
+
+    def store(self, key: Tuple, payload) -> None:
+        """Persist *payload* under *key* (atomic, best-effort).
+
+        A cache must never take the experiment down: filesystem errors
+        (read-only root, disk full) are swallowed and the entry is
+        simply not persisted.
+        """
+        path = self._path(key)
+        body = pickle.dumps((repr(key), payload), protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(body).hexdigest().encode() + body
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def _shards(self) -> Iterable[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return [p for p in sorted(self.root.iterdir()) if p.is_dir()]
+
+    def stats(self) -> dict:
+        """Entry/byte counts per fingerprint shard plus session counters."""
+        shards = []
+        total_entries = 0
+        total_bytes = 0
+        for shard in self._shards():
+            files = [p for p in shard.iterdir() if p.suffix == ".pkl"]
+            size = sum(p.stat().st_size for p in files)
+            shards.append(
+                {
+                    "fingerprint": shard.name,
+                    "current": shard.name == self.fingerprint[:16],
+                    "entries": len(files),
+                    "bytes": size,
+                }
+            )
+            total_entries += len(files)
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint[:16],
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "shards": shards,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self, *, all_versions: bool = False) -> int:
+        """Delete cached entries; returns the number of files removed.
+
+        By default only the current code-version shard is cleared;
+        ``all_versions=True`` removes every shard under the root.
+        """
+        removed = 0
+        for shard in self._shards():
+            if not all_versions and shard.name != self.fingerprint[:16]:
+                continue
+            for path in shard.iterdir():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+def disk_cache_from_env() -> Optional[DiskCache]:
+    """A :class:`DiskCache` rooted at ``$REPRO_CACHE_DIR``, if set."""
+    root = os.environ.get(CACHE_ENV_VAR, "").strip()
+    return DiskCache(root) if root else None

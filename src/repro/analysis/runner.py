@@ -44,6 +44,7 @@ from ..core.stats import improvement_percent
 from ..mig.graph import Mig
 from ..plim.verify import verify_program
 from ..synth.registry import BENCHMARK_ORDER, build_benchmark
+from .diskcache import DiskCache
 
 #: A configuration request: a preset name or an explicit config object.
 ConfigLike = Union[str, EnduranceConfig]
@@ -131,12 +132,23 @@ class ExperimentCache:
     :func:`mig_key`); hit/miss counters cover the compilation stage and
     back the cache tests.  The cache is lock-protected, so one instance
     may be shared by threads; worker *processes* get their own instance.
+
+    With a :class:`~repro.analysis.diskcache.DiskCache` attached, built
+    registry benchmarks and compiled results are *read through* to disk
+    and written back, so a warm rerun of the harness in a fresh process
+    — or in a ``run_matrix(parallel=N)`` worker sharing the same root —
+    deserialises instead of recompiling.  Only registry benchmarks have
+    a stable cross-process identity; hand-built MIGs stay session-only.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk: Optional[DiskCache] = None) -> None:
         self._migs: Dict[Tuple, Mig] = {}
         self._rewrites: Dict[Tuple, Mig] = {}
         self._results: Dict[Tuple, Tuple[CompilationResult, int]] = {}
+        # graph key -> (benchmark name, preset): the persistent identity
+        # under which a registry benchmark's results may go to disk.
+        self._bench_keys: Dict[Tuple, Tuple[str, str]] = {}
+        self.disk = disk
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -144,19 +156,41 @@ class ExperimentCache:
     # -- stages ----------------------------------------------------------
 
     def cached_mig(self, name: str, preset: str) -> Optional[Mig]:
-        """Fetch an already-built registry benchmark, or ``None``."""
+        """Fetch an already-built registry benchmark, or ``None``.
+
+        Reads through to the disk cache (a deserialised benchmark *is*
+        available without building), but never builds.
+        """
         with self._lock:
-            return self._migs.get((name, preset))
+            mig = self._migs.get((name, preset))
+        if mig is None and self.disk is not None:
+            mig = self.disk.load(("mig", name, preset))
+            if mig is not None:
+                mig = self._remember_mig(name, preset, mig)
+        return mig
+
+    def _remember_mig(self, name: str, preset: str, mig: Mig) -> Mig:
+        with self._lock:
+            mig = self._migs.setdefault((name, preset), mig)
+            self._bench_keys[mig_key(mig)] = (name, preset)
+        return mig
 
     def benchmark_mig(self, name: str, preset: str) -> Mig:
         """Build (or fetch) a registry benchmark."""
         key = (name, preset)
         with self._lock:
             mig = self._migs.get(key)
+        if mig is not None:
+            return mig
+        built = False
+        if self.disk is not None:
+            mig = self.disk.load(("mig", name, preset))
         if mig is None:
             mig = build_benchmark(name, preset)
-            with self._lock:
-                mig = self._migs.setdefault(key, mig)
+            built = True
+        mig = self._remember_mig(name, preset, mig)
+        if built and self.disk is not None:
+            self.disk.store(("mig", name, preset), mig)
         return mig
 
     def rewritten(
@@ -188,15 +222,33 @@ class ExperimentCache:
         pattern count reuse the stored certificate.  Racing threads may
         duplicate a compilation, but the first stored result wins and
         verification certificates are never downgraded.
+
+        Registry benchmarks additionally read through to the attached
+        disk cache: a miss here that hits on disk deserialises the
+        stored result (and its certificate) instead of compiling, and
+        fresh compilations or certificate upgrades are written back.
         """
         graph_id = key or mig_key(mig)
-        cache_key = (graph_id, config_key(config))
+        semantic = config_key(config)
+        cache_key = (graph_id, semantic)
         with self._lock:
             entry = self._results.get(cache_key)
             if entry is not None:
                 self.hits += 1
             else:
                 self.misses += 1
+            bench = (
+                self._bench_keys.get(graph_id)
+                if self.disk is not None
+                else None
+            )
+        persisted = -1  # certificate already on disk; -1 = absent
+        if entry is None and bench is not None:
+            payload = self.disk.load(("result", *bench, semantic))
+            if payload is not None:
+                entry = payload
+                persisted = payload[1]
+        computed = False
         if entry is not None:
             result, verified = entry
         else:
@@ -207,15 +259,27 @@ class ExperimentCache:
                 mig, config, rewritten=prewritten
             )
             verified = 0
+            computed = True
+        upgraded = False
         if verify and verify_patterns > verified:
             verify_program(result.program, mig, patterns=verify_patterns)
             verified = verify_patterns
+            upgraded = True
         with self._lock:
             stored = self._results.get(cache_key)
             if stored is not None:
                 result = stored[0]
                 verified = max(verified, stored[1])
             self._results[cache_key] = (result, verified)
+        if bench is not None and (computed or upgraded or 0 <= persisted < verified):
+            # Re-read before writing: another process may have persisted
+            # a wider verification certificate since our probe, and
+            # certificates must never be downgraded (the stored result
+            # is identical either way — compilation is deterministic).
+            disk_key = ("result", *bench, semantic)
+            current = self.disk.load(disk_key)
+            if current is None or current[1] < verified:
+                self.disk.store(disk_key, (result, verified))
         return result
 
     def has(
@@ -230,13 +294,32 @@ class ExperimentCache:
         With a nonzero *verified_patterns* the entry must also carry a
         verification certificate at least that wide — an unverified
         entry does not satisfy a verifying request.
+
+        Registry-benchmark entries read through to the disk cache; a
+        satisfying disk entry is adopted into memory so the matching
+        ``compile`` call that follows is a pure hit.
         """
         graph_id = (
             mig_or_key if isinstance(mig_or_key, tuple) else mig_key(mig_or_key)
         )
+        semantic = config_key(config)
         with self._lock:
-            entry = self._results.get((graph_id, config_key(config)))
-            return entry is not None and entry[1] >= verified_patterns
+            entry = self._results.get((graph_id, semantic))
+            if entry is not None:
+                return entry[1] >= verified_patterns
+            bench = (
+                self._bench_keys.get(graph_id)
+                if self.disk is not None
+                else None
+            )
+        if bench is None:
+            return False
+        payload = self.disk.load(("result", *bench, semantic))
+        if payload is None or payload[1] < verified_patterns:
+            return False
+        with self._lock:
+            self._results.setdefault((graph_id, semantic), payload)
+        return True
 
     def adopt(
         self,
@@ -258,6 +341,7 @@ class ExperimentCache:
         graph_id = mig_key(mig)
         with self._lock:
             self._migs.setdefault((name, preset), mig)
+            self._bench_keys[graph_id] = (name, preset)
             for cfg in configs:
                 key = (graph_id, config_key(cfg))
                 stored = self._results.get(key)
@@ -385,10 +469,14 @@ def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation]:
     """Worker-process entry: evaluate one benchmark with a local cache.
 
     Returns the built MIG alongside the evaluation so the parent can
-    adopt both into a shared cache.
+    adopt both into a shared cache.  When the dispatching cache has a
+    disk root attached, the worker reads through / writes back to the
+    same root, so warm pairs deserialise instead of recompiling.
     """
-    name, preset, configs, verify, verify_patterns = args
-    cache = ExperimentCache()
+    name, preset, configs, verify, verify_patterns, disk_root = args
+    cache = ExperimentCache(
+        disk=DiskCache(disk_root) if disk_root is not None else None
+    )
     mig = cache.benchmark_mig(name, preset)
     evaluation = evaluate_mig_cached(
         mig,
@@ -432,6 +520,8 @@ def run_matrix(
         cooperates with the pool: already-compiled (benchmark, config)
         pairs are served from it, only the missing remainder is
         dispatched, and worker results are adopted back into the cache.
+        When the shared cache has a disk cache attached, workers read
+        through and write back to the same on-disk root.
     """
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
     jobs = resolve_configs(configs, caps, effort)
@@ -439,7 +529,7 @@ def run_matrix(
     if parallel is not None and parallel > 1 and len(names) > 1:
         if cache is None:
             work = [
-                (name, preset, jobs, verify, verify_patterns)
+                (name, preset, jobs, verify, verify_patterns, None)
                 for name in names
             ]
             with _importable_in_workers(), ProcessPoolExecutor(
@@ -448,7 +538,9 @@ def run_matrix(
                 return [ev for _, ev in pool.map(_run_benchmark_job, work)]
         # Cooperative mode: dispatch only the pairs the cache is missing
         # (an entry without a wide-enough verification certificate counts
-        # as missing when this run verifies).
+        # as missing when this run verifies).  Workers share the cache's
+        # disk root, if any, so they persist what they compile.
+        disk_root = str(cache.disk.root) if cache.disk is not None else None
         needed = verify_patterns if verify else 0
         work = []
         for name in names:
@@ -465,7 +557,9 @@ def run_matrix(
                 ]
             )
             if missing:
-                work.append((name, preset, missing, verify, verify_patterns))
+                work.append(
+                    (name, preset, missing, verify, verify_patterns, disk_root)
+                )
         if work:
             with _importable_in_workers(), ProcessPoolExecutor(
                 max_workers=parallel

@@ -372,10 +372,15 @@ class Mig:
     def flat_gates(self) -> Tuple[Tuple[int, int, int, int, int, int, int], ...]:
         """Flat live-gate records for traversal-heavy inner loops.
 
-        One memoized tuple ``(node, fa_node, fa_cmpl, fb_node, fb_cmpl,
-        fc_node, fc_cmpl)`` per live gate, in topological order, with
-        fanin node ids and complement bits pre-split so simulation and
-        compilation avoid per-visit signal decoding.
+        One memoized tuple ``(node, fa_node, fa_xor, fb_node, fb_xor,
+        fc_node, fc_xor)`` per live gate, in topological order.  Fanin
+        node ids and complement attributes are pre-split so simulation
+        and compilation avoid per-visit signal decoding, and each
+        complement attribute is folded into an XOR mask (``0`` for a
+        plain edge, ``-1`` — all ones in two's complement — for a
+        complemented one): simulation backends apply the complement
+        branch-free as ``value ^ (xor & width_mask)`` at any word width,
+        and the complement *bit* is recovered as ``xor & 1``.
         """
         cached = self._derived.get("flat_gates")
         if cached is None:
@@ -384,11 +389,11 @@ class Mig:
                 (
                     node,
                     fa >> 1,
-                    fa & 1,
+                    -(fa & 1),
                     fb >> 1,
-                    fb & 1,
+                    -(fb & 1),
                     fc >> 1,
-                    fc & 1,
+                    -(fc & 1),
                 )
                 for node in self._live_gates()
                 for fa, fb, fc in (fanins[node],)
@@ -492,14 +497,14 @@ class Mig:
         scripts try to move mass into it.
         """
         hist = [0, 0, 0, 0]
-        for _, _, ca, _, cb, _, cc in self.flat_gates():
-            hist[ca + cb + cc] += 1
+        for _, _, xa, _, xb, _, xc in self.flat_gates():
+            hist[-(xa + xb + xc)] += 1
         return hist
 
     def num_complemented_edges(self) -> int:
         """Total complemented fanin edges over live gates (plus POs)."""
-        total = sum(
-            ca + cb + cc for _, _, ca, _, cb, _, cc in self.flat_gates()
+        total = -sum(
+            xa + xb + xc for _, _, xa, _, xb, _, xc in self.flat_gates()
         )
         total += sum(1 for s in self._pos if is_complemented(s))
         return total

@@ -1,0 +1,470 @@
+"""Pluggable bit-parallel simulation kernels.
+
+The harness evaluates every MIG function two ways — bit-parallel
+simulation of the graph and execution of its compiled PLiM program — and
+the graph side is a pure streaming computation over the memoized flat
+gate records (:meth:`repro.mig.graph.Mig.flat_gates`).  This module
+abstracts that computation behind a *kernel* so the engine is
+interchangeable:
+
+* :class:`BigintKernel` — the reference engine.  Simulation words are
+  plain Python integers; every gate costs a handful of bigint boolean
+  operations.  Always available, no dependencies.
+* :class:`NumpyKernel` — packs the pattern window into ``uint64`` lane
+  arrays (64 patterns per lane) and compiles each graph once into a flat
+  program of whole-row numpy operations (4–6 per gate), so wide sweeps
+  run at array speed with no per-pattern Python.
+
+Both kernels consume the same flat gate records — complement attributes
+pre-folded into XOR masks, so neither pays per-pattern complement
+branches — and both speak Python-int words at the boundary: a kernel's
+outputs are bit-identical to the reference engine's, which the
+backend-parity tests assert over random graphs.
+
+Selection
+---------
+:func:`get_kernel` resolves the active kernel: an explicit
+:func:`set_backend` override wins, then the ``REPRO_SIM_BACKEND``
+environment variable (``bigint``, ``numpy``, or ``auto``), then
+auto-detection (numpy when importable, bigint otherwise).  Requesting
+``numpy`` without numpy installed fails loudly rather than silently
+degrading.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Mig
+
+#: Environment variable naming the simulation backend.
+BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
+
+try:  # numpy is optional: the bigint kernel needs nothing beyond CPython
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the without-numpy CI job
+    _np = None
+
+
+def _bigint_simulate(mig: Mig, pi_values: Sequence[int], mask: int) -> List[int]:
+    """Reference engine: one Python-int word per node.
+
+    The complement XOR masks from the flat gate records are ``0`` or
+    ``-1``; ``xor & mask`` widens them to the pattern window, so the
+    inner loop is branch-free.
+    """
+    values = [0] * mig.num_nodes
+    for node, word in zip(mig.pis(), pi_values):
+        values[node] = word & mask
+    for node, na, xa, nb, xb, nc, xc in mig.flat_gates():
+        a = values[na] ^ (xa & mask)
+        b = values[nb] ^ (xb & mask)
+        c = values[nc] ^ (xc & mask)
+        # <a b c> = (a & b) | ((a | b) & c): 4 ops instead of the
+        # textbook 5-op (a&b)|(a&c)|(b&c).
+        values[node] = (a & b) | ((a | b) & c)
+    outputs = []
+    for s in mig.pos():
+        word = values[s >> 1]
+        if s & 1:
+            word ^= mask
+        outputs.append(word & mask)
+    return outputs
+
+
+class BigintKernel:
+    """Pure-Python engine over arbitrary-precision integer words."""
+
+    name = "bigint"
+    #: Preferred word width (patterns per round) for randomized checks.
+    random_width = 64
+
+    def chunk_bits_for(self, mig: Mig) -> int:
+        """log2 of the widest exhaustive simulation word (graph-independent).
+
+        2^13-bit words keep every node value L1/L2-resident, where
+        CPython's bigint boolean loops run near memory speed; wider words
+        were measured slower in PR 1's chunking experiments.
+        """
+        return 13
+
+    def simulate(
+        self, mig: Mig, pi_values: Sequence[int], mask: int
+    ) -> List[int]:
+        return _bigint_simulate(mig, pi_values, mask)
+
+
+# ----------------------------------------------------------------------
+# numpy kernel
+# ----------------------------------------------------------------------
+
+#: Pattern windows at or below one uint64 lane stay on the bigint
+#: engine: a 64-bit Python int operation beats numpy dispatch overhead.
+_NUMPY_MIN_WIDTH = 65
+
+#: Soft cap on the node-value matrix (bytes); exhaustive chunks shrink
+#: until ``num_nodes * lanes * 8`` fits.
+_NUMPY_MEM_BUDGET = 64 << 20
+
+
+class _NumpyPlan:
+    """Per-graph compiled form for the numpy kernel.
+
+    Gates are compiled to the 4-op majority form
+
+        maj(a, b, c) = b ^ ((a ^ b) & (b ^ c))
+
+    with two algebraic rewrites applied per gate to minimise complement
+    work:
+
+    * *polarity propagation* — each node's value is stored in a chosen
+      polarity (possibly inverted); since majority is self-dual
+      (``maj(~a,~b,~c) = ~maj(a,b,c)``), the stored polarity is picked so
+      the trailing output inversion is always free, and fanin edge
+      complements are re-derived against the fanins' stored polarities;
+    * *operand rotation* — majority is symmetric, so the middle operand
+      ``b`` is chosen to minimise the two pair-complement terms.
+
+    What remains is a flat list of binary ``(ufunc, x, y, out)`` row
+    operations — 4 per gate plus one per surviving pair complement —
+    bound to concrete array rows once per lane width and replayed for
+    every chunk.  The compiled buffers live in the graph's ``_derived``
+    memo, hence are invalidated by any mutation alongside ``flat_gates``.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "pi_nodes",
+        "po_extract",
+        "gate_program",
+        "_lock",
+        "_exec_cache",
+        "_exh_width",
+    )
+
+    def __init__(self, mig: Mig) -> None:
+        self.num_nodes = mig.num_nodes
+        self.pi_nodes = mig.pis()
+        # (node, a, b, c, flip_ab, flip_bc) per gate, polarity-propagated.
+        program: List[Tuple[int, int, int, int, bool, bool]] = []
+        pol = [False] * mig.num_nodes
+        for node, na, xa, nb, xb, nc, xc in mig.flat_gates():
+            operands = (
+                (na, bool(xa) ^ pol[na]),
+                (nb, bool(xb) ^ pol[nb]),
+                (nc, bool(xc) ^ pol[nc]),
+            )
+            best = None
+            for mid in range(3):
+                (a, pa), (b, pb), (c, pc) = (
+                    operands[mid - 2],
+                    operands[mid],
+                    operands[mid - 1],
+                )
+                cost = (pa ^ pb) + (pb ^ pc)
+                if best is None or cost < best[0]:
+                    best = (cost, a, b, c, pa ^ pb, pb ^ pc, pb)
+            _, a, b, c, fab, fbc, pb = best
+            # Store maj of the triple with all polarities flipped by pb:
+            # self-duality makes the stored value maj ^ pb, for free.
+            pol[node] = pb
+            program.append((node, a, b, c, fab, fbc))
+        self.gate_program = program
+        # (node, flip) per PO, stored polarity folded in.
+        self.po_extract = [
+            (s >> 1, bool(s & 1) ^ pol[s >> 1]) for s in mig.pos()
+        ]
+        self._lock = threading.Lock()
+        self._exec_cache: Optional[Tuple] = None
+        # Width whose low-variable exhaustive stimulus currently fills
+        # the PI rows (None when the rows hold arbitrary words).
+        self._exh_width: Optional[int] = None
+
+    def executable(self, num_lanes: int, width: int):
+        """Row buffers + bound op list for *width*-pattern windows.
+
+        One executable (the most recently used width) is cached;
+        exhaustive sweeps reuse it across every chunk.  Callers must
+        hold :attr:`_lock` while running it — the value matrix and the
+        temporary row are shared state.
+
+        The complement row ``full`` carries the window's tail mask in
+        its last lane, so every value row keeps the invariant "bits at
+        or above *width* are zero" and extraction never re-masks.
+        """
+        cached = self._exec_cache
+        if cached is not None and cached[0] == width:
+            return cached
+        np = _np
+        vals = np.empty((self.num_nodes, num_lanes), dtype=np.uint64)
+        vals[0] = 0  # constant-false node; dead rows are never read
+        tmp = np.empty(num_lanes, dtype=np.uint64)
+        full = np.full(num_lanes, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        if width & 63:
+            full[-1] = (1 << (width & 63)) - 1
+        bxor, band = np.bitwise_xor, np.bitwise_and
+        ops = []
+        append = ops.append
+        for node, a, b, c, fab, fbc in self.gate_program:
+            row_b = vals[b]
+            out = vals[node]
+            append((bxor, row_b, vals[c], tmp))
+            if fbc:
+                append((bxor, tmp, full, tmp))
+            append((bxor, vals[a], row_b, out))
+            if fab:
+                append((bxor, out, full, out))
+            append((band, out, tmp, out))
+            append((bxor, out, row_b, out))
+        cached = (width, vals, ops, tmp, full)
+        self._exec_cache = cached
+        return cached
+
+
+#: 64-pattern stimulus words for variables 0..5 (period <= one lane).
+_P64 = (
+    0xAAAAAAAAAAAAAAAA,
+    0xCCCCCCCCCCCCCCCC,
+    0xF0F0F0F0F0F0F0F0,
+    0xFF00FF00FF00FF00,
+    0xFFFF0000FFFF0000,
+    0xFFFFFFFF00000000,
+)
+
+
+def _numpy_plan(mig: Mig) -> _NumpyPlan:
+    plan = mig._derived.get("numpy_plan")
+    if plan is None:
+        plan = _NumpyPlan(mig)
+        mig._derived["numpy_plan"] = plan
+    return plan
+
+
+def _word_to_lanes(word: int, num_lanes: int):
+    """Little-endian split of a Python-int word into uint64 lanes."""
+    return _np.frombuffer(
+        word.to_bytes(num_lanes * 8, "little"), dtype="<u8"
+    )
+
+
+def _lanes_to_word(lanes) -> int:
+    """Inverse of :func:`_word_to_lanes`."""
+    return int.from_bytes(
+        _np.ascontiguousarray(lanes, dtype="<u8").tobytes(), "little"
+    )
+
+
+class NumpyKernel:
+    """uint64 lane-array engine replaying a precompiled row program."""
+
+    name = "numpy"
+    #: Randomized checks sweep 16 lanes per round.
+    random_width = 1024
+
+    def chunk_bits_for(self, mig: Mig) -> int:
+        """Widest exhaustive chunk whose value matrix fits the budget.
+
+        Wide rows amortise numpy dispatch overhead, so prefer 2^18
+        patterns (32 KiB per node row) and shrink — never below the
+        bigint kernel's 2^13 — for graphs whose node count would blow
+        the memory budget.
+        """
+        bits = 18
+        while bits > 13 and (mig.num_nodes << (bits - 6 + 3)) > _NUMPY_MEM_BUDGET:
+            bits -= 1
+        return bits
+
+    def simulate(
+        self, mig: Mig, pi_values: Sequence[int], mask: int
+    ) -> List[int]:
+        width = mask.bit_length()
+        if width < _NUMPY_MIN_WIDTH:
+            return _bigint_simulate(mig, pi_values, mask)
+        plan = _numpy_plan(mig)
+        num_lanes = (width + 63) >> 6
+        with plan._lock:
+            _, vals, ops, tmp, full = plan.executable(num_lanes, width)
+            plan._exh_width = None  # PI rows now hold arbitrary words
+            for node, word in zip(plan.pi_nodes, pi_values):
+                vals[node] = _word_to_lanes(word & mask, num_lanes)
+            for f, x, y, out in ops:
+                f(x, y, out=out)
+            outputs = []
+            for node, flip in plan.po_extract:
+                row = vals[node]
+                if flip:
+                    _np.bitwise_xor(row, full, out=tmp)
+                    row = tmp
+                outputs.append(_lanes_to_word(row))
+            return outputs
+
+    def exhaustive_window(
+        self, mig: Mig, base: int, width: int
+    ) -> Optional[List[int]]:
+        """Evaluate the exhaustive window ``[base, base + width)``.
+
+        Fast path used by :func:`repro.mig.simulate.exhaustive_chunks`:
+        the structured exhaustive stimulus is synthesised directly into
+        the lane rows (constant lane patterns for low variables, lane
+        block patterns for middle ones, constant rows for high ones), so
+        no Python bigints are built on the input side at all.  Low and
+        middle variables do not depend on the window base and are filled
+        once per width.  Returns ``None`` when the window is too narrow
+        for this kernel (the caller falls back to the generic path).
+        """
+        if width < _NUMPY_MIN_WIDTH:
+            return None
+        plan = _numpy_plan(mig)
+        with plan._lock:
+            _, vals, _, tmp, full = self._window_rows(plan, base, width)
+            outputs = []
+            for node, flip in plan.po_extract:
+                row = vals[node]
+                if flip:
+                    _np.bitwise_xor(row, full, out=tmp)
+                    row = tmp
+                outputs.append(_lanes_to_word(row))
+            return outputs
+
+    def exhaustive_equivalent(
+        self, a: Mig, b: Mig, chunk_bits: int
+    ) -> Optional[bool]:
+        """Exhaustively compare two same-interface MIGs window by window.
+
+        Fast path used by :func:`repro.mig.simulate.equivalent`: both
+        graphs are swept with :meth:`exhaustive_window`'s stimulus and
+        their output *rows* are compared lane-wise, skipping the
+        int-conversion boundary entirely — on output-heavy graphs that
+        boundary dominates the sweep.  Early-exits on the first
+        differing window.  Returns ``None`` (caller falls back to the
+        generic chunk-zip) when the windows are too narrow.
+
+        Both plan locks are held for the whole sweep (in a canonical
+        order, so crossed ``equivalent(a, b)`` / ``equivalent(b, a)``
+        callers cannot deadlock): the value matrices are shared state.
+        """
+        np = _np
+        num_patterns = 1 << a.num_pis
+        width = min(num_patterns, 1 << chunk_bits)
+        if width < _NUMPY_MIN_WIDTH:
+            return None
+        plan_a, plan_b = _numpy_plan(a), _numpy_plan(b)
+        if plan_a is plan_b:
+            locks = [plan_a._lock]
+        else:
+            locks = sorted((plan_a._lock, plan_b._lock), key=id)
+        for lock in locks:
+            lock.acquire()
+        try:
+            for base in range(0, num_patterns, width):
+                rows_a = self._window_rows(plan_a, base, width)
+                rows_b = self._window_rows(plan_b, base, width)
+                (_, vals_a, _, tmp_a, full_a) = rows_a
+                (_, vals_b, _, _, _) = rows_b
+                for (na, fa), (nb, fb) in zip(
+                    plan_a.po_extract, plan_b.po_extract
+                ):
+                    row_a = vals_a[na]
+                    if fa != fb:  # opposite stored polarity: compare flipped
+                        np.bitwise_xor(row_a, full_a, out=tmp_a)
+                        row_a = tmp_a
+                    if not np.array_equal(row_a, vals_b[nb]):
+                        return False
+            return True
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    def _window_rows(self, plan: _NumpyPlan, base: int, width: int):
+        """Fill + replay one exhaustive window; returns the executable.
+
+        Callers must hold ``plan._lock``: the value matrix and the
+        temporary row are shared state.
+        """
+        np = _np
+        num_lanes = width >> 6
+        lane_bits = num_lanes.bit_length() - 1
+        exe = plan.executable(num_lanes, width)
+        _, vals, ops, tmp, full = exe
+        if plan._exh_width != width:
+            lanes = np.arange(num_lanes, dtype=np.uint64)
+            for i, node in enumerate(plan.pi_nodes):
+                if i < 6:
+                    vals[node] = np.uint64(_P64[i])
+                elif i < 6 + lane_bits:
+                    np.negative(
+                        (lanes >> np.uint64(i - 6)) & np.uint64(1),
+                        out=vals[node],
+                    )
+            plan._exh_width = width
+        for i in range(6 + lane_bits, len(plan.pi_nodes)):
+            vals[plan.pi_nodes[i]] = np.uint64(
+                0xFFFFFFFFFFFFFFFF if (base >> i) & 1 else 0
+            )
+        for f, x, y, out in ops:
+            f(x, y, out=out)
+        return exe
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+_BIGINT = BigintKernel()
+_NUMPY = NumpyKernel() if _np is not None else None
+
+#: Explicit override installed by :func:`set_backend`; beats the
+#: environment variable.
+_OVERRIDE: Optional[object] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be used in this process."""
+    return _NUMPY is not None
+
+
+def available_backends() -> List[str]:
+    """Names of the kernels importable in this process."""
+    names = [_BIGINT.name]
+    if _NUMPY is not None:
+        names.append(_NUMPY.name)
+    return names
+
+
+def _resolve(name: str):
+    if name in ("bigint", "python"):
+        return _BIGINT
+    if name == "numpy":
+        if _NUMPY is None:
+            raise ImportError(
+                f"{BACKEND_ENV_VAR}/set_backend requested the numpy "
+                "simulation backend but numpy is not importable; install "
+                "numpy or select the 'bigint' backend"
+            )
+        return _NUMPY
+    if name == "auto":
+        return _NUMPY if _NUMPY is not None else _BIGINT
+    raise ValueError(
+        f"unknown simulation backend {name!r}; "
+        f"choose one of: auto, bigint, numpy"
+    )
+
+
+def set_backend(name: Optional[str]):
+    """Install an explicit backend override (``None`` removes it).
+
+    Returns the now-active kernel.  Mostly for tests and embedding code;
+    command-line users set ``REPRO_SIM_BACKEND`` instead.
+    """
+    global _OVERRIDE
+    _OVERRIDE = _resolve(name) if name is not None else None
+    return get_kernel()
+
+
+def get_kernel():
+    """The active simulation kernel (override > environment > auto)."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return _resolve(os.environ.get(BACKEND_ENV_VAR, "auto") or "auto")

@@ -69,18 +69,24 @@ def rebuild(mig: Mig, transform: Optional[Transform] = None) -> Mig:
     for idx, node in enumerate(mig.pis()):
         xlat[node] = new.add_pi(mig.pi_name(idx))
     add_maj = new.add_maj
+    # flat_gates carries complement attributes as XOR masks (0 / -1);
+    # `& 1` recovers the signal-level complement bit.
     if transform is None:
-        for node, na, ca, nb, cb, nc, cc in mig.flat_gates():
+        for node, na, xa, nb, xb, nc, xc in mig.flat_gates():
             xlat[node] = add_maj(
-                xlat[na] ^ ca, xlat[nb] ^ cb, xlat[nc] ^ cc
+                xlat[na] ^ (xa & 1), xlat[nb] ^ (xb & 1), xlat[nc] ^ (xc & 1)
             )
     else:
-        for node, na, ca, nb, cb, nc, cc in mig.flat_gates():
+        for node, na, xa, nb, xb, nc, xc in mig.flat_gates():
             xlat[node] = transform(
                 new,
                 ctx,
                 node,
-                (xlat[na] ^ ca, xlat[nb] ^ cb, xlat[nc] ^ cc),
+                (
+                    xlat[na] ^ (xa & 1),
+                    xlat[nb] ^ (xb & 1),
+                    xlat[nc] ^ (xc & 1),
+                ),
             )
     for idx, s in enumerate(mig.pos()):
         new.add_po(xlat[s >> 1] ^ (s & 1), mig.po_name(idx))

@@ -1,18 +1,26 @@
 """Bit-parallel simulation of Majority-Inverter Graphs.
 
-Values are plain Python integers used as bit vectors: position ``i`` of every
-value is one independent simulation pattern, so a single sweep over the graph
-evaluates arbitrarily many input patterns at once.  This is the reference
-model against which compiled PLiM programs are verified
+Values are plain Python integers used as bit vectors: position ``i`` of
+every value is one independent simulation pattern, so a single sweep over
+the graph evaluates arbitrarily many input patterns at once.  This is the
+reference model against which compiled PLiM programs are verified
 (:mod:`repro.plim.verify`) and the engine behind equivalence checking of
 rewriting passes.
 
-The inner loop iterates over the graph's memoized flat gate records
-(:meth:`repro.mig.graph.Mig.flat_gates`), so repeated simulations of the
-same graph pay for the traversal derivation once.  Exhaustive runs past
-:data:`CHUNK_BITS` patterns are evaluated in fixed-width chunks: the cost
-of a chunked sweep grows linearly with the pattern count instead of the
-quadratic blow-up of building multi-megabit input words incrementally.
+The gate-evaluation engine is pluggable (:mod:`repro.mig.kernel`): the
+pure-Python bigint kernel is always available, and the optional numpy
+kernel evaluates the same flat gate records (complement attributes
+pre-folded into XOR masks) as whole-array ``uint64`` operations.  Every
+function here speaks Python-int words regardless of the active kernel,
+and the two kernels are bit-identical (asserted by the parity tests).
+
+Exhaustive runs past the kernel's chunk width are evaluated in
+fixed-width chunks: the cost of a chunked sweep grows linearly with the
+pattern count instead of the quadratic blow-up of building multi-megabit
+input words incrementally.  Randomized checks draw one word per input
+per round; the round count and word width come from one shared helper
+(:func:`randomized_rounds`), so the numpy kernel's wider sweeps apply to
+``equivalent`` and ``find_counterexample`` alike.
 """
 
 from __future__ import annotations
@@ -21,12 +29,15 @@ import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .graph import Mig
+from .kernel import get_kernel
 
 #: Refuse exhaustive truth tables beyond this many inputs (2^20 patterns).
 MAX_EXHAUSTIVE_PIS = 20
 
-#: log2 of the widest single simulation word used by exhaustive sweeps;
-#: beyond 2^CHUNK_BITS patterns the sweep runs chunk by chunk.
+#: log2 of the widest single simulation word used by exhaustive sweeps
+#: under the *bigint* kernel; kept as the module-level default for
+#: callers that pin chunking explicitly.  The active kernel may prefer
+#: wider chunks (see :func:`exhaustive_chunks`).
 CHUNK_BITS = 13
 
 
@@ -63,7 +74,9 @@ def exhaustive_words(
     return [input_word(i, num_patterns, base) for i in range(num_inputs)]
 
 
-def simulate(mig: Mig, pi_values: Sequence[int], mask: int = 1) -> List[int]:
+def simulate(
+    mig: Mig, pi_values: Sequence[int], mask: int = 1, *, kernel=None
+) -> List[int]:
     """Evaluate *mig* on bit-parallel input words.
 
     Parameters
@@ -74,6 +87,9 @@ def simulate(mig: Mig, pi_values: Sequence[int], mask: int = 1) -> List[int]:
     mask:
         All-ones mask covering the pattern width (e.g. ``(1 << 64) - 1``
         for 64 parallel patterns).
+    kernel:
+        Simulation kernel override; defaults to the active backend
+        (:func:`repro.mig.kernel.get_kernel`).
 
     Returns
     -------
@@ -83,27 +99,7 @@ def simulate(mig: Mig, pi_values: Sequence[int], mask: int = 1) -> List[int]:
         raise ValueError(
             f"expected {mig.num_pis} input words, got {len(pi_values)}"
         )
-    values = [0] * mig.num_nodes
-    for node, word in zip(mig.pis(), pi_values):
-        values[node] = word & mask
-    for node, na, ca, nb, cb, nc, cc in mig.flat_gates():
-        a = values[na]
-        if ca:
-            a ^= mask
-        b = values[nb]
-        if cb:
-            b ^= mask
-        c = values[nc]
-        if cc:
-            c ^= mask
-        values[node] = (a & b) | (a & c) | (b & c)
-    outputs = []
-    for s in mig.pos():
-        word = values[s >> 1]
-        if s & 1:
-            word ^= mask
-        outputs.append(word & mask)
-    return outputs
+    return (kernel or get_kernel()).simulate(mig, pi_values, mask)
 
 
 def simulate_one(mig: Mig, assignment: Dict[str, int]) -> Dict[str, int]:
@@ -126,7 +122,7 @@ def simulate_one(mig: Mig, assignment: Dict[str, int]) -> Dict[str, int]:
 
 
 def exhaustive_chunks(
-    mig: Mig, chunk_bits: int = CHUNK_BITS
+    mig: Mig, chunk_bits: Optional[int] = None, *, kernel=None
 ) -> Iterator[Tuple[int, int, List[int]]]:
     """Exhaustively simulate *mig* in chunks of ``2**chunk_bits`` patterns.
 
@@ -134,45 +130,104 @@ def exhaustive_chunks(
     ``[base, base + width)`` in ascending order.  Keeping each chunk to a
     fixed word width makes the total exhaustive cost linear in the number
     of patterns, where one monolithic ``2**num_pis``-bit sweep pays
-    bigint arithmetic proportional to the full table per gate.
+    bigint arithmetic proportional to the full table per gate.  The
+    default chunk width is the active kernel's preference (13 bits for
+    bigint, wider for numpy); pass *chunk_bits* to pin it.
     """
     n = mig.num_pis
     if n > MAX_EXHAUSTIVE_PIS:
         raise ValueError(f"too many inputs for exhaustive simulation: {n}")
+    kernel = kernel or get_kernel()
+    if chunk_bits is None:
+        chunk_bits = kernel.chunk_bits_for(mig)
     num_patterns = 1 << n
     width = min(num_patterns, 1 << chunk_bits)
     mask = (1 << width) - 1
-    # Low variables (period <= chunk width) repeat identically per chunk.
-    shared = [
-        input_word(i, width) for i in range(n) if (1 << (i + 1)) <= width
-    ]
+    # Kernels may synthesise the structured exhaustive stimulus
+    # natively (numpy fills lane rows without building bigint words);
+    # a declined window (None) falls back to the generic path below.
+    fast_window = getattr(kernel, "exhaustive_window", None)
+    # Low variables (period <= chunk width) repeat identically per
+    # chunk; built lazily since the fast path never needs them.
+    shared: Optional[List[int]] = None
     for base in range(0, num_patterns, width):
-        words = list(shared)
-        for i in range(len(shared), n):
-            words.append(mask if (base >> i) & 1 else 0)
-        yield base, width, simulate(mig, words, mask=mask)
+        outputs = None
+        if fast_window is not None:
+            outputs = fast_window(mig, base, width)
+        if outputs is None:
+            if shared is None:
+                shared = [
+                    input_word(i, width)
+                    for i in range(n)
+                    if (1 << (i + 1)) <= width
+                ]
+            words = list(shared)
+            for i in range(len(shared), n):
+                words.append(mask if (base >> i) & 1 else 0)
+            outputs = kernel.simulate(mig, words, mask)
+        yield base, width, outputs
 
 
-def truth_tables(mig: Mig, chunk_bits: int = CHUNK_BITS) -> List[int]:
+def truth_tables(
+    mig: Mig, chunk_bits: Optional[int] = None, *, kernel=None
+) -> List[int]:
     """Exhaustive truth table per output, as ``2**num_pis``-bit integers.
 
     Bit ``m`` of each table is the output value under minterm ``m`` (input
     ``i`` takes bit ``i`` of ``m``).  Only feasible for input counts up to
     :data:`MAX_EXHAUSTIVE_PIS`; wide tables are swept chunk by chunk.
+    The result is independent of the chunking and of the active kernel.
     """
     n = mig.num_pis
     if n > MAX_EXHAUSTIVE_PIS:
         raise ValueError(f"too many inputs for exhaustive simulation: {n}")
-    tables = [0] * mig.num_pos
-    for base, _, outputs in exhaustive_chunks(mig, chunk_bits):
+    # Chunk outputs are assembled bytewise: appending fixed-size byte
+    # blocks and joining once is linear in the table size, where
+    # ``table |= word << base`` would copy the growing table per chunk.
+    parts: Optional[List[List[bytes]]] = None
+    chunk_bytes = 0
+    for base, width, outputs in exhaustive_chunks(mig, chunk_bits, kernel=kernel):
+        if base == 0:
+            if width >= (1 << n):  # single chunk: nothing to assemble
+                return outputs
+            if width & 7:  # sub-byte chunks (tiny explicit chunk_bits)
+                tables = [0] * mig.num_pos
+                for base, _, outputs in exhaustive_chunks(
+                    mig, chunk_bits, kernel=kernel
+                ):
+                    for idx, word in enumerate(outputs):
+                        tables[idx] |= word << base
+                return tables
+            parts = [[] for _ in outputs]
+            chunk_bytes = width >> 3
         for idx, word in enumerate(outputs):
-            tables[idx] |= word << base
-    return tables
+            parts[idx].append(word.to_bytes(chunk_bytes, "little"))
+    if parts is None:  # zero POs or a pathological empty sweep
+        return [0] * mig.num_pos
+    return [int.from_bytes(b"".join(p), "little") for p in parts]
 
 
 def random_words(num_inputs: int, width: int, rng: random.Random) -> List[int]:
     """Draw *num_inputs* random bit-words of *width* patterns."""
     return [rng.getrandbits(width) for _ in range(num_inputs)]
+
+
+def randomized_rounds(
+    samples: int, width: Optional[int] = None, *, kernel=None
+) -> Tuple[int, int, int]:
+    """Round count, word width, and mask for a randomized sweep.
+
+    At least *samples* patterns are covered in rounds of *width*
+    patterns each; the default width is the active kernel's preference
+    (64 for bigint, wider for numpy), capped at *samples* so narrow
+    requests are not silently over-simulated.  Shared by
+    :func:`equivalent`, :func:`find_counterexample`, and
+    :func:`repro.plim.verify.verify_program`.
+    """
+    if width is None:
+        width = min((kernel or get_kernel()).random_width, max(1, samples))
+    rounds = max(1, (samples + width - 1) // width)
+    return rounds, width, (1 << width) - 1
 
 
 def equivalent(
@@ -181,6 +236,7 @@ def equivalent(
     *,
     exhaustive_limit: Optional[int] = None,
     samples: int = 1024,
+    width: Optional[int] = None,
     seed: int = 0xC0FFEE,
 ) -> bool:
     """Check functional equivalence of two MIGs.
@@ -195,6 +251,8 @@ def equivalent(
     checking (sound for inequivalence, probabilistic for equivalence) must
     be requested explicitly by passing ``exhaustive_limit`` — callers that
     opt in acknowledge the random fallback above their chosen cutoff.
+    The randomized path draws rounds of *width* patterns (default: the
+    active kernel's preferred word width) until *samples* are covered.
     """
     if a.num_pis != b.num_pis or a.num_pos != b.num_pos:
         return False
@@ -206,9 +264,22 @@ def equivalent(
             f"({MAX_EXHAUSTIVE_PIS}); exhaustive simulation past 2^"
             f"{MAX_EXHAUSTIVE_PIS} patterns is not supported"
         )
+    kernel = get_kernel()
     if a.num_pis <= limit:
+        # Both graphs must be swept with identical chunking or the
+        # zipped windows would not line up (the kernel may size chunks
+        # per graph); take the smaller of the two preferences.
+        chunk_bits = min(kernel.chunk_bits_for(a), kernel.chunk_bits_for(b))
+        # Kernels may compare whole windows natively (numpy compares
+        # output lane rows, skipping the int-conversion boundary).
+        fast = getattr(kernel, "exhaustive_equivalent", None)
+        if fast is not None:
+            verdict = fast(a, b, chunk_bits)
+            if verdict is not None:
+                return verdict
         for (_, _, out_a), (_, _, out_b) in zip(
-            exhaustive_chunks(a), exhaustive_chunks(b)
+            exhaustive_chunks(a, chunk_bits, kernel=kernel),
+            exhaustive_chunks(b, chunk_bits, kernel=kernel),
         ):
             if out_a != out_b:
                 return False
@@ -221,12 +292,10 @@ def equivalent(
             "or use find_counterexample() for a refutation-only search"
         )
     rng = random.Random(seed)
-    width = 64
-    rounds = max(1, (samples + width - 1) // width)
-    mask = (1 << width) - 1
+    rounds, width, mask = randomized_rounds(samples, width, kernel=kernel)
     for _ in range(rounds):
         words = random_words(a.num_pis, width, rng)
-        if simulate(a, words, mask) != simulate(b, words, mask):
+        if kernel.simulate(a, words, mask) != kernel.simulate(b, words, mask):
             return False
     return True
 
@@ -236,18 +305,24 @@ def find_counterexample(
     b: Mig,
     *,
     samples: int = 1024,
+    width: Optional[int] = None,
     seed: int = 0xC0FFEE,
 ) -> Optional[Dict[str, int]]:
-    """Return an input assignment on which the two MIGs differ, if found."""
+    """Return an input assignment on which the two MIGs differ, if found.
+
+    Draws the same randomized rounds as :func:`equivalent`'s fallback
+    path (*samples* patterns in rounds of *width*, default the kernel's
+    preferred word width).
+    """
     if a.num_pis != b.num_pis or a.num_pos != b.num_pos:
         raise ValueError("interface mismatch")
+    kernel = get_kernel()
     rng = random.Random(seed)
-    width = 64
-    mask = (1 << width) - 1
-    for _ in range(max(1, (samples + width - 1) // width)):
+    rounds, width, mask = randomized_rounds(samples, width, kernel=kernel)
+    for _ in range(rounds):
         words = random_words(a.num_pis, width, rng)
-        out_a = simulate(a, words, mask)
-        out_b = simulate(b, words, mask)
+        out_a = kernel.simulate(a, words, mask)
+        out_b = kernel.simulate(b, words, mask)
         diff = 0
         for wa, wb in zip(out_a, out_b):
             diff |= wa ^ wb

@@ -13,7 +13,12 @@ import random
 from typing import Optional
 
 from ..mig.graph import Mig
-from ..mig.simulate import exhaustive_words, simulate, truth_tables
+from ..mig.simulate import (
+    exhaustive_words,
+    randomized_rounds,
+    simulate,
+    truth_tables,
+)
 from .controller import PlimController
 from .isa import Program
 from .memory import RramArray
@@ -36,7 +41,10 @@ def verify_program(
 
     Small functions (``num_pis <= exhaustive_limit``) are checked
     exhaustively; larger ones with *patterns* random bit-parallel
-    patterns.  Returns ``True`` on success; raises
+    patterns drawn in rounds sized by the active simulation kernel
+    (:func:`repro.mig.simulate.randomized_rounds`).  The MIG side runs
+    through that kernel; the program side always executes on the
+    behavioural array.  Returns ``True`` on success; raises
     :class:`VerificationError` (or returns ``False``) on mismatch.
     """
     if len(program.pi_cells) != mig.num_pis:
@@ -50,9 +58,7 @@ def verify_program(
         batches = [exhaustive_words(mig.num_pis, width)]
     else:
         rng = random.Random(seed)
-        width = 64
-        mask = (1 << width) - 1
-        rounds = max(1, (patterns + width - 1) // width)
+        rounds, width, mask = randomized_rounds(patterns)
         batches = [
             [rng.getrandbits(width) for _ in range(mig.num_pis)]
             for _ in range(rounds)

@@ -70,3 +70,41 @@ class TestCommands:
             "headline", "--preset", "tiny", "--benchmarks", "dec", "ctrl",
         ]) == 0
         assert "HEADLINE" in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_stats_on_empty_root(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      : 0" in out
+
+    def test_suite_populates_then_stats_then_clear(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "dec",
+            "--no-verify", "--cache-dir", root,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "entries      : 0" not in out and "(current)" in out
+        assert main(["cache", "clear", "--cache-dir", root]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        assert "entries      : 0" in capsys.readouterr().out
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch, capsys):
+        root = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "ctrl",
+            "--no-verify",
+        ]) == 0
+        capsys.readouterr()
+        assert root.is_dir()
+        assert main(["cache", "stats"]) == 0
+        assert str(root) in capsys.readouterr().out

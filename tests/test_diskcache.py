@@ -1,0 +1,278 @@
+"""Tests for the persistent experiment cache (repro.analysis.diskcache)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.diskcache import (
+    CACHE_ENV_VAR,
+    DiskCache,
+    code_fingerprint,
+    disk_cache_from_env,
+)
+from repro.analysis.runner import ExperimentCache, run_matrix
+from repro.core.manager import PRESETS
+
+
+class TestDiskCacheBasics:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = ("result", "adder", "tiny", ("none", "topo"))
+        assert cache.load(key) is None
+        cache.store(key, {"answer": 42})
+        assert cache.load(key) == {"answer": 42}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_cross_instance_sharing(self, tmp_path):
+        DiskCache(tmp_path).store(("mig", "x", "tiny"), [1, 2, 3])
+        assert DiskCache(tmp_path).load(("mig", "x", "tiny")) == [1, 2, 3]
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        assert cache.load(("a",)) == 1
+        assert cache.load(("b",)) == 2
+
+    def test_fingerprint_isolates_code_versions(self, tmp_path):
+        old = DiskCache(tmp_path, fingerprint="0" * 64)
+        old.store(("k",), "stale")
+        current = DiskCache(tmp_path)
+        assert current.load(("k",)) is None  # different shard
+        assert current.fingerprint == code_fingerprint()
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert disk_cache_from_env() is None
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "c"))
+        cache = disk_cache_from_env()
+        assert cache is not None and cache.root == tmp_path / "c"
+
+
+class TestCorruptionRejection:
+    def _entry_path(self, cache, key):
+        cache.store(key, "payload")
+        path = cache._path(key)
+        assert path.is_file()
+        return path
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, ("k",))
+        path.write_bytes(path.read_bytes()[:-3])
+        assert cache.load(("k",)) is None
+
+    def test_flipped_byte_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, ("k",))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert cache.load(("k",)) is None
+
+    def test_bad_magic_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, ("k",))
+        path.write_bytes(b"garbage" + path.read_bytes())
+        assert cache.load(("k",)) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        # A well-formed entry stored under the wrong file name (e.g. a
+        # renamed file) must not be served for the colliding key.
+        cache = DiskCache(tmp_path)
+        cache.store(("original",), "data")
+        os.replace(cache._path(("original",)), cache._path(("other",)))
+        assert cache.load(("other",)) is None
+
+    def test_unpicklable_body_is_a_miss(self, tmp_path):
+        import hashlib
+
+        from repro.analysis import diskcache
+
+        cache = DiskCache(tmp_path)
+        body = b"\x80\x05not really a pickle"
+        blob = (
+            diskcache._MAGIC
+            + hashlib.sha256(body).hexdigest().encode()
+            + body
+        )
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        path.write_bytes(blob)
+        assert cache.load(("k",)) is None
+
+    def test_store_failure_is_swallowed(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file blocks the root")
+        cache = DiskCache(target)
+        cache.store(("k",), "data")  # must not raise
+        assert cache.load(("k",)) is None
+
+
+class TestMaintenance:
+    def test_stats_counts_entries_and_shards(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        DiskCache(tmp_path, fingerprint="f" * 64).store(("c",), 3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert len(stats["shards"]) == 2
+        current = [s for s in stats["shards"] if s["current"]]
+        assert len(current) == 1 and current[0]["entries"] == 2
+
+    def test_clear_current_shard_only(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("a",), 1)
+        stale = DiskCache(tmp_path, fingerprint="f" * 64)
+        stale.store(("c",), 3)
+        assert cache.clear() == 1
+        assert cache.load(("a",)) is None
+        assert stale.load(("c",)) == 3
+
+    def test_clear_all_versions(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("a",), 1)
+        DiskCache(tmp_path, fingerprint="f" * 64).store(("c",), 3)
+        assert cache.clear(all_versions=True) == 2
+        assert cache.stats()["entries"] == 0
+
+
+class TestExperimentCacheReadThrough:
+    def test_warm_session_compiles_nothing(self, tmp_path):
+        cold = ExperimentCache(disk=DiskCache(tmp_path))
+        mig = cold.benchmark_mig("adder", "tiny")
+        first = cold.compile(mig, PRESETS["naive"])
+        assert cold.misses == 1
+
+        warm = ExperimentCache(disk=DiskCache(tmp_path))
+        mig2 = warm.benchmark_mig("adder", "tiny")  # deserialised, not built
+        assert warm.disk.hits == 1
+        second = warm.compile(mig2, PRESETS["naive"])
+        assert warm.disk.hits == 2  # result also served from disk
+        assert second is not first  # a different process's object...
+        assert (
+            second.num_instructions,
+            second.num_rrams,
+            second.program.write_counts(),
+        ) == (
+            first.num_instructions,
+            first.num_rrams,
+            first.program.write_counts(),
+        )
+
+    def test_hand_built_migs_stay_session_only(self, tmp_path):
+        from repro.synth.arithmetic import build_adder
+
+        cache = ExperimentCache(disk=DiskCache(tmp_path))
+        cache.compile(build_adder(width=3), PRESETS["naive"])
+        # nothing persisted: the MIG has no registry identity
+        assert cache.disk.stats()["entries"] == 0
+
+    def test_verification_certificate_persists(self, tmp_path):
+        cold = ExperimentCache(disk=DiskCache(tmp_path))
+        mig = cold.benchmark_mig("dec", "tiny")
+        cold.compile(mig, PRESETS["naive"], verify=True, verify_patterns=16)
+
+        warm = ExperimentCache(disk=DiskCache(tmp_path))
+        mig2 = warm.benchmark_mig("dec", "tiny")
+        assert warm.has(mig2, PRESETS["naive"], verified_patterns=16)
+        assert not warm.has(mig2, PRESETS["naive"], verified_patterns=64)
+
+    def test_certificate_never_downgraded_on_disk(self, tmp_path):
+        # Session B holds an unverified memory entry; session A persists
+        # a wide certificate meanwhile; B's later narrow verification
+        # must not overwrite A's certificate.
+        session_b = ExperimentCache(disk=DiskCache(tmp_path))
+        mig_b = session_b.benchmark_mig("dec", "tiny")
+        session_b.compile(mig_b, PRESETS["naive"])  # disk cert: 0
+
+        session_a = ExperimentCache(disk=DiskCache(tmp_path))
+        session_a.compile(
+            session_a.benchmark_mig("dec", "tiny"),
+            PRESETS["naive"],
+            verify=True,
+            verify_patterns=256,
+        )  # disk cert: 256
+
+        session_b.compile(
+            mig_b, PRESETS["naive"], verify=True, verify_patterns=16
+        )  # memory upgrade to 16 must not clobber the 256 on disk
+
+        fresh = ExperimentCache(disk=DiskCache(tmp_path))
+        assert fresh.has(
+            fresh.benchmark_mig("dec", "tiny"),
+            PRESETS["naive"],
+            verified_patterns=256,
+        )
+
+    def test_corrupt_entry_recompiles(self, tmp_path):
+        from repro.analysis.runner import config_key
+
+        disk = DiskCache(tmp_path)
+        cold = ExperimentCache(disk=disk)
+        mig = cold.benchmark_mig("ctrl", "tiny")
+        reference = cold.compile(mig, PRESETS["naive"])
+        key = ("result", "ctrl", "tiny", config_key(PRESETS["naive"]))
+        path = disk._path(key)
+        path.write_bytes(b"corrupt")
+
+        warm = ExperimentCache(disk=DiskCache(tmp_path))
+        result = warm.compile(
+            warm.benchmark_mig("ctrl", "tiny"), PRESETS["naive"]
+        )
+        assert result.program.write_counts() == reference.program.write_counts()
+
+
+class TestRunMatrixDiskSharing:
+    SUBSET = ["adder", "dec", "ctrl"]
+
+    def _signature(self, evaluations):
+        return [
+            {
+                key: (
+                    res.num_instructions,
+                    res.num_rrams,
+                    tuple(res.program.write_counts()),
+                )
+                for key, res in ev.results.items()
+            }
+            for ev in evaluations
+        ]
+
+    def test_warm_serial_run_is_pure_disk_io(self, tmp_path):
+        cold = ExperimentCache(disk=DiskCache(tmp_path))
+        reference = run_matrix(
+            self.SUBSET, preset="tiny", verify=False, cache=cold
+        )
+        pairs = cold.misses
+        assert pairs == len(self.SUBSET) * 5
+
+        warm = ExperimentCache(disk=DiskCache(tmp_path))
+        rerun = run_matrix(
+            self.SUBSET, preset="tiny", verify=False, cache=warm
+        )
+        # every benchmark and every result deserialised, none compiled
+        assert warm.disk.hits == len(self.SUBSET) + pairs
+        assert len(warm._rewrites) == 0  # no rewriting happened
+        assert self._signature(rerun) == self._signature(reference)
+
+    @pytest.mark.slow
+    def test_workers_share_the_disk_root(self, tmp_path):
+        # Cold run entirely inside worker processes...
+        cold = ExperimentCache(disk=DiskCache(tmp_path))
+        fanned = run_matrix(
+            self.SUBSET, preset="tiny", verify=False, parallel=2, cache=cold
+        )
+        # ...must leave a cache a fresh serial process can fully reuse:
+        # cross-process sharing via the filesystem.
+        warm = ExperimentCache(disk=DiskCache(tmp_path))
+        rerun = run_matrix(
+            self.SUBSET, preset="tiny", verify=False, cache=warm
+        )
+        assert len(warm._rewrites) == 0
+        assert self._signature(rerun) == self._signature(fanned)
+        reference = run_matrix(self.SUBSET, preset="tiny", verify=False)
+        assert self._signature(rerun) == self._signature(reference)

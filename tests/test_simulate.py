@@ -168,6 +168,57 @@ class TestChunkedExhaustive:
         assert equivalent(mig, mig.clone())
 
 
+class TestInputWordProperties:
+    """input_word(var, n, base) bit j must equal bit var of (base + j)."""
+
+    @staticmethod
+    def _check(var, num_patterns, base):
+        from repro.mig.simulate import input_word
+
+        word = input_word(var, num_patterns, base)
+        assert word >> num_patterns == 0, "word exceeds the window"
+        for j in range(num_patterns):
+            assert (word >> j) & 1 == ((base + j) >> var) & 1, (
+                var, num_patterns, base, j,
+            )
+
+    def test_nonzero_base_offsets(self):
+        for var in range(7):
+            for base in (1, 2, 5, 31, 63, 64, 127, 1000):
+                self._check(var, 40, base)
+
+    def test_chunk_boundary_bases(self):
+        # Bases as produced by exhaustive_chunks: multiples of the
+        # chunk width, crossing every alignment case of the period.
+        for chunk_bits in (3, 4, 6):
+            width = 1 << chunk_bits
+            for var in range(8):
+                for chunk in (0, 1, 2, 3, 7, 9):
+                    self._check(var, width, chunk * width)
+
+    def test_window_inside_constant_half_period(self):
+        from repro.mig.simulate import input_word
+
+        # Entirely inside the zero half-period / the ones half-period.
+        assert input_word(5, 16, 0) == 0
+        assert input_word(5, 16, 32) == (1 << 16) - 1
+        assert input_word(5, 16, 8) == 0
+
+    try:
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            var=st.integers(min_value=0, max_value=12),
+            num_patterns=st.integers(min_value=1, max_value=300),
+            base=st.integers(min_value=0, max_value=1 << 16),
+        )
+        def test_property_random_windows(self, var, num_patterns, base):
+            TestInputWordProperties._check(var, num_patterns, base)
+    except ImportError:  # pragma: no cover - hypothesis is optional
+        pass
+
+
 class TestEquivalentLimits:
     def test_default_limit_is_unified_constant(self):
         from repro.mig.simulate import MAX_EXHAUSTIVE_PIS
