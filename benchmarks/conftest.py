@@ -2,27 +2,28 @@
 
 Every file under ``benchmarks/`` regenerates one table or figure of the
 paper.  Suite evaluations are expensive (18 benchmarks x 9 compiler
-configurations), so all of them run through one session-scoped
-:class:`~repro.analysis.runner.ExperimentCache`: each (benchmark,
-configuration) pair is built, rewritten, and compiled exactly once per
-pytest session no matter how many table/figure modules ask for it — in
-particular, the capped Table III evaluation reuses every Table I column
-instead of recompiling it.  Rendered tables are written to
-``benchmarks/output/`` so a harness run leaves the reproduced artefacts
-on disk.
+configurations), so all of them route through one session-scoped
+:class:`repro.flow.Session`: each (benchmark, configuration) pair is
+built, rewritten, and compiled exactly once per pytest session no matter
+how many table/figure modules ask for it — in particular, the capped
+Table III evaluation reuses every Table I column instead of recompiling
+it.  Rendered tables are written to ``benchmarks/output/`` so a harness
+run leaves the reproduced artefacts on disk.
 
 Set ``REPRO_BENCH_PRESET=tiny`` for a fast smoke run, ``paper`` for the
 paper's full widths (slow in pure Python).  ``REPRO_BENCH_PARALLEL=N``
 fans the suite evaluation out over N worker processes (results are
 identical to the serial run).  With ``REPRO_CACHE_DIR=<dir>`` the
-session cache reads through / writes back to the persistent on-disk
-cache, so a warm rerun of the harness deserialises instead of
-recompiling.
+session reads through / writes back to the persistent on-disk cache, so
+a warm rerun of the harness deserialises instead of recompiling;
+``REPRO_SIM_BACKEND`` picks the simulation kernel.  All of these resolve
+through ``Session.from_env()``.
 
 Every benchmark session additionally emits a timing artefact,
 ``benchmarks/output/BENCH_suite.json``: suite wall-clock per evaluation
-stage, experiment-cache hit rates (memory and disk), the active
-simulation backend, and the backend micro-benchmark numbers recorded by
+stage, per-stage flow timings from the session's observer hooks,
+experiment-cache hit rates (memory and disk), the active simulation
+backend, and the backend micro-benchmark numbers recorded by
 ``test_simbackend.py`` — the perf trajectory of the harness is tracked
 from these files.
 """
@@ -38,10 +39,7 @@ import warnings
 
 import pytest
 
-from repro.analysis.diskcache import disk_cache_from_env
-from repro.analysis.runner import ExperimentCache
-from repro.analysis.tables import TABLE3_CAPS, evaluate_suite
-from repro.mig.kernel import get_kernel
+from repro.flow import Session
 
 
 _BENCH_DIR = pathlib.Path(__file__).parent
@@ -84,22 +82,40 @@ PARALLEL = _parallel_from_env()
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
-#: One cache per pytest session, shared by every benchmark module;
-#: persistent across sessions when REPRO_CACHE_DIR points at a root.
-SESSION_CACHE = ExperimentCache(disk=disk_cache_from_env())
+#: One session per pytest run, shared by every benchmark module; its
+#: cache is persistent across runs when REPRO_CACHE_DIR points at a
+#: root, and its backend follows REPRO_SIM_BACKEND.
+SESSION = Session.from_env(preset=PRESET, parallel=PARALLEL)
+
+#: The session's experiment cache — kept under its historic name for the
+#: ablation modules that drive it directly.
+SESSION_CACHE = SESSION.cache
 
 #: Accumulated BENCH_suite.json content (stage timings, backend
 #: micro-benchmarks); written out at session finish.
-BENCH_REPORT: dict = {"suite_seconds": {}}
+BENCH_REPORT: dict = {"suite_seconds": {}, "stages": {}}
+
+
+class _StageTimes:
+    """Session observer folding flow stage events into BENCH_REPORT."""
+
+    def on_stage_end(self, event):
+        entry = BENCH_REPORT["stages"].setdefault(
+            event.stage, {"events": 0, "cached": 0, "seconds": 0.0}
+        )
+        entry["events"] += 1
+        entry["cached"] += 1 if event.cached else 0
+        entry["seconds"] += event.seconds or 0.0
+
+
+SESSION.add_observer(_StageTimes())
 
 
 @functools.lru_cache(maxsize=None)
 def suite_plain():
     """The five Table I configurations over all 18 benchmarks."""
     start = time.perf_counter()
-    result = evaluate_suite(
-        preset=PRESET, verify=False, cache=SESSION_CACHE, parallel=PARALLEL
-    )
+    result = SESSION.evaluate_suite(verify=False)
     BENCH_REPORT["suite_seconds"]["plain"] = time.perf_counter() - start
     return result
 
@@ -111,14 +127,10 @@ def suite_with_caps():
     With the shared session cache this only compiles the four capped
     configurations on top of :func:`suite_plain`'s results.
     """
+    from repro.analysis.tables import TABLE3_CAPS
+
     start = time.perf_counter()
-    result = evaluate_suite(
-        preset=PRESET,
-        caps=tuple(TABLE3_CAPS),
-        verify=False,
-        cache=SESSION_CACHE,
-        parallel=PARALLEL,
-    )
+    result = SESSION.evaluate_suite(caps=tuple(TABLE3_CAPS), verify=False)
     BENCH_REPORT["suite_seconds"]["with_caps"] = time.perf_counter() - start
     return result
 
@@ -135,11 +147,11 @@ def pytest_sessionfinish(session):
     """Emit ``BENCH_suite.json`` when any benchmark stage actually ran."""
     if not BENCH_REPORT["suite_seconds"] and "sim_backend" not in BENCH_REPORT:
         return
-    disk = SESSION_CACHE.disk
+    disk = SESSION.disk
     report = {
         "preset": PRESET,
         "parallel": PARALLEL,
-        "backend": get_kernel().name,
+        "backend": SESSION.kernel.name,
         "cache": {
             "memory_hits": SESSION_CACHE.hits,
             "memory_misses": SESSION_CACHE.misses,

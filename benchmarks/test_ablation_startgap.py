@@ -15,7 +15,7 @@ rotation only spreads a bad profile around; combining them is strictly
 better than rotation alone.
 """
 
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro.core.manager import PRESETS, compile_pipeline, full_management
 from repro.core.stats import WriteTrafficStats
 from repro.plim.startgap import run_with_start_gap
 from repro.plim.controller import PlimController
@@ -46,8 +46,8 @@ def test_compile_time_vs_runtime_wear_levelling(benchmark):
     mig = build_benchmark("ctrl", preset="tiny")
 
     def run():
-        naive = compile_with_management(mig, PRESETS["naive"]).program
-        managed = compile_with_management(mig, full_management(10)).program
+        naive = compile_pipeline(mig, PRESETS["naive"]).program
+        managed = compile_pipeline(mig, full_management(10)).program
         return {
             "naive + plain": _physical_wear(naive, mig.num_pis, False),
             "naive + start-gap": _physical_wear(naive, mig.num_pis, True),

@@ -9,7 +9,7 @@ maximum write strategy bounds it.
 """
 
 from repro.analysis.scenarios import fig1_chain, fig1_mig
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro.core.manager import PRESETS, compile_pipeline, full_management
 
 from .conftest import write_artifact
 
@@ -19,7 +19,7 @@ def test_fig1_exact_scenario(benchmark):
 
     def run():
         return {
-            name: compile_with_management(mig, PRESETS[name])
+            name: compile_pipeline(mig, PRESETS[name])
             for name in ("naive", "min-write", "ea-full")
         }
 
@@ -45,8 +45,8 @@ def test_fig1_chain_scaling(benchmark):
         rows = []
         for length in (4, 8, 16, 32):
             mig = fig1_chain(length)
-            naive = compile_with_management(mig, PRESETS["naive"])
-            capped = compile_with_management(mig, full_management(5))
+            naive = compile_pipeline(mig, PRESETS["naive"])
+            capped = compile_pipeline(mig, full_management(5))
             rows.append((length, naive.stats.max_writes,
                          capped.stats.max_writes, capped.num_rrams,
                          naive.num_rrams))

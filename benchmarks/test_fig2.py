@@ -8,7 +8,7 @@ but cannot eliminate the blocking entirely (the paper's closing remark).
 """
 
 from repro.analysis.scenarios import fig2_ladder, fig2_mig, storage_pressure
-from repro.core.manager import PRESETS, compile_with_management
+from repro.core.manager import PRESETS, compile_pipeline
 
 from .conftest import write_artifact
 
@@ -18,7 +18,7 @@ def test_fig2_exact_scenario(benchmark):
 
     def run():
         return {
-            name: compile_with_management(mig, PRESETS[name])
+            name: compile_pipeline(mig, PRESETS[name])
             for name in ("dac16", "ea-full")
         }
 
@@ -45,8 +45,8 @@ def test_fig2_ladder_selection_comparison(benchmark):
         rows = []
         for rungs in (4, 8, 12, 16):
             mig = fig2_ladder(rungs)
-            dac16 = compile_with_management(mig, PRESETS["dac16"])
-            ea = compile_with_management(mig, PRESETS["ea-full"])
+            dac16 = compile_pipeline(mig, PRESETS["dac16"])
+            ea = compile_pipeline(mig, PRESETS["ea-full"])
             rows.append(
                 (
                     rungs,

@@ -6,7 +6,7 @@ bounded work-device schemes concentrate an entire computation's writes on
 a handful of cells.  This bench quantifies both effects on our substrate.
 """
 
-from repro.core.manager import PRESETS, compile_with_management
+from repro.core.manager import PRESETS, compile_pipeline
 from repro.core.stats import WriteTrafficStats, gini_coefficient
 from repro.imp import mig_to_nand, synthesize_imp
 from repro.imp.synthesize import required_pool_estimate
@@ -26,7 +26,7 @@ def test_imp_vs_rm3_write_balance(benchmark):
             net = mig_to_nand(mig)
             imp = synthesize_imp(net)
             imp_stats = WriteTrafficStats.from_counts(imp.write_counts())
-            plim = compile_with_management(mig, PRESETS["ea-full"])
+            plim = compile_pipeline(mig, PRESETS["ea-full"])
             rows.append(
                 (
                     name,

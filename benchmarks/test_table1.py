@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.report import render_table1
 from repro.analysis.tables import average_row
-from repro.core.manager import PRESETS, compile_with_management
+from repro.core.manager import PRESETS, compile_pipeline
 from repro.synth.registry import build_benchmark
 
 from .conftest import PRESET, suite_plain, write_artifact
@@ -47,7 +47,7 @@ def test_single_benchmark_compile_cost(benchmark, name):
     mig = build_benchmark(name, preset=PRESET)
 
     def run():
-        return compile_with_management(mig, PRESETS["ea-full"])
+        return compile_pipeline(mig, PRESETS["ea-full"])
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.num_instructions > 0

@@ -8,7 +8,7 @@ looser caps converge to the uncapped full-management flow.
 
 from repro.analysis.report import render_table3
 from repro.analysis.tables import TABLE3_CAPS, average_row
-from repro.core.manager import compile_with_management, full_management
+from repro.core.manager import compile_pipeline, full_management
 from repro.synth.registry import build_benchmark
 
 from .conftest import PRESET, suite_with_caps, write_artifact
@@ -45,7 +45,7 @@ def test_cap_bounds_single_benchmark(benchmark):
     mig = build_benchmark("sqrt", preset=PRESET)
 
     def run():
-        return compile_with_management(mig, full_management(10))
+        return compile_pipeline(mig, full_management(10))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.stats.max_writes <= 10
@@ -58,8 +58,8 @@ def test_loose_cap_matches_uncapped(benchmark):
 
     def run():
         return (
-            compile_with_management(mig, full_management(10**6)),
-            compile_with_management(
+            compile_pipeline(mig, full_management(10**6)),
+            compile_pipeline(
                 mig, full_management(10**6).with_cap(None)
             ),
         )

@@ -8,14 +8,19 @@ knob finely on one benchmark and prints the Pareto picture a designer
 would use to pick an operating point — including the paper's observation
 that ``W_max = 100`` is "a good trade-off".
 
+All compilations are flows over one session, so they share the built
+benchmark and the rewriting runs; ``REPRO_EXAMPLE_PRESET=tiny`` shrinks
+the benchmark for a quick smoke run (the CI examples job uses this).
+
 Run:  python examples/design_space.py [benchmark]
 """
 
+import os
 import sys
 
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro import Flow, Session, PRESETS, full_management
 from repro.plim.memory import TYPICAL_ENDURANCE_LOW, estimate_lifetime
-from repro.synth.registry import BENCHMARK_ORDER, build_benchmark
+from repro.synth.registry import BENCHMARK_ORDER
 
 
 def main() -> None:
@@ -23,13 +28,19 @@ def main() -> None:
     if bench not in BENCHMARK_ORDER:
         raise SystemExit(f"unknown benchmark {bench!r}; pick from "
                          f"{', '.join(BENCHMARK_ORDER)}")
-    mig = build_benchmark(bench, preset="default")
+    session = Session.from_env(
+        preset=os.environ.get("REPRO_EXAMPLE_PRESET", "default")
+    )
+    mig = session.cache.benchmark_mig(bench, session.preset)
     print(
         f"benchmark: {bench} ({mig.num_pis} inputs, "
         f"{mig.num_live_gates()} nodes)\n"
     )
 
-    naive = compile_with_management(mig, PRESETS["naive"])
+    def compile_under(config):
+        return Flow.for_config(config, session=session).source(bench).run()
+
+    naive = compile_under(PRESETS["naive"]).compilation
     print(
         f"{'W_max':>6s} {'#I':>7s} {'#R':>6s} {'stdev':>8s} {'max':>5s} "
         f"{'lifetime (runs @1e10)':>22s} {'#I vs naive':>12s}"
@@ -50,9 +61,9 @@ def main() -> None:
         )
 
     row("naive", naive)
-    row("none", compile_with_management(mig, PRESETS["ea-full"]))
+    row("none", compile_under(PRESETS["ea-full"]).compilation)
     for cap in (200, 100, 50, 20, 10, 5):
-        row(str(cap), compile_with_management(mig, full_management(cap)))
+        row(str(cap), compile_under(full_management(cap)).compilation)
 
     print()
     print("how to read this: moving down the table tightens the write")

@@ -8,22 +8,25 @@ destination at every step is the previously computed value — single
 fanout, non-complemented — the same physical device absorbs the whole
 chain.  This script rebuilds the exact 4-node MIG of the paper's Fig. 1,
 then scales the pathology with a parametric chain and shows how each
-proposed technique responds.
+proposed technique responds.  Every compilation is a verified flow over
+one shared session.
 
 Run:  python examples/fig1_unbalanced_write.py
 """
 
-from repro.analysis.scenarios import fig1_chain, fig1_mig
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro import Session
+from repro.analysis.scenarios import evaluate_scenarios, fig1_chain, fig1_mig
+from repro.core.manager import PRESETS, full_management
 from repro.core.stats import write_histogram
-from repro.plim.verify import verify_program
 
 
-def show(mig, configs) -> None:
+def show(session, mig, configs) -> None:
     print(f"--- {mig.name}: {mig.num_live_gates()} nodes ---")
-    for label, config in configs:
-        result = compile_with_management(mig, config)
-        verify_program(result.program, mig)
+    scenario_results = evaluate_scenarios(
+        mig, [config for _, config in configs], session=session, verify=True
+    )
+    for (label, _), (_, flow_result) in zip(configs, scenario_results):
+        result = flow_result.compilation
         counts = result.program.write_counts()
         print(
             f"{label:12s} #I={result.num_instructions:4d} "
@@ -39,6 +42,7 @@ def main() -> None:
     print(fig1_mig().dump())
     print()
 
+    session = Session()
     configs = [
         ("naive", PRESETS["naive"]),
         ("min-write", PRESETS["min-write"]),
@@ -46,12 +50,12 @@ def main() -> None:
         ("wmax=5", full_management(5)),
     ]
 
-    show(fig1_mig(), configs)
+    show(session, fig1_mig(), configs)
 
     print("Scaling the pathology: a destination chain of length L forces")
     print("L writes onto one device unless the write cap intervenes:\n")
     for length in (8, 16, 32, 64):
-        show(fig1_chain(length), configs)
+        show(session, fig1_chain(length), configs)
 
     print("observations (the paper's Section III-B):")
     print(" * the minimum write strategy cannot fix this — the structure")

@@ -9,21 +9,27 @@ are scheduled as late as possible.
 
 This script rebuilds the paper's 7-node Fig. 2 MIG, reports per-device
 value lifetimes under both selection orders, then sweeps a parametric
-"ladder" of blocked producers.
+"ladder" of blocked producers.  Compilations run as verified flows over
+one shared session.
 
 Run:  python examples/fig2_blocked_rram.py
 """
 
-from repro.analysis.scenarios import fig2_ladder, fig2_mig, storage_pressure
-from repro.core.manager import PRESETS, compile_with_management
-from repro.plim.verify import verify_program
+from repro import Session
+from repro.analysis.scenarios import (
+    evaluate_scenarios,
+    fig2_ladder,
+    fig2_mig,
+    storage_pressure,
+)
 
 
-def report(mig) -> None:
+def report(session, mig) -> None:
     print(f"--- {mig.name}: {mig.num_live_gates()} nodes ---")
-    for label in ("dac16", "ea-full"):
-        result = compile_with_management(mig, PRESETS[label])
-        verify_program(result.program, mig)
+    for label, flow_result in evaluate_scenarios(
+        mig, ("dac16", "ea-full"), session=session, verify=True
+    ):
+        result = flow_result.compilation
         longest, mean = storage_pressure(result.program)
         print(
             f"{label:8s} #I={result.num_instructions:4d} "
@@ -40,13 +46,14 @@ def main() -> None:
     print(fig2_mig().dump())
     print()
 
-    report(fig2_mig())
+    session = Session()
+    report(session, fig2_mig())
 
     print("Ladders of blocked producers (each consumed only at the root):")
     print("the DAC'16 order computes them early and recycles around them;")
     print("Algorithm 3 defers them, spreading the writes.\n")
     for rungs in (4, 8, 16, 24):
-        report(fig2_ladder(rungs))
+        report(session, fig2_ladder(rungs))
 
     print("observations (the paper's Section III-B.4):")
     print(" * Algorithm 3 consistently lowers the write stdev and the")

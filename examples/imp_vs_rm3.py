@@ -14,16 +14,16 @@ traffic:
 
 1. IMP with an unbounded work pool (one device per live NAND value);
 2. IMP with a bounded work pool (rematerialising scheduler);
-3. RM3/PLiM with the paper's full endurance management.
+3. RM3/PLiM with the paper's full endurance management, run as a
+   ``repro.flow`` pipeline.
 
 Run:  python examples/imp_vs_rm3.py
 """
 
-from repro.core.manager import PRESETS, compile_with_management
+from repro import Flow, Session
 from repro.core.stats import WriteTrafficStats, gini_coefficient
 from repro.imp import mig_to_nand, synthesize_imp, verify_imp_program
 from repro.imp.synthesize import required_pool_estimate
-from repro.synth.registry import build_benchmark
 
 
 def describe(label: str, instructions: int, counts) -> None:
@@ -38,7 +38,9 @@ def describe(label: str, instructions: int, counts) -> None:
 
 def main() -> None:
     bench = "cavlc"
-    mig = build_benchmark(bench, preset="tiny")
+    # from_env: honours $REPRO_SIM_BACKEND / $REPRO_CACHE_DIR if set
+    session = Session.from_env(preset="tiny")
+    mig = session.cache.benchmark_mig(bench, session.preset)
     print(
         f"function: {bench} ({mig.num_pis} inputs, "
         f"{mig.num_live_gates()} majority nodes)\n"
@@ -61,10 +63,10 @@ def main() -> None:
         bounded.write_counts(),
     )
 
-    plim = compile_with_management(mig, PRESETS["ea-full"])
+    plim = Flow.for_config("ea-full", session=session).source(bench).run()
     describe(
         "RM3 + endurance management",
-        plim.num_instructions,
+        plim.compilation.num_instructions,
         plim.program.write_counts(),
     )
 

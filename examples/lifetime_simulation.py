@@ -6,17 +6,16 @@ closes the loop *dynamically*: it executes compiled programs over and
 over on a behavioural array with a (scaled-down) endurance budget until
 the first cell hard-fails, and compares how many evaluations each
 compiler configuration survives — naive vs the full endurance-managed
-stack of the paper.
+stack of the paper.  Compilation routes through ``repro.flow``.
 
 Run:  python examples/lifetime_simulation.py
 """
 
 import random
 
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro import Flow, Session, PRESETS, full_management
 from repro.plim.controller import PlimController
 from repro.plim.memory import EnduranceExhaustedError, RramArray, estimate_lifetime
-from repro.synth.registry import build_benchmark
 
 #: Scaled-down endurance so the demo finishes in seconds.  Real cells
 #: endure ~1e10-1e11 writes; lifetimes scale linearly.
@@ -44,7 +43,9 @@ def run_until_failure(program, num_inputs: int, seed: int = 1) -> int:
 
 def main() -> None:
     bench = "sin"
-    mig = build_benchmark(bench, preset="tiny")
+    # from_env: honours $REPRO_SIM_BACKEND / $REPRO_CACHE_DIR if set
+    session = Session.from_env(preset="tiny")
+    mig = session.cache.benchmark_mig(bench, session.preset)
     print(
         f"workload: {bench} ({mig.num_pis} inputs, "
         f"{mig.num_live_gates()} nodes), per-cell endurance budget "
@@ -57,7 +58,12 @@ def main() -> None:
         ("ea-full", PRESETS["ea-full"]),
         ("ea-full + wmax=20", full_management(20)),
     ]:
-        result = compile_with_management(mig, config)
+        result = (
+            Flow.for_config(config, session=session)
+            .source(bench)
+            .run()
+            .compilation
+        )
         static = estimate_lifetime(
             result.program.write_counts(), endurance=DEMO_ENDURANCE
         )

@@ -2,25 +2,21 @@
 """Quickstart: compile a function for the PLiM computer with endurance
 management and inspect the write traffic.
 
-This walks the full pipeline of the reproduced paper on a small adder:
+This walks the full pipeline of the reproduced paper on a small adder,
+driven through the ``repro.flow`` API:
 
 1. describe a Boolean function as a Majority-Inverter Graph (MIG);
-2. compile it to RM3 instructions five ways — the incremental technique
-   stack of the paper's Table I;
-3. execute the compiled program on the behavioural RRAM array and check
-   it against MIG simulation;
+2. declare a ``Flow`` per configuration — the incremental technique
+   stack of the paper's Table I — over one shared ``Session``;
+3. let the flow's verify stage check the compiled program against MIG
+   simulation on the behavioural RRAM array;
 4. compare the per-device write distributions and the implied array
    lifetime.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    PRESETS,
-    compile_with_management,
-    full_management,
-    verify_program,
-)
+from repro import Flow, Session, PRESETS, full_management
 from repro.plim.memory import estimate_lifetime
 from repro.synth.arithmetic import build_adder
 
@@ -33,16 +29,24 @@ def main() -> None:
           f"{mig.num_pos} outputs, {mig.num_live_gates()} majority nodes)")
     print()
 
+    # One session owns the experiment cache (and the backend/persistence
+    # knobs); every flow below routes through it, so configurations with
+    # a common rewriting script share one rewriting run.
+    session = Session()
+
     configs = list(PRESETS.values()) + [full_management(10)]
     print(f"{'configuration':18s} {'#I':>6s} {'#R':>5s} "
           f"{'min/max':>9s} {'stdev':>7s} {'lifetime':>9s}")
     baseline_life = None
     for config in configs:
-        result = compile_with_management(mig, config)
-
-        # Every compiled program is checked against the source MIG by
-        # bit-parallel co-simulation on the RRAM array model.
-        verify_program(result.program, mig)
+        # source -> rewrite -> compile -> verify, with per-stage caching;
+        # the verify stage co-simulates program vs MIG on the array model.
+        result = (
+            Flow.for_config(config, session=session)
+            .source_mig(mig)
+            .verify()
+            .run()
+        )
 
         stats = result.stats
         life = estimate_lifetime(result.program.write_counts())
@@ -50,8 +54,8 @@ def main() -> None:
             baseline_life = life.executions
         gain = life.executions / baseline_life
         print(
-            f"{config.name:18s} {result.num_instructions:6d} "
-            f"{result.num_rrams:5d} "
+            f"{config.name:18s} {result.compilation.num_instructions:6d} "
+            f"{result.compilation.num_rrams:5d} "
             f"{stats.min_writes:>4d}/{stats.max_writes:<4d} "
             f"{stats.stdev:7.2f} {gain:8.1f}x"
         )

@@ -20,7 +20,12 @@ The package provides:
 * :mod:`repro.imp` — material-implication (IMPLY) baseline from the
   paper's Section II;
 * :mod:`repro.analysis` — table/figure harnesses regenerating the paper's
-  experimental evaluation.
+  experimental evaluation;
+* :mod:`repro.flow` — the Session + pass-pipeline API every harness entry
+  point routes through: :class:`~repro.flow.Session` resolves backend,
+  cache, parallelism, and preset once; :class:`~repro.flow.Flow` runs the
+  source → rewrite → compile → verify pipeline with per-stage caching and
+  observer hooks.
 """
 
 from .mig import Mig, equivalent, simulate, truth_tables
@@ -37,18 +42,22 @@ from .plim.memory import RramArray
 from .plim.controller import PlimController
 from .plim.verify import verify_program
 from .synth.registry import BENCHMARKS, build_benchmark
+from .flow import Flow, FlowResult, Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARKS",
     "CompilationResult",
     "EnduranceConfig",
+    "Flow",
+    "FlowResult",
     "Mig",
     "PRESETS",
     "PlimController",
     "Program",
     "RramArray",
+    "Session",
     "WriteTrafficStats",
     "build_benchmark",
     "compile_with_management",

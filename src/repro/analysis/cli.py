@@ -9,31 +9,29 @@ Subcommands regenerate each experiment of the paper:
 * ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
 * ``list`` — available benchmarks and presets.
 
-Suite commands accept ``--cache-dir`` (or honour ``$REPRO_CACHE_DIR``)
-to persist built/compiled artefacts across invocations.
+Every subcommand routes through one :class:`repro.flow.Session` built
+from its arguments: ``--backend`` selects the simulation kernel,
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``; flag wins) persists artefacts
+across invocations, ``--parallel`` fans benchmarks out over worker
+processes, and ``--preset`` picks the benchmark widths.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import List, Optional
 
-from ..core.manager import PRESETS, compile_with_management, full_management
-from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER, build_benchmark
-from . import report, scenarios, tables
-from .diskcache import DEFAULT_ROOT, DiskCache, disk_cache_from_env
-from .runner import ExperimentCache
+from ..core.manager import PRESETS, full_management
+from ..flow import Flow, Session, resolve_cache_dir
+from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER
+from . import report, scenarios
+from .diskcache import DEFAULT_ROOT, DiskCache
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--preset",
-        default="default",
-        choices=["tiny", "default", "paper"],
-        help="benchmark width preset (paper = the paper's sizes)",
-    )
+    """Session knobs plus the suite-shape options shared by the tables."""
+    Session.add_arguments(parser)
     parser.add_argument(
         "--benchmarks",
         nargs="*",
@@ -49,41 +47,15 @@ def _add_suite_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip program-vs-MIG co-simulation (faster)",
     )
-    parser.add_argument(
-        "--parallel",
-        type=int,
-        default=None,
-        metavar="N",
-        help="fan benchmarks out over N worker processes",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help=(
-            "persist built/compiled artefacts under DIR across runs "
-            "(default: $REPRO_CACHE_DIR if set, else no persistence)"
-        ),
-    )
-
-
-def _session_cache(args) -> Optional[ExperimentCache]:
-    """Experiment cache for one CLI invocation, disk-backed on request."""
-    if getattr(args, "cache_dir", None):
-        return ExperimentCache(disk=DiskCache(args.cache_dir))
-    disk = disk_cache_from_env()
-    return ExperimentCache(disk=disk) if disk is not None else None
 
 
 def _suite(args, caps=None):
-    return tables.evaluate_suite(
-        preset=args.preset,
-        names=args.benchmarks,
+    session = Session.from_args(args)
+    return session.evaluate_suite(
+        args.benchmarks,
         caps=caps,
         effort=args.effort,
         verify=not args.no_verify,
-        parallel=args.parallel,
-        cache=_session_cache(args),
     )
 
 
@@ -98,7 +70,7 @@ def cmd_table2(args) -> int:
 
 
 def cmd_table3(args) -> int:
-    evaluations = _suite(args, caps=tables.TABLE3_CAPS)
+    evaluations = _suite(args, caps=report.TABLE3_CAPS)
     print(report.render_table3(evaluations))
     return 0
 
@@ -110,13 +82,11 @@ def cmd_headline(args) -> int:
 
 
 def cmd_report(args) -> int:
-    artifacts = report.full_report(
-        preset=args.preset,
-        names=args.benchmarks,
+    session = Session.from_args(args)
+    artifacts = session.full_report(
+        args.benchmarks,
         effort=args.effort,
         verify=not args.no_verify,
-        parallel=args.parallel,
-        cache=_session_cache(args),
     )
     for name in ("table1", "table2", "table3", "headline"):
         print(artifacts[name])
@@ -125,42 +95,53 @@ def cmd_report(args) -> int:
 
 
 def cmd_fig1(args) -> int:
+    session = Session.from_args(args)
     mig = scenarios.fig1_mig()
     print(mig.dump())
     print()
-    for name in ("naive", "min-write", "ea-full"):
-        result = compile_with_management(mig, PRESETS[name])
-        counts = result.program.write_counts()
+    for name, flow_result in scenarios.evaluate_scenarios(
+        mig, ("naive", "min-write", "ea-full"), session=session
+    ):
+        counts = flow_result.program.write_counts()
         print(
             f"{name:10s}: writes per device = {counts} "
-            f"(stdev {result.stats.stdev:.2f})"
+            f"(stdev {flow_result.stats.stdev:.2f})"
         )
     return 0
 
 
 def cmd_fig2(args) -> int:
+    session = Session.from_args(args)
     mig = scenarios.fig2_mig()
     print(mig.dump())
     print()
-    for name in ("dac16", "ea-full"):
-        result = compile_with_management(mig, PRESETS[name])
-        longest, mean = scenarios.storage_pressure(result.program)
+    for name, flow_result in scenarios.evaluate_scenarios(
+        mig, ("dac16", "ea-full"), session=session
+    ):
+        longest, mean = scenarios.storage_pressure(flow_result.program)
         print(
             f"{name:10s}: longest value lifetime = {longest} instructions, "
-            f"mean = {mean:.1f}, stdev of writes = {result.stats.stdev:.2f}"
+            f"mean = {mean:.1f}, stdev of writes = {flow_result.stats.stdev:.2f}"
         )
     return 0
 
 
 def cmd_bench(args) -> int:
-    mig = build_benchmark(args.name, preset=args.preset)
+    session = Session.from_args(args)
+    with session.activated():
+        mig = session.cache.benchmark_mig(args.name, session.preset)
     print(f"{args.name}: {mig.num_pis} PIs, {mig.num_pos} POs, "
           f"{mig.num_live_gates()} gates")
     configs = list(PRESETS.values())
     if args.wmax is not None:
         configs.append(full_management(args.wmax))
     for cfg in configs:
-        result = compile_with_management(mig, cfg)
+        result = (
+            Flow.for_config(cfg, session=session)
+            .source(args.name)
+            .run()
+            .compilation
+        )
         stats = result.stats
         print(
             f"  {cfg.name:16s} #I={result.num_instructions:8d} "
@@ -171,8 +152,11 @@ def cmd_bench(args) -> int:
 
 
 def _cache_for_maintenance(args) -> DiskCache:
-    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_ROOT
-    return DiskCache(root)
+    """Flag > ``$REPRO_CACHE_DIR`` > default root — maintenance commands
+    always need *a* root to inspect, hence the default."""
+    return DiskCache(
+        resolve_cache_dir(args.cache_dir, default=DEFAULT_ROOT)
+    )
 
 
 def cmd_cache_stats(args) -> int:
@@ -233,14 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(func=fn)
 
     p = sub.add_parser("fig1", help="Fig. 1 repeated-destination scenario")
+    Session.add_arguments(p, preset=False, parallel=False, cache=False)
     p.set_defaults(func=cmd_fig1)
     p = sub.add_parser("fig2", help="Fig. 2 blocked-RRAM scenario")
+    Session.add_arguments(p, preset=False, parallel=False, cache=False)
     p.set_defaults(func=cmd_fig2)
 
     p = sub.add_parser("bench", help="one benchmark, all configurations")
     p.add_argument("name", choices=BENCHMARK_ORDER)
-    p.add_argument("--preset", default="default",
-                   choices=["tiny", "default", "paper"])
+    Session.add_arguments(p, parallel=False)
     p.add_argument("--wmax", type=int, default=None,
                    help="additionally run full management at this cap")
     p.set_defaults(func=cmd_bench)

@@ -220,7 +220,27 @@ class DiskCache:
         return removed
 
 
+def resolve_cache_dir(
+    explicit: "str | os.PathLike[str] | None" = None,
+    *,
+    default: Optional[str] = None,
+) -> Optional[str]:
+    """Uniform cache-root resolution: explicit > ``$REPRO_CACHE_DIR`` > *default*.
+
+    Every entry point — CLI flags, :class:`repro.flow.Session`
+    construction, the maintenance subcommands — resolves its persistence
+    root through this single function, so the precedence can never drift
+    between them.
+    """
+    if explicit:
+        return str(explicit)
+    env = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if env:
+        return env
+    return default
+
+
 def disk_cache_from_env() -> Optional[DiskCache]:
     """A :class:`DiskCache` rooted at ``$REPRO_CACHE_DIR``, if set."""
-    root = os.environ.get(CACHE_ENV_VAR, "").strip()
+    root = resolve_cache_dir()
     return DiskCache(root) if root else None

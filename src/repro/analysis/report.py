@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .runner import ExperimentCache, run_matrix
+from .runner import ExperimentCache
 from .tables import (
     BenchmarkEvaluation,
     TABLE1_CONFIGS,
@@ -151,22 +151,27 @@ def full_report(
     verify: bool = True,
     parallel: Optional[int] = None,
     cache: Optional[ExperimentCache] = None,
+    session=None,
 ) -> Dict[str, str]:
     """Regenerate every table and the headline from one runner pass.
 
     Each (benchmark, configuration) pair compiles exactly once — the
     Table I columns and the Table III caps share one evaluation matrix —
-    and the rendered artefacts are returned keyed by table name.
+    and the rendered artefacts are returned keyed by table name.  Pass a
+    :class:`repro.flow.Session` to reuse its cache/backend/parallelism
+    (its preset wins over the *preset* argument); the remaining keyword
+    arguments exist for legacy callers and build a throwaway session.
     """
-    evaluations = run_matrix(
+    if session is None:
+        from ..flow import Session  # deferred: flow imports this module
+
+        session = Session(preset=preset, parallel=parallel, cache=cache)
+    evaluations = session.run_matrix(
         names,
         TABLE1_CONFIGS,
-        preset=preset,
         caps=list(caps),
         effort=effort,
         verify=verify,
-        parallel=parallel,
-        cache=cache,
     )
     return {
         "table1": render_table1(evaluations),

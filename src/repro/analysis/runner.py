@@ -36,7 +36,7 @@ from ..core.manager import (
     CompilationResult,
     EnduranceConfig,
     PRESETS,
-    compile_with_management,
+    compile_pipeline,
     full_management,
 )
 from ..core.rewriting import DEFAULT_EFFORT, rewrite
@@ -193,17 +193,69 @@ class ExperimentCache:
             self.disk.store(("mig", name, preset), mig)
         return mig
 
+    def has_rewritten(
+        self, mig_or_key, script: str, effort: int
+    ) -> bool:
+        """Whether the rewriting result is already available.
+
+        Peeks memory first, then (for registry benchmarks) the disk
+        cache — a satisfying disk entry is adopted into memory so the
+        matching ``rewritten`` call that follows is a pure memory hit.
+        Never computes; the flow layer uses this to flag rewrite-stage
+        artefacts as cached.
+        """
+        graph_id = (
+            mig_or_key if isinstance(mig_or_key, tuple) else mig_key(mig_or_key)
+        )
+        cache_key = (graph_id, script, effort)
+        with self._lock:
+            if cache_key in self._rewrites:
+                return True
+            bench = (
+                self._bench_keys.get(graph_id)
+                if self.disk is not None and script != "none"
+                else None
+            )
+        if bench is None:
+            return False
+        payload = self.disk.load(("rewrite", *bench, script, effort))
+        if payload is None:
+            return False
+        with self._lock:
+            self._rewrites.setdefault(cache_key, payload)
+        return True
+
     def rewritten(
         self, mig: Mig, script: str, effort: int, key: Optional[Tuple] = None
     ) -> Mig:
-        """Rewriting result shared by every config running *script*."""
-        cache_key = (key or mig_key(mig), script, effort)
+        """Rewriting result shared by every config running *script*.
+
+        Registry benchmarks read through to the attached disk cache
+        (except the trivial ``"none"`` script, whose result is just a
+        cleanup copy of the stored benchmark): a cold process deserialises
+        the rewritten MIG instead of re-running the rewriting engine.
+        """
+        graph_id = key or mig_key(mig)
+        cache_key = (graph_id, script, effort)
         with self._lock:
             result = self._rewrites.get(cache_key)
+            bench = (
+                self._bench_keys.get(graph_id)
+                if self.disk is not None and script != "none"
+                else None
+            )
+        if result is not None:
+            return result
+        if bench is not None:
+            result = self.disk.load(("rewrite", *bench, script, effort))
+        computed = False
         if result is None:
             result = rewrite(mig, script, effort=effort)
-            with self._lock:
-                result = self._rewrites.setdefault(cache_key, result)
+            computed = True
+        with self._lock:
+            result = self._rewrites.setdefault(cache_key, result)
+        if computed and bench is not None:
+            self.disk.store(("rewrite", *bench, script, effort), result)
         return result
 
     def compile(
@@ -255,9 +307,7 @@ class ExperimentCache:
             prewritten = self.rewritten(
                 mig, config.rewriting, config.effort, key=graph_id
             )
-            result = compile_with_management(
-                mig, config, rewritten=prewritten
-            )
+            result = compile_pipeline(mig, config, rewritten=prewritten)
             verified = 0
             computed = True
         upgraded = False
@@ -280,6 +330,58 @@ class ExperimentCache:
             current = self.disk.load(disk_key)
             if current is None or current[1] < verified:
                 self.disk.store(disk_key, (result, verified))
+        return result
+
+    def verify(
+        self,
+        mig: Mig,
+        config: EnduranceConfig,
+        *,
+        key: Optional[Tuple] = None,
+        patterns: int = 64,
+    ) -> CompilationResult:
+        """Ensure the stored result carries a certificate >= *patterns*.
+
+        The flow layer's verify stage: where :meth:`compile` always
+        counts a hit or miss and re-persists on any upgrade path, this
+        only co-simulates when the stored certificate is too narrow,
+        touches no hit/miss counters for the already-compiled result,
+        and leaves the disk alone when the persisted certificate is
+        already wide enough.  Falls back to the full :meth:`compile`
+        path when the pair has not been compiled in this session.
+        """
+        graph_id = key or mig_key(mig)
+        semantic = config_key(config)
+        cache_key = (graph_id, semantic)
+        with self._lock:
+            entry = self._results.get(cache_key)
+        if entry is None:
+            # Not in memory (possibly on disk): the compile path handles
+            # read-through, counters, and verification in one go.
+            return self.compile(
+                mig, config, key=graph_id, verify=True,
+                verify_patterns=patterns,
+            )
+        result, verified = entry
+        if patterns <= verified:
+            return result
+        verify_program(result.program, mig, patterns=patterns)
+        with self._lock:
+            stored = self._results.get(cache_key)
+            if stored is not None:
+                result = stored[0]
+                patterns = max(patterns, stored[1])
+            self._results[cache_key] = (result, patterns)
+            bench = (
+                self._bench_keys.get(graph_id)
+                if self.disk is not None
+                else None
+            )
+        if bench is not None:
+            disk_key = ("result", *bench, semantic)
+            current = self.disk.load(disk_key)
+            if current is None or current[1] < patterns:
+                self.disk.store(disk_key, (result, patterns))
         return result
 
     def has(
@@ -466,26 +568,48 @@ def _importable_in_workers():
 
 
 def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation]:
-    """Worker-process entry: evaluate one benchmark with a local cache.
+    """Worker-process entry: evaluate one benchmark in a local session.
 
-    Returns the built MIG alongside the evaluation so the parent can
-    adopt both into a shared cache.  When the dispatching cache has a
-    disk root attached, the worker reads through / writes back to the
-    same root, so warm pairs deserialise instead of recompiling.
+    The worker reconstructs a :class:`repro.flow.Session` from the
+    picklable spec shipped by the parent — same disk-cache root, same
+    simulation backend — so cross-cutting concerns resolve identically
+    on both sides of the process boundary.  Returns the built MIG
+    alongside the evaluation so the parent can adopt both into a shared
+    cache.
     """
-    name, preset, configs, verify, verify_patterns, disk_root = args
-    cache = ExperimentCache(
-        disk=DiskCache(disk_root) if disk_root is not None else None
-    )
-    mig = cache.benchmark_mig(name, preset)
-    evaluation = evaluate_mig_cached(
-        mig,
-        configs,
-        cache=cache,
-        verify=verify,
-        verify_patterns=verify_patterns,
-    )
+    name, preset, configs, verify, verify_patterns, spec = args
+    from ..flow.session import Session  # deferred: flow imports runner
+
+    session = Session.from_spec(spec)
+    with session.activated():
+        mig = session.cache.benchmark_mig(name, preset)
+        evaluation = evaluate_mig_cached(
+            mig,
+            configs,
+            cache=session.cache,
+            verify=verify,
+            verify_patterns=verify_patterns,
+        )
     return mig, evaluation
+
+
+def _worker_spec(session, cache: Optional[ExperimentCache], preset: str):
+    """The :class:`repro.flow.SessionSpec` worker processes rebuild from.
+
+    Prefers the dispatching session's own spec (backend + cache root);
+    legacy calls without a session ship just the cache's disk root, so
+    workers still share persisted artefacts.
+    """
+    from ..flow.session import SessionSpec  # deferred: flow imports runner
+
+    if session is not None:
+        return session.spec()
+    disk_root = (
+        str(cache.disk.root)
+        if cache is not None and cache.disk is not None
+        else None
+    )
+    return SessionSpec(cache_dir=disk_root, preset=preset)
 
 
 def run_matrix(
@@ -499,6 +623,7 @@ def run_matrix(
     verify_patterns: int = 64,
     parallel: Optional[int] = None,
     cache: Optional[ExperimentCache] = None,
+    session=None,
 ) -> List[BenchmarkEvaluation]:
     """Evaluate a benchmarks x configurations matrix.
 
@@ -514,22 +639,32 @@ def run_matrix(
     parallel:
         ``None``/``0``/``1`` — run serially through *cache* (created on
         demand).  ``N > 1`` — fan benchmarks out over ``N`` worker
-        processes; each worker holds a process-local cache, and results
-        are assembled in matrix order, so the output is identical to the
-        serial run (asserted by the runner tests).  A shared *cache*
-        cooperates with the pool: already-compiled (benchmark, config)
-        pairs are served from it, only the missing remainder is
-        dispatched, and worker results are adopted back into the cache.
-        When the shared cache has a disk cache attached, workers read
-        through and write back to the same on-disk root.
+        processes; each worker reconstructs a :class:`repro.flow.Session`
+        from the dispatching session's spec, and results are assembled in
+        matrix order, so the output is identical to the serial run
+        (asserted by the runner tests).  A shared *cache* cooperates with
+        the pool: already-compiled (benchmark, config) pairs are served
+        from it, only the missing remainder is dispatched, and worker
+        results are adopted back into the cache.  When the shared cache
+        has a disk cache attached, workers read through and write back to
+        the same on-disk root.
+    session:
+        The :class:`repro.flow.Session` driving this matrix, if any —
+        supplies the spec (backend + cache root) workers are rebuilt
+        from.  Prefer calling :meth:`repro.flow.Session.run_matrix`,
+        which fills *cache*, *parallel*, *preset*, and *session* in one
+        go.
     """
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
     jobs = resolve_configs(configs, caps, effort)
+    if session is not None and cache is None:
+        cache = session.cache
 
     if parallel is not None and parallel > 1 and len(names) > 1:
+        spec = _worker_spec(session, cache, preset)
         if cache is None:
             work = [
-                (name, preset, jobs, verify, verify_patterns, None)
+                (name, preset, jobs, verify, verify_patterns, spec)
                 for name in names
             ]
             with _importable_in_workers(), ProcessPoolExecutor(
@@ -540,7 +675,6 @@ def run_matrix(
         # (an entry without a wide-enough verification certificate counts
         # as missing when this run verifies).  Workers share the cache's
         # disk root, if any, so they persist what they compile.
-        disk_root = str(cache.disk.root) if cache.disk is not None else None
         needed = verify_patterns if verify else 0
         work = []
         for name in names:
@@ -558,7 +692,7 @@ def run_matrix(
             )
             if missing:
                 work.append(
-                    (name, preset, missing, verify, verify_patterns, disk_root)
+                    (name, preset, missing, verify, verify_patterns, spec)
                 )
         if work:
             with _importable_in_workers(), ProcessPoolExecutor(

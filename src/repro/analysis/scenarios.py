@@ -17,7 +17,7 @@ techniques mitigate them.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from ..mig.graph import Mig
 from ..mig.signal import complement
@@ -105,6 +105,35 @@ def fig2_ladder(rungs: int = 8) -> Mig:
         root = mig.add_maj(root, producer, xs[0])
     mig.add_po(root, "g")
     return mig
+
+
+def evaluate_scenarios(
+    mig: Mig,
+    configs: Sequence,
+    *,
+    session=None,
+    verify: bool = False,
+    verify_patterns: int = 64,
+) -> Iterable[Tuple[str, "object"]]:
+    """Compile a scenario MIG under each configuration through a Flow.
+
+    *configs* is a sequence of preset names or
+    :class:`~repro.core.manager.EnduranceConfig` objects; yields
+    ``(label, FlowResult)`` pairs in order.  The CLI ``fig1``/``fig2``
+    subcommands and the figure examples route through this helper so
+    scenario compilations share the session's cache and backend like
+    every other pipeline.
+    """
+    from ..flow import Flow, Session  # deferred: flow imports analysis
+
+    if session is None:
+        session = Session()
+    for config in configs:
+        flow = Flow.for_config(config, session=session).source_mig(mig)
+        if verify:
+            flow.verify(verify_patterns)
+        result = flow.run()
+        yield result.compilation.config.name, result
 
 
 def storage_pressure(program) -> Tuple[int, float]:

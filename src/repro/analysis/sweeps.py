@@ -47,27 +47,35 @@ def sweep_widths(
     configs: Optional[Dict[str, EnduranceConfig]] = None,
     endurance: int = TYPICAL_ENDURANCE_LOW,
     cache: Optional[ExperimentCache] = None,
+    session=None,
 ) -> List[SweepPoint]:
     """Compile ``builder(width)`` for every width under every config.
 
     *builder* maps an integer size parameter to a MIG (any of the
-    arithmetic generators fits directly).  Compilations run through an
-    :class:`ExperimentCache` (shared when passed in), so configurations
-    with a common rewriting script rewrite each width only once.
+    arithmetic generators fits directly).  Every point runs as a
+    :class:`repro.flow.Flow` through one session (pass *session* to
+    share its cache/backend; the legacy *cache* argument wraps the cache
+    in a throwaway session), so configurations with a common rewriting
+    script rewrite each width only once.
     """
+    from ..flow import Flow, Session  # deferred: flow imports this package
+
     if configs is None:
         configs = {
             "naive": PRESETS["naive"],
             "ea-full": PRESETS["ea-full"],
             "wmax20": full_management(20),
         }
-    cache = cache if cache is not None else ExperimentCache()
+    if session is None:
+        session = Session(cache=cache)
     points: List[SweepPoint] = []
     for width in widths:
         mig = builder(width)
         gates = mig.num_live_gates()
         for label, config in configs.items():
-            result = cache.compile(mig, config)
+            result = Flow.for_config(
+                config, session=session
+            ).source_mig(mig).run().compilation
             stats = result.stats
             life = estimate_lifetime(
                 result.program.write_counts(), endurance=endurance

@@ -1,14 +1,18 @@
 """Experiment runners regenerating the paper's Tables I, II, and III.
 
 The heavy lifting — building, rewriting, compiling, verifying — lives in
-:mod:`repro.analysis.runner`, which memoizes each stage per session so
-every (benchmark, configuration) pair compiles exactly once no matter how
-many tables ask for it.  This module keeps the table vocabulary (column
-orders, write caps) and the per-table aggregate views.
+:mod:`repro.analysis.runner` behind the :mod:`repro.flow` Session/Flow
+API, which memoizes each stage per session so every (benchmark,
+configuration) pair compiles exactly once no matter how many tables ask
+for it.  This module keeps the table vocabulary (column orders, write
+caps) and the per-table aggregate views; :func:`evaluate_suite` survives
+only as a deprecated shim over
+:meth:`repro.flow.Session.evaluate_suite`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.stats import average_improvement
@@ -19,7 +23,6 @@ from .runner import (
     TABLE1_PRESETS,
     evaluate_mig_cached,
     resolve_configs,
-    run_matrix,
 )
 
 #: Table I column order (left to right in the paper).
@@ -49,6 +52,7 @@ def evaluate_mig(
     verify: bool = True,
     verify_patterns: int = 64,
     cache: Optional[ExperimentCache] = None,
+    session=None,
 ) -> BenchmarkEvaluation:
     """Compile *mig* under every requested configuration.
 
@@ -56,11 +60,21 @@ def evaluate_mig(
     ``caps`` adds full-management runs keyed ``"wmax{cap}"`` (Table III).
     With ``verify=True`` every compiled program is co-simulated against
     the MIG — a failed check raises, keeping bogus statistics out of the
-    tables.  Passing a shared *cache* deduplicates work across calls.
+    tables.  Passing a shared *cache* (or a :class:`repro.flow.Session`,
+    whose cache and backend are adopted) deduplicates work across calls.
     """
     jobs = resolve_configs(
         configs if configs is not None else TABLE1_CONFIGS, caps, effort
     )
+    if session is not None:
+        with session.activated():
+            return evaluate_mig_cached(
+                mig,
+                jobs,
+                cache=cache if cache is not None else session.cache,
+                verify=verify,
+                verify_patterns=verify_patterns,
+            )
     return evaluate_mig_cached(
         mig,
         jobs,
@@ -75,12 +89,15 @@ def evaluate_benchmark(
     preset: str = "default",
     *,
     cache: Optional[ExperimentCache] = None,
+    session=None,
     **kwargs,
 ) -> BenchmarkEvaluation:
     """Build a registry benchmark and evaluate it."""
-    cache = cache if cache is not None else ExperimentCache()
+    if cache is None:
+        cache = session.cache if session is not None else ExperimentCache()
     return evaluate_mig(
-        cache.benchmark_mig(name, preset), cache=cache, **kwargs
+        cache.benchmark_mig(name, preset), cache=cache, session=session,
+        **kwargs,
     )
 
 
@@ -96,17 +113,28 @@ def evaluate_suite(
     parallel: Optional[int] = None,
     cache: Optional[ExperimentCache] = None,
 ) -> List[BenchmarkEvaluation]:
-    """Evaluate a benchmark subset (default: all 18, table order)."""
-    return run_matrix(
+    """Deprecated shim; use :meth:`repro.flow.Session.evaluate_suite`.
+
+    Builds a throwaway session around the legacy arguments (adopting
+    *cache* when given) and delegates — results are byte-identical to
+    the pre-flow path, which the parity tests assert.
+    """
+    warnings.warn(
+        "evaluate_suite() is deprecated; construct a repro.flow.Session "
+        "and call session.evaluate_suite() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..flow import Session  # deferred: flow imports this module's siblings
+
+    session = Session(preset=preset, parallel=parallel, cache=cache)
+    return session.evaluate_suite(
         names,
-        configs if configs is not None else TABLE1_CONFIGS,
-        preset=preset,
+        configs=configs if configs is not None else TABLE1_CONFIGS,
         caps=caps,
         effort=effort,
         verify=verify,
         verify_patterns=verify_patterns,
-        parallel=parallel,
-        cache=cache,
     )
 
 

@@ -15,6 +15,7 @@ configurations of Table III.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -126,7 +127,7 @@ def full_management(w_max: int) -> EnduranceConfig:
     return PRESETS["ea-full"].with_cap(w_max)
 
 
-def compile_with_management(
+def compile_pipeline(
     mig: Mig, config: EnduranceConfig, *, rewritten: Optional[Mig] = None
 ) -> CompilationResult:
     """Rewrite, compile, and summarise *mig* under *config*.
@@ -135,6 +136,11 @@ def compile_with_management(
     result of ``rewrite(mig, config.rewriting, effort=config.effort)`` —
     the hook :class:`repro.analysis.runner.ExperimentCache` uses to share
     one rewriting run between every configuration with the same script.
+
+    This is the raw, uncached pipeline body.  Application code should go
+    through :class:`repro.flow.Flow` (or an
+    :class:`~repro.analysis.runner.ExperimentCache`), which add stage
+    caching, observers, and verification on top.
     """
     gates_before = mig.num_live_gates()
     if rewritten is None:
@@ -157,3 +163,23 @@ def compile_with_management(
         mig_gates_before=gates_before,
         mig_gates_after=rewritten.num_live_gates(),
     )
+
+
+def compile_with_management(
+    mig: Mig, config: EnduranceConfig, *, rewritten: Optional[Mig] = None
+) -> CompilationResult:
+    """Deprecated entry point; use :class:`repro.flow.Flow` instead.
+
+    Kept as a thin shim over :func:`compile_pipeline` so existing code
+    and notebooks keep working — it produces byte-identical results (the
+    flow parity tests assert this), but new code should route through
+    ``Flow.for_config(config, session=...)`` to get stage caching,
+    backend selection, and observer hooks.
+    """
+    warnings.warn(
+        "compile_with_management() is deprecated; route compilations "
+        "through repro.flow (Flow.for_config(config, session=session))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return compile_pipeline(mig, config, rewritten=rewritten)

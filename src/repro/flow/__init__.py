@@ -1,0 +1,48 @@
+"""repro.flow — the Session + pass-pipeline API everything routes through.
+
+This package is the stable seam between *what* the reproduction computes
+(:mod:`repro.core`, :mod:`repro.plim`, :mod:`repro.mig`) and *how* a run
+is provisioned:
+
+* :class:`Session` owns the cross-cutting concerns — simulation-kernel
+  backend, persistent experiment cache, parallelism, benchmark width
+  preset — resolved once per run (explicitly, from the environment, or
+  from CLI arguments) instead of per entry point.
+* :class:`Flow` declares the paper's pipeline (source → rewrite →
+  compile → verify) as composable stages with typed
+  :class:`StageArtifact` outputs, per-stage caching, and
+  ``on_stage_start`` / ``on_stage_end`` observer hooks.
+
+Every harness entry point — CLI subcommands, table/report generation,
+sweeps, the benchmark conftest, the examples — routes through this
+layer; the legacy ``compile_with_management`` / ``evaluate_suite``
+functions survive only as deprecated shims over it.
+"""
+
+from .session import (
+    BACKEND_CHOICES,
+    PRESET_CHOICES,
+    Session,
+    SessionSpec,
+    resolve_cache_dir,
+)
+from .pipeline import (
+    STAGES,
+    Flow,
+    FlowResult,
+    StageArtifact,
+    StageEvent,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "Flow",
+    "FlowResult",
+    "PRESET_CHOICES",
+    "STAGES",
+    "Session",
+    "SessionSpec",
+    "StageArtifact",
+    "StageEvent",
+    "resolve_cache_dir",
+]

@@ -1,0 +1,377 @@
+"""The :class:`Session`: one object owning every cross-cutting concern.
+
+The harness resolves the same four knobs over and over — which
+simulation-kernel backend to use (``$REPRO_SIM_BACKEND``), whether and
+where to persist experiment artefacts (``$REPRO_CACHE_DIR`` /
+``--cache-dir``), how many worker processes to fan out over, and which
+benchmark width preset to build.  Before this module each entry point
+(CLI subcommands, table runners, benchmark conftest, examples) re-derived
+them independently; a :class:`Session` resolves them once and everything
+downstream — :class:`repro.flow.Flow` pipelines, matrix evaluations,
+report generation — routes through it.
+
+Construction
+------------
+* ``Session(backend=..., cache_dir=..., parallel=..., preset=...)`` —
+  explicit; ``None`` fields mean "no override" (ambient backend
+  selection, no persistence, serial, default widths).
+* :meth:`Session.from_env` — reads ``$REPRO_SIM_BACKEND`` and
+  ``$REPRO_CACHE_DIR``.
+* :meth:`Session.from_args` — from an ``argparse`` namespace, applying
+  the uniform precedence **flag > environment > none** for the cache
+  directory.  :meth:`Session.add_arguments` installs the matching
+  options on a parser, so every CLI subcommand shares one definition.
+
+Sessions are picklable *by spec*: :meth:`Session.spec` captures the
+resolved knobs in a :class:`SessionSpec`, and worker processes rebuild
+an equivalent session with :meth:`Session.from_spec` — this is how
+``run_matrix`` ships backend + cache-root selection across the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.rewriting import DEFAULT_EFFORT
+from ..mig.kernel import (
+    BACKEND_ENV_VAR,
+    backend_scope,
+    get_kernel,
+    resolve_backend,
+)
+from ..analysis.diskcache import DiskCache, resolve_cache_dir
+from ..analysis.runner import (
+    BenchmarkEvaluation,
+    ConfigLike,
+    ExperimentCache,
+    TABLE1_PRESETS,
+    run_matrix as _run_matrix,
+)
+
+#: Benchmark width presets understood by the synthesis registry.
+PRESET_CHOICES: List[str] = ["tiny", "default", "paper"]
+
+#: Simulation backends selectable per session (see repro.mig.kernel).
+BACKEND_CHOICES: List[str] = ["auto", "bigint", "numpy"]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Picklable capture of a session's resolved knobs.
+
+    Worker processes cannot inherit live caches or kernel overrides, so
+    :func:`repro.analysis.runner.run_matrix` ships this spec instead and
+    each worker rebuilds an equivalent :class:`Session` from it.
+    ``parallel`` is deliberately absent from what workers adopt — a
+    worker never fans out again.
+    """
+
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    preset: str = "default"
+
+
+class Session:
+    """Owns backend, experiment cache, parallelism, and width preset.
+
+    The session's :attr:`cache` is a single
+    :class:`~repro.analysis.runner.ExperimentCache` shared by every flow
+    and matrix evaluation routed through it, disk-backed when a cache
+    directory is configured.  Observers registered with
+    :meth:`add_observer` receive the :class:`~repro.flow.StageEvent`
+    stream of every flow run in this session (plus matrix-level events),
+    which is how progress reporting and ``BENCH_suite.json`` timings are
+    fed.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Optional[str] = None,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        parallel: Optional[int] = None,
+        preset: str = "default",
+        cache: Optional[ExperimentCache] = None,
+    ) -> None:
+        if backend is not None:
+            resolve_backend(backend)  # fail fast on unknown/unavailable
+        self.backend = backend
+        self.parallel = parallel
+        self.preset = preset
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        if cache is not None:
+            # Adopt an existing cache (legacy shims, shared harnesses);
+            # its disk root — possibly none — wins over the cache_dir
+            # argument, so the session never claims persistence the
+            # adopted cache doesn't have.
+            self.cache = cache
+            self.cache_dir = (
+                str(cache.disk.root) if cache.disk is not None else None
+            )
+        else:
+            disk = DiskCache(self.cache_dir) if self.cache_dir else None
+            self.cache = ExperimentCache(disk=disk)
+        self._observers: list = []
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    def from_env(
+        cls,
+        *,
+        preset: Optional[str] = None,
+        parallel: Optional[int] = None,
+    ) -> "Session":
+        """Session configured from ``$REPRO_SIM_BACKEND`` / ``$REPRO_CACHE_DIR``."""
+        backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
+        return cls(
+            backend=backend,
+            cache_dir=resolve_cache_dir(),
+            parallel=parallel,
+            preset=preset or "default",
+        )
+
+    @classmethod
+    def from_args(cls, args, *, preset: Optional[str] = None) -> "Session":
+        """Session from an ``argparse`` namespace (see :meth:`add_arguments`).
+
+        Missing attributes fall back exactly like absent flags: the
+        cache directory resolves flag > environment > none, the backend
+        defaults to ambient selection, parallelism to serial.
+        """
+        return cls(
+            backend=getattr(args, "backend", None),
+            cache_dir=resolve_cache_dir(getattr(args, "cache_dir", None)),
+            parallel=getattr(args, "parallel", None),
+            preset=getattr(args, "preset", None) or preset or "default",
+        )
+
+    @staticmethod
+    def add_arguments(
+        parser,
+        *,
+        preset: bool = True,
+        parallel: bool = True,
+        cache: bool = True,
+        backend: bool = True,
+    ):
+        """Install the session options on an ``argparse`` parser.
+
+        One definition shared by every CLI subcommand; the boolean
+        switches let scenario commands opt out of options that cannot
+        affect them.
+        """
+        if preset:
+            parser.add_argument(
+                "--preset",
+                default="default",
+                choices=PRESET_CHOICES,
+                help="benchmark width preset (paper = the paper's sizes)",
+            )
+        if backend:
+            parser.add_argument(
+                "--backend",
+                default=None,
+                choices=BACKEND_CHOICES,
+                help=(
+                    "simulation-kernel backend (default: $REPRO_SIM_BACKEND "
+                    "if set, else auto-detection)"
+                ),
+            )
+        if parallel:
+            parser.add_argument(
+                "--parallel",
+                type=int,
+                default=None,
+                metavar="N",
+                help="fan benchmarks out over N worker processes",
+            )
+        if cache:
+            parser.add_argument(
+                "--cache-dir",
+                default=None,
+                metavar="DIR",
+                help=(
+                    "persist built/compiled artefacts under DIR across runs "
+                    "(default: $REPRO_CACHE_DIR if set, else no persistence)"
+                ),
+            )
+        return parser
+
+    # -- spec (process boundary) ---------------------------------------
+
+    def spec(self) -> SessionSpec:
+        """Picklable spec a worker process rebuilds this session from."""
+        return SessionSpec(
+            backend=self.backend,
+            cache_dir=self.cache_dir,
+            preset=self.preset,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: SessionSpec) -> "Session":
+        return cls(
+            backend=spec.backend,
+            cache_dir=spec.cache_dir,
+            preset=spec.preset,
+        )
+
+    # -- backend -------------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The simulation kernel this session resolves to."""
+        if self.backend is not None:
+            return resolve_backend(self.backend)
+        return get_kernel()
+
+    @property
+    def disk(self) -> Optional[DiskCache]:
+        """The attached persistent cache, if any."""
+        return self.cache.disk
+
+    def activated(self):
+        """Context manager installing this session's backend override.
+
+        A ``None`` backend is a no-op scope (ambient selection applies);
+        the previous override is restored on exit, so sessions nest.
+        Flow runs and matrix evaluations enter this scope themselves —
+        call it directly only when driving kernel-level APIs by hand.
+        """
+        return backend_scope(self.backend)
+
+    # -- observers -------------------------------------------------------
+
+    def add_observer(self, observer):
+        """Register an observer for this session's stage events.
+
+        An observer is any object with (optional) ``on_stage_start(event)``
+        / ``on_stage_end(event)`` methods; events are
+        :class:`repro.flow.StageEvent` instances.  Returns *observer* so
+        registration can be inlined.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer) -> None:
+        self._observers.remove(observer)
+
+    def emit(self, hook: str, event) -> None:
+        """Dispatch *event* to every observer implementing *hook*."""
+        for observer in list(self._observers):
+            fn = getattr(observer, hook, None)
+            if fn is not None:
+                fn(event)
+
+    # -- matrix evaluation -------------------------------------------
+
+    def flow(self, config: ConfigLike = "naive") -> "Flow":
+        """A fresh :class:`repro.flow.Flow` bound to this session."""
+        from .pipeline import Flow
+
+        return Flow.for_config(config, session=self)
+
+    def run_matrix(
+        self,
+        benchmarks: Optional[Iterable[str]] = None,
+        configs: Optional[Sequence[ConfigLike]] = None,
+        *,
+        caps: Optional[Sequence[int]] = None,
+        effort: int = DEFAULT_EFFORT,
+        verify: bool = False,
+        verify_patterns: int = 64,
+        parallel: Optional[int] = None,
+    ) -> List[BenchmarkEvaluation]:
+        """Evaluate a benchmarks x configurations matrix in this session.
+
+        Delegates to :func:`repro.analysis.runner.run_matrix` with the
+        session's cache, preset, and parallelism; worker processes are
+        rebuilt from :meth:`spec`.  Emits ``"matrix"`` stage events to
+        the session observers around the whole evaluation.
+        """
+        from .pipeline import StageEvent  # deferred: pipeline imports session
+
+        names = (
+            list(benchmarks)
+            if benchmarks is not None
+            else None
+        )
+        event = StageEvent(
+            stage="matrix",
+            flow=f"matrix[{len(names) if names is not None else 'all'}x"
+            f"{len(configs) if configs is not None else len(TABLE1_PRESETS)}]",
+            benchmark=None,
+            config=None,
+        )
+        self.emit("on_stage_start", event)
+        start = time.perf_counter()
+        with self.activated():
+            evaluations = _run_matrix(
+                names,
+                configs,
+                preset=self.preset,
+                caps=caps,
+                effort=effort,
+                verify=verify,
+                verify_patterns=verify_patterns,
+                parallel=parallel if parallel is not None else self.parallel,
+                cache=self.cache,
+                session=self,
+            )
+        self.emit(
+            "on_stage_end",
+            event.finished(seconds=time.perf_counter() - start, cached=False),
+        )
+        return evaluations
+
+    def evaluate_suite(
+        self,
+        names: Optional[Iterable[str]] = None,
+        *,
+        configs: Optional[Sequence[str]] = None,
+        caps: Optional[Sequence[int]] = None,
+        effort: int = DEFAULT_EFFORT,
+        verify: bool = True,
+        verify_patterns: int = 64,
+        parallel: Optional[int] = None,
+    ) -> List[BenchmarkEvaluation]:
+        """The paper's suite evaluation (default: all 18 benchmarks,
+        Table I configuration columns, verified)."""
+        return self.run_matrix(
+            names,
+            configs if configs is not None else list(TABLE1_PRESETS),
+            caps=caps,
+            effort=effort,
+            verify=verify,
+            verify_patterns=verify_patterns,
+            parallel=parallel,
+        )
+
+    def full_report(
+        self,
+        names: Optional[Iterable[str]] = None,
+        *,
+        caps: Optional[Sequence[int]] = None,
+        effort: int = DEFAULT_EFFORT,
+        verify: bool = True,
+    ):
+        """Every table + the headline, rendered from one matrix pass."""
+        from ..analysis import report  # deferred: report imports flow shims
+
+        return report.full_report(
+            names=names,
+            caps=caps if caps is not None else report.TABLE3_CAPS,
+            effort=effort,
+            verify=verify,
+            session=self,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(backend={self.backend!r}, cache_dir={self.cache_dir!r}, "
+            f"parallel={self.parallel!r}, preset={self.preset!r})"
+        )

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import threading
+from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple
 
 from .graph import Mig
@@ -419,6 +420,11 @@ _NUMPY = NumpyKernel() if _np is not None else None
 #: environment variable.
 _OVERRIDE: Optional[object] = None
 
+#: Per-thread stack of :func:`backend_scope` overrides; beats everything.
+#: Thread-local so concurrent sessions cannot clobber each other's
+#: backend, and a stack so scopes nest and unwind correctly.
+_SCOPE = threading.local()
+
 
 def numpy_available() -> bool:
     """Whether the numpy backend can be used in this process."""
@@ -452,6 +458,42 @@ def _resolve(name: str):
     )
 
 
+def resolve_backend(name: str):
+    """Resolve a backend *name* to its kernel without installing it.
+
+    Validates availability the same way :func:`set_backend` does —
+    requesting ``numpy`` without numpy raises ``ImportError``, an unknown
+    name raises ``ValueError`` — so callers (e.g.
+    :class:`repro.flow.Session`) can fail fast at construction time.
+    """
+    return _resolve(name)
+
+
+@contextmanager
+def backend_scope(name: Optional[str]):
+    """Temporarily install *name* as the backend override.
+
+    ``None`` is a no-op scope: the ambient selection (an existing
+    override, then ``$REPRO_SIM_BACKEND``, then auto-detection) stays in
+    effect.  The override lives on a thread-local stack, so scopes nest
+    and concurrent sessions on different threads cannot clobber each
+    other (threads spawned *inside* a scope start unscoped).  Yields the
+    kernel active inside the scope.
+    """
+    if name is None:
+        yield get_kernel()
+        return
+    kernel = _resolve(name)
+    stack = getattr(_SCOPE, "stack", None)
+    if stack is None:
+        stack = _SCOPE.stack = []
+    stack.append(kernel)
+    try:
+        yield kernel
+    finally:
+        stack.pop()
+
+
 def set_backend(name: Optional[str]):
     """Install an explicit backend override (``None`` removes it).
 
@@ -464,7 +506,10 @@ def set_backend(name: Optional[str]):
 
 
 def get_kernel():
-    """The active simulation kernel (override > environment > auto)."""
+    """The active simulation kernel (scope > override > environment > auto)."""
+    stack = getattr(_SCOPE, "stack", None)
+    if stack:
+        return stack[-1]
     if _OVERRIDE is not None:
         return _OVERRIDE
     return _resolve(os.environ.get(BACKEND_ENV_VAR, "auto") or "auto")

@@ -72,6 +72,77 @@ class TestCommands:
         assert "HEADLINE" in capsys.readouterr().out
 
 
+class TestBackendOption:
+    def test_suite_subcommands_accept_backend(self, capsys):
+        for cmd in ("table1", "table2", "table3", "headline", "report"):
+            args = build_parser().parse_args(
+                [cmd, "--preset", "tiny", "--backend", "bigint"]
+            )
+            assert args.backend == "bigint"
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "dec",
+            "--no-verify", "--backend", "bigint",
+        ]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_bench_accepts_backend(self, capsys):
+        assert main([
+            "bench", "dec", "--preset", "tiny", "--backend", "bigint",
+        ]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_fig_commands_accept_backend(self, capsys):
+        assert main(["fig1", "--backend", "bigint"]) == 0
+        capsys.readouterr()
+        assert main(["fig2", "--backend", "bigint"]) == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["table1", "--backend", "quantum"]
+            )
+
+    def test_backend_does_not_change_artifacts(self, capsys):
+        """bigint is the reference engine; pinning it must not change
+        any table (verification runs through the selected kernel)."""
+        argv = ["table1", "--preset", "tiny", "--benchmarks", "dec"]
+        assert main(argv) == 0
+        ambient = capsys.readouterr().out
+        assert main(argv + ["--backend", "bigint"]) == 0
+        assert capsys.readouterr().out == ambient
+
+
+class TestCachePrecedence:
+    def test_flag_beats_env(self, tmp_path, monkeypatch, capsys):
+        env_root = tmp_path / "env"
+        flag_root = tmp_path / "flag"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(env_root))
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "dec",
+            "--no-verify", "--cache-dir", str(flag_root),
+        ]) == 0
+        capsys.readouterr()
+        assert flag_root.is_dir()
+        assert not env_root.exists()
+
+    def test_flag_beats_env_for_maintenance(self, tmp_path, monkeypatch, capsys):
+        env_root = tmp_path / "env"
+        flag_root = tmp_path / "flag"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(env_root))
+        assert main(["cache", "stats", "--cache-dir", str(flag_root)]) == 0
+        assert str(flag_root) in capsys.readouterr().out
+
+    def test_every_suite_subcommand_has_cache_dir(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "headline", "report",
+                    "bench"):
+            argv = [cmd, "--cache-dir", "somewhere"]
+            if cmd == "bench":
+                argv.insert(1, "dec")
+            args = parser.parse_args(argv)
+            assert args.cache_dir == "somewhere"
+
+
 class TestCacheCommands:
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):

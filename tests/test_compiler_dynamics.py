@@ -9,7 +9,7 @@ being rewritten), selection-order effects, and determinism.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.manager import PRESETS, compile_with_management
+from repro.core.manager import PRESETS, compile_pipeline
 from repro.core.selection import make_selection
 from repro.mig.graph import Mig
 from repro.mig.signal import complement
@@ -39,7 +39,7 @@ class TestDataflow:
     def test_no_undefined_reads(self, seed):
         mig = make_random_mig(6, 45, seed=seed)
         for config in PRESETS.values():
-            result = compile_with_management(mig, config)
+            result = compile_pipeline(mig, config)
             dataflow_check(result.program)
 
     @settings(max_examples=15, deadline=None)
@@ -74,8 +74,8 @@ class TestDeterminism:
     def test_identical_runs_identical_programs(self):
         mig = make_random_mig(6, 50, seed=77)
         for config in PRESETS.values():
-            a = compile_with_management(mig, config).program
-            b = compile_with_management(mig, config).program
+            a = compile_pipeline(mig, config).program
+            b = compile_pipeline(mig, config).program
             assert a.instructions == b.instructions
             assert a.po_cells == b.po_cells
 

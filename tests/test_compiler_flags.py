@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.manager import EnduranceConfig, compile_with_management
+from repro.core.manager import EnduranceConfig, compile_pipeline
 from repro.core.selection import make_selection
 from repro.plim.compiler import PlimCompiler
 from repro.plim.verify import verify_program
@@ -33,7 +33,7 @@ class TestPiOverwrite:
     def test_config_plumbing(self):
         mig = build_adder(width=4)
         cfg = EnduranceConfig(name="protected", allow_pi_overwrite=False)
-        result = compile_with_management(mig, cfg)
+        result = compile_pipeline(mig, cfg)
         for cell in result.program.pi_cells:
             assert result.program.write_counts()[cell] == 0
 

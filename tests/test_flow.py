@@ -1,0 +1,376 @@
+"""Tests for the repro.flow Session + pipeline API."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import report, tables
+from repro.analysis.runner import ExperimentCache
+from repro.core.manager import (
+    PRESETS,
+    compile_pipeline,
+    compile_with_management,
+    full_management,
+)
+from repro.flow import Flow, FlowResult, Session, SessionSpec, StageEvent
+from repro.mig.kernel import get_kernel, set_backend
+from repro.synth.arithmetic import build_adder
+
+SUBSET = ["adder", "dec"]
+
+
+class TestSessionConstruction:
+    def test_defaults(self):
+        session = Session()
+        assert session.backend is None
+        assert session.cache_dir is None
+        assert session.parallel is None
+        assert session.preset == "default"
+        assert session.disk is None
+        assert isinstance(session.cache, ExperimentCache)
+
+    def test_explicit_cache_dir_attaches_disk(self, tmp_path):
+        session = Session(cache_dir=tmp_path / "cache")
+        assert session.disk is not None
+        assert str(session.disk.root) == str(tmp_path / "cache")
+
+    def test_adopted_cache_wins_over_cache_dir(self, tmp_path):
+        cache = ExperimentCache()
+        session = Session(cache=cache, cache_dir=tmp_path)
+        assert session.cache is cache
+        assert session.cache_dir is None  # adopted cache has no disk
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            Session(backend="tpu")
+
+    def test_kernel_resolution(self):
+        assert Session(backend="bigint").kernel.name == "bigint"
+        assert Session().kernel is get_kernel()
+
+
+class TestSessionEnvPrecedence:
+    def test_from_env_reads_cache_and_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envroot"))
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "bigint")
+        session = Session.from_env(preset="tiny")
+        assert session.cache_dir == str(tmp_path / "envroot")
+        assert session.backend == "bigint"
+        assert session.preset == "tiny"
+
+    def test_from_env_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        session = Session.from_env()
+        assert session.cache_dir is None and session.backend is None
+
+    def test_from_args_flag_beats_env(self, tmp_path, monkeypatch):
+        import argparse
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        args = argparse.Namespace(cache_dir=str(tmp_path / "flag"))
+        session = Session.from_args(args)
+        assert session.cache_dir == str(tmp_path / "flag")
+
+    def test_from_args_env_fallback_and_none(self, tmp_path, monkeypatch):
+        import argparse
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        # flag absent entirely (namespace without the attribute)
+        assert Session.from_args(argparse.Namespace()).cache_dir == str(
+            tmp_path / "env"
+        )
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert Session.from_args(argparse.Namespace()).cache_dir is None
+
+    def test_spec_round_trip_pickles(self, tmp_path):
+        session = Session(
+            backend="bigint", cache_dir=tmp_path, parallel=4, preset="tiny"
+        )
+        spec = pickle.loads(pickle.dumps(session.spec()))
+        assert spec == SessionSpec(
+            backend="bigint", cache_dir=str(tmp_path), preset="tiny"
+        )
+        rebuilt = Session.from_spec(spec)
+        assert rebuilt.backend == "bigint"
+        assert rebuilt.preset == "tiny"
+        assert str(rebuilt.disk.root) == str(tmp_path)
+        assert rebuilt.parallel is None  # workers never fan out again
+
+    def test_activated_scope_restores_override(self):
+        assert set_backend(None).name  # clear any leftover override
+        ambient = get_kernel()
+        with Session(backend="bigint").activated() as kernel:
+            assert kernel.name == "bigint"
+            assert get_kernel().name == "bigint"
+        assert get_kernel() is ambient
+
+    def test_activated_scopes_are_thread_local(self):
+        """Concurrent sessions must not clobber each other's backend,
+        and no override may leak once every scope has exited."""
+        import threading
+
+        assert set_backend(None).name
+        ambient = get_kernel()
+        barrier = threading.Barrier(2)
+        observed = {}
+
+        def run(name, backend):
+            with Session(backend=backend).activated():
+                barrier.wait(timeout=10)  # both scopes active at once
+                observed[name] = get_kernel().name
+                barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=run, args=("a", "bigint")),
+            threading.Thread(target=run, args=("b", "auto")),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert observed["a"] == "bigint"
+        assert observed["b"] == get_kernel().name  # auto = ambient kernel
+        assert get_kernel() is ambient  # nothing leaked
+
+
+class TestFlowStages:
+    def test_flow_matches_raw_pipeline(self):
+        session = Session(preset="tiny")
+        result = Flow.for_config("ea-full", session=session).source("adder").run()
+        assert isinstance(result, FlowResult)
+        reference = compile_pipeline(result.mig, PRESETS["ea-full"])
+        assert result.compilation.num_instructions == reference.num_instructions
+        assert (
+            result.program.write_counts() == reference.program.write_counts()
+        )
+        assert result.rewritten.num_live_gates() == result.compilation.mig_gates_after
+
+    def test_stage_artifacts_typed_and_ordered(self):
+        session = Session(preset="tiny")
+        result = (
+            Flow.for_config("ea-full", session=session)
+            .source("dec")
+            .verify(16)
+            .run()
+        )
+        assert list(result.stages) == ["source", "rewrite", "compile", "verify"]
+        assert all(a.seconds >= 0 for a in result.stages.values())
+        assert result.verified_patterns == 16
+
+    def test_verify_stage_keeps_counters_honest(self):
+        """A cold verified flow is one compilation: one miss, no
+        self-congratulating hit from the verify stage."""
+        session = Session(preset="tiny")
+        Flow.for_config("naive", session=session).source("dec").verify(16).run()
+        assert (session.cache.hits, session.cache.misses) == (0, 1)
+
+    def test_second_run_hits_every_stage(self):
+        session = Session(preset="tiny")
+        flow = Flow.for_config("ea-full", session=session).source("adder").verify(16)
+        first = flow.run()
+        assert not first.stages["compile"].cached
+        misses = session.cache.misses
+        second = flow.run()
+        assert all(a.cached for a in second.stages.values())
+        assert session.cache.misses == misses  # nothing recompiled
+
+    def test_stage_caching_through_disk(self, tmp_path):
+        cold = Session(preset="tiny", cache_dir=tmp_path)
+        a = Flow.for_config("ea-full", session=cold).source("adder").run()
+        # A fresh session over the same root deserialises instead of
+        # compiling: every stage reports cached, no compile misses.
+        warm = Session(preset="tiny", cache_dir=tmp_path)
+        b = Flow.for_config("ea-full", session=warm).source("adder").run()
+        assert all(artifact.cached for artifact in b.stages.values())
+        assert warm.cache.misses == 0
+        assert warm.disk.hits >= 3  # mig + rewrite + result deserialised
+        assert a.program.write_counts() == b.program.write_counts()
+
+    def test_rewrite_stage_persisted_to_disk(self, tmp_path):
+        cold = Session(preset="tiny", cache_dir=tmp_path)
+        Flow.for_config("ea-rewrite", session=cold).source("dec").run()
+        warm = Session(preset="tiny", cache_dir=tmp_path)
+        mig = warm.cache.benchmark_mig("dec", "tiny")
+        # ask for a *different* configuration sharing the same script:
+        # the compile misses, but the rewriting comes back from disk
+        hits = warm.disk.hits
+        warm.cache.rewritten(mig, "endurance", 5)
+        assert warm.disk.hits == hits + 1
+
+    def test_explicit_rewrite_overrides_config_script(self):
+        session = Session(preset="tiny")
+        vanilla = Flow.for_config("naive", session=session).source("adder").run()
+        rewired = (
+            Flow.for_config("naive", session=session)
+            .source("adder")
+            .rewrite("endurance", effort=2)
+            .run()
+        )
+        assert rewired.compilation.config.rewriting == "endurance"
+        assert rewired.compilation.config.effort == 2
+        assert vanilla.compilation.config.rewriting == "none"
+
+    def test_source_required(self):
+        with pytest.raises(ValueError, match="no source"):
+            Flow.for_config("naive", session=Session()).run()
+
+    def test_unknown_preset_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration preset"):
+            Flow(Session()).compile("turbo")
+
+    def test_session_flow_shorthand(self):
+        session = Session(preset="tiny")
+        result = session.flow(full_management(10)).source("dec").run()
+        assert result.compilation.config.name == "ea-full+wmax10"
+
+
+class TestObserverHooks:
+    def test_flow_hook_ordering(self):
+        session = Session(preset="tiny")
+        events = []
+        (
+            Flow.for_config("naive", session=session)
+            .source("dec")
+            .verify(8)
+            .on_stage_start(lambda e: events.append(("start", e.stage)))
+            .on_stage_end(lambda e: events.append(("end", e.stage)))
+            .run()
+        )
+        assert events == [
+            ("start", "source"), ("end", "source"),
+            ("start", "rewrite"), ("end", "rewrite"),
+            ("start", "compile"), ("end", "compile"),
+            ("start", "verify"), ("end", "verify"),
+        ]
+
+    def test_session_observer_sees_flow_and_matrix_events(self):
+        session = Session(preset="tiny")
+        seen = []
+
+        class Observer:
+            def on_stage_start(self, event):
+                seen.append(("start", event.stage, event.seconds))
+
+            def on_stage_end(self, event):
+                seen.append(("end", event.stage, event.seconds))
+
+        observer = session.add_observer(Observer())
+        Flow.for_config("naive", session=session).source("dec").run()
+        assert ("start", "source", None) == seen[0]
+        end_events = [e for e in seen if e[0] == "end"]
+        assert all(e[2] is not None for e in end_events)
+        seen.clear()
+        session.run_matrix(["dec"], ["naive"])
+        assert [e[:2] for e in seen] == [
+            ("start", "matrix"), ("end", "matrix")
+        ]
+        seen.clear()
+        session.remove_observer(observer)
+        Flow.for_config("naive", session=session).source("dec").run()
+        assert not seen
+
+    def test_end_event_carries_cached_flag(self):
+        session = Session(preset="tiny")
+        flags = []
+        flow = (
+            Flow.for_config("naive", session=session)
+            .source("dec")
+            .on_stage_end(lambda e: flags.append((e.stage, e.cached)))
+        )
+        flow.run()
+        assert ("compile", False) in flags
+        flags.clear()
+        flow.run()
+        assert set(flags) == {
+            ("source", True), ("rewrite", True), ("compile", True)
+        }
+
+    def test_stage_event_finished_is_pure(self):
+        start = StageEvent(stage="compile", flow="x/naive")
+        end = start.finished(seconds=1.5, cached=True)
+        assert start.seconds is None and end.seconds == 1.5
+        assert end.stage == "compile" and end.cached is True
+
+
+class TestLegacyShims:
+    def test_compile_with_management_warns_and_matches(self):
+        mig = build_adder(width=4)
+        with pytest.warns(DeprecationWarning, match="compile_with_management"):
+            legacy = compile_with_management(mig, PRESETS["ea-full"])
+        flow = Flow.for_config("ea-full", session=Session()).source_mig(mig).run()
+        assert legacy.num_instructions == flow.compilation.num_instructions
+        assert (
+            legacy.program.write_counts() == flow.program.write_counts()
+        )
+
+    def test_evaluate_suite_warns(self):
+        with pytest.warns(DeprecationWarning, match="evaluate_suite"):
+            tables.evaluate_suite(
+                preset="tiny", names=["dec"], verify=False
+            )
+
+    def test_legacy_artifacts_byte_identical(self):
+        """The acceptance parity check: tables and reports rendered via
+        the deprecated entry points match the Session/Flow path byte for
+        byte."""
+        session = Session(preset="tiny")
+        modern = session.evaluate_suite(SUBSET, caps=[10, 100], verify=False)
+        with pytest.warns(DeprecationWarning):
+            legacy = tables.evaluate_suite(
+                preset="tiny", names=SUBSET, caps=[10, 100], verify=False
+            )
+        for render in (
+            report.render_table1,
+            report.render_table2,
+            report.render_table3,
+            report.render_headline,
+        ):
+            assert render(modern) == render(legacy)
+
+    def test_full_report_legacy_args_match_session_path(self):
+        session = Session(preset="tiny")
+        modern = session.full_report(["dec"], caps=[10, 100], verify=False)
+        legacy = report.full_report(
+            preset="tiny", names=["dec"], caps=[10, 100], verify=False
+        )
+        assert modern == legacy
+
+    def test_evaluate_suite_adopts_shared_cache(self):
+        cache = ExperimentCache()
+        with pytest.warns(DeprecationWarning):
+            tables.evaluate_suite(
+                preset="tiny", names=["dec"], verify=False, cache=cache
+            )
+        assert cache.misses > 0
+        misses = cache.misses
+        with pytest.warns(DeprecationWarning):
+            tables.evaluate_suite(
+                preset="tiny", names=["dec"], verify=False, cache=cache
+            )
+        assert cache.misses == misses
+
+
+class TestMatrixThroughSession:
+    @pytest.mark.slow
+    def test_parallel_spec_round_trip(self):
+        """Workers rebuilt from the session spec produce bit-identical
+        results to the serial path."""
+        serial = Session(preset="tiny")
+        fanned = Session(preset="tiny", parallel=2, backend="bigint")
+        a = serial.run_matrix(SUBSET, ["naive", "ea-full"])
+        b = fanned.run_matrix(SUBSET, ["naive", "ea-full"])
+        for x, y in zip(a, b):
+            assert x.name == y.name
+            for key in x.results:
+                assert (
+                    x.results[key].program.write_counts()
+                    == y.results[key].program.write_counts()
+                )
+
+    def test_evaluate_suite_defaults_to_table1_columns(self):
+        session = Session(preset="tiny")
+        (ev,) = session.evaluate_suite(["dec"], verify=False)
+        assert list(ev.results) == [
+            "naive", "dac16", "min-write", "ea-rewrite", "ea-full",
+        ]

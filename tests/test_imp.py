@@ -176,14 +176,14 @@ class TestImpVsRm3:
         """Qualitative Section II claim: the IMP NAND flow has a worse
         (more concentrated) write distribution than the RM3 flow with
         endurance management."""
-        from repro.core.manager import PRESETS, compile_with_management
+        from repro.core.manager import PRESETS, compile_pipeline
         from repro.synth.registry import build_benchmark
 
         mig = build_benchmark("ctrl", preset="tiny")
         net = mig_to_nand(mig)
         imp_prog = synthesize_imp(net)
         imp_stats = WriteTrafficStats.from_counts(imp_prog.write_counts())
-        plim = compile_with_management(mig, PRESETS["ea-full"])
+        plim = compile_pipeline(mig, PRESETS["ea-full"])
         assert imp_stats.stdev > plim.stats.stdev
         assert imp_stats.max_writes > plim.stats.max_writes
 

@@ -8,7 +8,7 @@ behavioural RRAM array and checked bit-parallel against MIG simulation.
 
 import pytest
 
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro.core.manager import PRESETS, compile_pipeline, full_management
 from repro.plim.memory import RramArray, estimate_lifetime
 from repro.plim.verify import verify_program
 from repro.synth.registry import BENCHMARK_ORDER, build_benchmark
@@ -21,7 +21,7 @@ def test_benchmark_all_configs_verified(name):
     mig = build_benchmark(name, preset="tiny")
     results = {}
     for cfg in CONFIGS:
-        result = compile_with_management(mig, cfg)
+        result = compile_pipeline(mig, cfg)
         verify_program(result.program, mig, patterns=64)
         results[cfg.name] = result
 
@@ -45,8 +45,8 @@ def test_suite_level_trends_tiny():
     instr_naive = instr_ea = 0
     for name in BENCHMARK_ORDER:
         mig = build_benchmark(name, preset="tiny")
-        naive = compile_with_management(mig, PRESETS["naive"])
-        ea = compile_with_management(mig, PRESETS["ea-full"])
+        naive = compile_pipeline(mig, PRESETS["naive"])
+        ea = compile_pipeline(mig, PRESETS["ea-full"])
         instr_naive += naive.num_instructions
         instr_ea += ea.num_instructions
         if naive.stats.stdev > 0:
@@ -62,8 +62,8 @@ def test_lifetime_story_end_to_end():
     """Executing the managed program repeatedly on an endurance-limited
     array survives strictly longer than the naive program."""
     mig = build_benchmark("sin", preset="tiny")
-    naive = compile_with_management(mig, PRESETS["naive"])
-    managed = compile_with_management(mig, full_management(20))
+    naive = compile_pipeline(mig, PRESETS["naive"])
+    managed = compile_pipeline(mig, full_management(20))
 
     naive_life = estimate_lifetime(naive.program.write_counts(), endurance=10**6)
     managed_life = estimate_lifetime(
@@ -91,5 +91,5 @@ def test_rewritten_program_equivalence_default_preset_sample():
     """A default-preset benchmark to make sure mid-size graphs stay
     correct (the tiny preset may hide scaling bugs)."""
     mig = build_benchmark("int2float", preset="default")
-    result = compile_with_management(mig, PRESETS["ea-full"])
+    result = compile_pipeline(mig, PRESETS["ea-full"])
     verify_program(result.program, mig, patterns=128)

@@ -5,7 +5,7 @@ import pytest
 from repro.core.manager import (
     EnduranceConfig,
     PRESETS,
-    compile_with_management,
+    compile_pipeline,
     full_management,
 )
 from repro.core.policies import (
@@ -92,7 +92,7 @@ class TestPipeline:
     def test_compile_all_presets_verified(self):
         mig = build_adder(width=4)
         for cfg in PRESETS.values():
-            result = compile_with_management(mig, cfg)
+            result = compile_pipeline(mig, cfg)
             verify_program(result.program, mig)
             assert result.num_instructions == result.program.num_instructions
             assert result.num_rrams == result.program.num_rrams
@@ -100,7 +100,7 @@ class TestPipeline:
 
     def test_rewriting_recorded_in_result(self):
         mig = build_adder(width=6)  # elaborated: rewriting shrinks it
-        result = compile_with_management(mig, PRESETS["ea-full"])
+        result = compile_pipeline(mig, PRESETS["ea-full"])
         assert result.mig_gates_before > result.mig_gates_after
 
     def test_custom_effort(self):
@@ -109,16 +109,16 @@ class TestPipeline:
             name="quick", rewriting="endurance", selection="endurance",
             effort=1,
         )
-        result = compile_with_management(mig, cfg)
+        result = compile_pipeline(mig, cfg)
         verify_program(result.program, mig)
 
     def test_capped_pipeline_respects_cap(self):
         mig = build_adder(width=6)
-        result = compile_with_management(mig, full_management(10))
+        result = compile_pipeline(mig, full_management(10))
         verify_program(result.program, mig)
         assert result.stats.max_writes <= 10
 
     def test_naive_uses_no_rewriting(self):
         mig = build_adder(width=6)
-        result = compile_with_management(mig, PRESETS["naive"])
+        result = compile_pipeline(mig, PRESETS["naive"])
         assert result.mig_gates_before == result.mig_gates_after

@@ -1,0 +1,77 @@
+"""Public-API snapshot: guards ``repro.__all__`` and ``repro.flow``.
+
+Downstream code (notebooks, the examples, the CI smoke jobs) imports
+these names; accidental removals or renames must fail a test, not a
+user.  Extending the API is fine — update the snapshot in the same
+change, deliberately.
+"""
+
+import repro
+import repro.flow
+
+#: The blessed root namespace.  Additions are appended deliberately;
+#: removals are breaking changes and need a deprecation cycle.
+ROOT_API = [
+    "BENCHMARKS",
+    "CompilationResult",
+    "EnduranceConfig",
+    "Flow",
+    "FlowResult",
+    "Mig",
+    "PRESETS",
+    "PlimController",
+    "Program",
+    "RramArray",
+    "Session",
+    "WriteTrafficStats",
+    "build_benchmark",
+    "compile_with_management",
+    "equivalent",
+    "full_management",
+    "simulate",
+    "truth_tables",
+    "verify_program",
+]
+
+#: The blessed repro.flow namespace.
+FLOW_API = [
+    "BACKEND_CHOICES",
+    "Flow",
+    "FlowResult",
+    "PRESET_CHOICES",
+    "STAGES",
+    "Session",
+    "SessionSpec",
+    "StageArtifact",
+    "StageEvent",
+    "resolve_cache_dir",
+]
+
+
+class TestRootNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.__all__) == sorted(ROOT_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_flow_types_exported_at_root(self):
+        assert repro.Session is repro.flow.Session
+        assert repro.Flow is repro.flow.Flow
+
+
+class TestFlowNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.flow.__all__) == sorted(FLOW_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.flow.__all__:
+            assert getattr(repro.flow, name) is not None
+
+    def test_stage_vocabulary_stable(self):
+        assert repro.flow.STAGES == ("source", "rewrite", "compile", "verify")
+
+    def test_choice_lists_stable(self):
+        assert repro.flow.PRESET_CHOICES == ["tiny", "default", "paper"]
+        assert repro.flow.BACKEND_CHOICES == ["auto", "bigint", "numpy"]

@@ -9,7 +9,7 @@ from repro.analysis.scenarios import (
     fig2_mig,
     storage_pressure,
 )
-from repro.core.manager import PRESETS, compile_with_management, full_management
+from repro.core.manager import PRESETS, compile_pipeline, full_management
 from repro.plim.verify import verify_program
 
 
@@ -24,13 +24,13 @@ class TestFig1:
     def test_repeated_destination_under_naive(self):
         """The same device receives the results of A, then B, then C."""
         mig = fig1_mig()
-        result = compile_with_management(mig, PRESETS["naive"])
+        result = compile_pipeline(mig, PRESETS["naive"])
         verify_program(result.program, mig)
         assert result.stats.max_writes >= 3
 
     def test_chain_pathology_grows_with_length(self):
-        short = compile_with_management(fig1_chain(4), PRESETS["naive"])
-        long = compile_with_management(fig1_chain(16), PRESETS["naive"])
+        short = compile_pipeline(fig1_chain(4), PRESETS["naive"])
+        long = compile_pipeline(fig1_chain(16), PRESETS["naive"])
         assert long.stats.max_writes > short.stats.max_writes
         assert long.stats.max_writes >= 16  # ~one write per chain step
 
@@ -38,7 +38,7 @@ class TestFig1:
         """Section III-B: the minimum write strategy is 'not sufficient'
         when the structure forces the same destination repeatedly."""
         mig = fig1_chain(16)
-        minw = compile_with_management(mig, PRESETS["min-write"])
+        minw = compile_pipeline(mig, PRESETS["min-write"])
         verify_program(minw.program, mig)
         assert minw.stats.max_writes >= 10
 
@@ -46,8 +46,8 @@ class TestFig1:
         """The maximum write strategy caps the hot cell, paying
         instructions and devices."""
         mig = fig1_chain(16)
-        naive = compile_with_management(mig, PRESETS["naive"])
-        capped = compile_with_management(mig, full_management(5))
+        naive = compile_pipeline(mig, PRESETS["naive"])
+        capped = compile_pipeline(mig, full_management(5))
         verify_program(capped.program, mig)
         assert capped.stats.max_writes <= 5
         assert capped.num_rrams >= naive.num_rrams
@@ -67,7 +67,7 @@ class TestFig2:
 
     def test_blocked_node_has_long_lifetime(self):
         mig = fig2_mig()
-        result = compile_with_management(mig, PRESETS["dac16"])
+        result = compile_pipeline(mig, PRESETS["dac16"])
         verify_program(result.program, mig)
         longest, _mean = storage_pressure(result.program)
         assert longest >= 4  # A's value waits for G
@@ -76,16 +76,16 @@ class TestFig2:
         """Algorithm 3 computes short-storage nodes first; on the ladder
         this reduces both the write stdev and the hottest cell."""
         mig = fig2_ladder(12)
-        dac16 = compile_with_management(mig, PRESETS["dac16"])
-        ea = compile_with_management(mig, PRESETS["ea-full"])
+        dac16 = compile_pipeline(mig, PRESETS["dac16"])
+        ea = compile_pipeline(mig, PRESETS["ea-full"])
         verify_program(dac16.program, mig)
         verify_program(ea.program, mig)
         assert ea.stats.stdev < dac16.stats.stdev
         assert ea.stats.max_writes < dac16.stats.max_writes
 
     def test_ladder_scales(self):
-        small = compile_with_management(fig2_ladder(4), PRESETS["dac16"])
-        big = compile_with_management(fig2_ladder(16), PRESETS["dac16"])
+        small = compile_pipeline(fig2_ladder(4), PRESETS["dac16"])
+        big = compile_pipeline(fig2_ladder(16), PRESETS["dac16"])
         assert big.stats.max_writes >= small.stats.max_writes
 
     def test_ladder_validates_input(self):

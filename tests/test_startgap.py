@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.manager import PRESETS, compile_with_management
+from repro.core.manager import PRESETS, compile_pipeline
 from repro.plim.controller import PlimController
 from repro.plim.memory import RramArray
 from repro.plim.startgap import StartGapArray, run_with_start_gap
@@ -58,7 +58,7 @@ class TestDataConsistency:
     def test_controller_runs_identically_on_startgap(self):
         """Program outputs are mapping-invariant."""
         mig = build_adder(width=4)
-        program = compile_with_management(mig, PRESETS["min-write"]).program
+        program = compile_pipeline(mig, PRESETS["min-write"]).program
         words = [(i * 29) & 1 for i in range(mig.num_pis)]
         plain = PlimController(RramArray(program.num_cells)).run(
             program, words
@@ -90,7 +90,7 @@ class TestWearLevelling:
 
     def test_run_with_start_gap_end_to_end(self):
         mig = build_adder(width=3)
-        program = compile_with_management(mig, PRESETS["naive"]).program
+        program = compile_pipeline(mig, PRESETS["naive"]).program
         words = [0] * mig.num_pis
         static_counts = program.write_counts()
         executions = 30

@@ -15,9 +15,9 @@ from repro.analysis.tables import (
     average_row,
     evaluate_benchmark,
     evaluate_mig,
-    evaluate_suite,
     headline_metrics,
 )
+from repro.flow import Session
 from repro.synth.arithmetic import build_adder
 
 SUBSET = ["adder", "dec", "ctrl"]
@@ -25,7 +25,8 @@ SUBSET = ["adder", "dec", "ctrl"]
 
 @pytest.fixture(scope="module")
 def evaluations():
-    return evaluate_suite(preset="tiny", names=SUBSET, caps=[10, 100])
+    session = Session(preset="tiny")
+    return session.evaluate_suite(SUBSET, caps=[10, 100])
 
 
 class TestEvaluate:
