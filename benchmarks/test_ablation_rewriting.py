@@ -6,8 +6,6 @@ without the inverter-propagation sandwich — quantifying the paper's two
 design decisions (drop Psi.C; sandwich Omega.A with inverter passes).
 """
 
-from repro.core.manager import EnduranceConfig, compile_pipeline
-from repro.core.policies import AllocationPolicy
 from repro.core.rewriting import ALGORITHM2_STEPS
 from repro.mig.rewrite import apply_script
 from repro.plim.compiler import PlimCompiler

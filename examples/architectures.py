@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The architecture dimension: one benchmark across PLiM machine models.
+
+The paper's endurance results are one point in a space of RRAM machine
+models.  ``repro.arch`` makes the machine a pluggable value the compiler
+targets: the DAC'16 crossbar without wear counters (``dac16``), the
+paper's wear-tracked crossbar (``endurance``, the default), and a
+word-addressed machine whose capacity is provisioned a whole 8-cell
+line at a time (``blocked``).  This script sweeps a benchmark across
+all three, shows where capability gaps fall (the endurance-oblivious
+machine cannot run the minimum write count strategy at all), and
+registers a custom wide-word machine to show the registry is open.
+
+Run:  python examples/architectures.py
+"""
+
+import os
+
+from repro import Session
+from repro.arch import Architecture, Geometry, register_architecture
+from repro.analysis.report import render_architecture_sweep
+from repro.analysis.scenarios import architecture_sweep
+
+PRESET = os.environ.get("REPRO_EXAMPLE_PRESET", "tiny")
+
+
+def main() -> None:
+    session = Session.from_env(preset=PRESET)
+
+    print("Built-in machine models over one benchmark ('dec'):")
+    print("(the dac16 machine has no wear counters, so every")
+    print(" min-write-based configuration is a capability gap)\n")
+    points = architecture_sweep(
+        "dec",
+        configs=("naive", "min-write", "ea-full"),
+        session=session,
+        verify=True,
+    )
+    print(render_architecture_sweep(points, title=f"dec @ {PRESET} preset"))
+    print()
+
+    # The registry is open: a custom machine is one dataclass away.
+    register_architecture(
+        Architecture(
+            name="wide-word",
+            geometry=Geometry(block_size=32),
+            description="32-cell word lines (coarser provisioning)",
+        ),
+        overwrite=True,  # idempotent when the example is re-run in-process
+    )
+    print("A custom 32-cell-word machine, registered on the fly:")
+    print("(coarser words waste more provisioned devices -> higher #R)\n")
+    points = architecture_sweep(
+        "dec",
+        archs=("blocked", "wide-word"),
+        configs=("ea-full",),
+        session=session,
+        verify=True,
+    )
+    print(
+        render_architecture_sweep(
+            points, title="word-size comparison, ea-full"
+        )
+    )
+    print()
+    print("observations:")
+    print(" * the compiled instruction stream depends on the machine's")
+    print("   cost table and allocator, not just the configuration;")
+    print(" * word-addressed machines pay #R in whole lines — the tables")
+    print("   report what the machine provisions, not what it touches;")
+    print(" * every artefact above landed in one shared cache, keyed by")
+    print("   architecture, so re-running this script is pure cache hits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,11 @@ The package provides:
   EPFL suite used by the paper;
 * :mod:`repro.imp` — material-implication (IMPLY) baseline from the
   paper's Section II;
+* :mod:`repro.arch` — the pluggable PLiM machine-model layer: named
+  :class:`~repro.arch.Architecture` variants (``dac16``, ``endurance``,
+  ``blocked``) describing the cost table, array geometry, and endurance
+  semantics the compiler targets, selected per run via ``--arch`` /
+  ``$REPRO_ARCH``;
 * :mod:`repro.analysis` — table/figure harnesses regenerating the paper's
   experimental evaluation;
 * :mod:`repro.flow` — the Session + pass-pipeline API every harness entry
@@ -29,6 +34,12 @@ The package provides:
 """
 
 from .mig import Mig, equivalent, simulate, truth_tables
+from .arch import (
+    Architecture,
+    available_architectures,
+    get_architecture,
+    register_architecture,
+)
 from .core.manager import (
     CompilationResult,
     EnduranceConfig,
@@ -47,6 +58,7 @@ from .flow import Flow, FlowResult, Session
 __version__ = "1.1.0"
 
 __all__ = [
+    "Architecture",
     "BENCHMARKS",
     "CompilationResult",
     "EnduranceConfig",
@@ -59,10 +71,13 @@ __all__ = [
     "RramArray",
     "Session",
     "WriteTrafficStats",
+    "available_architectures",
     "build_benchmark",
     "compile_with_management",
     "equivalent",
     "full_management",
+    "get_architecture",
+    "register_architecture",
     "simulate",
     "truth_tables",
     "verify_program",

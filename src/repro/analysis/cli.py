@@ -6,11 +6,14 @@ Subcommands regenerate each experiment of the paper:
 * ``headline`` — the abstract's aggregate numbers;
 * ``fig1`` / ``fig2`` — the motivating write-imbalance scenarios;
 * ``bench NAME`` — one benchmark under all configurations;
+* ``arch list`` — the registered PLiM machine models;
+* ``archsweep NAME`` — one benchmark across machine models;
 * ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
 * ``list`` — available benchmarks and presets.
 
 Every subcommand routes through one :class:`repro.flow.Session` built
 from its arguments: ``--backend`` selects the simulation kernel,
+``--arch`` (or ``$REPRO_ARCH``; flag wins) targets a machine model,
 ``--cache-dir`` (or ``$REPRO_CACHE_DIR``; flag wins) persists artefacts
 across invocations, ``--parallel`` fans benchmarks out over worker
 processes, and ``--preset`` picks the benchmark widths.
@@ -22,6 +25,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..arch import (
+    DEFAULT_ARCHITECTURE,
+    available_architectures,
+    get_architecture,
+)
 from ..core.manager import PRESETS, full_management
 from ..flow import Flow, Session, resolve_cache_dir
 from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER
@@ -151,6 +159,54 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_arch_list(args) -> int:
+    print("PLiM machine models (select with --arch or $REPRO_ARCH):")
+    for name in available_architectures():
+        arch = get_architecture(name)
+        marker = "*" if name == DEFAULT_ARCHITECTURE else " "
+        print(f" {marker} {name:12s} {arch.description}")
+        geometry = arch.geometry
+        shape = (
+            "unbounded crossbar"
+            if geometry.block_size is None
+            else f"word lines of {geometry.block_size}"
+        )
+        if geometry.capacity is not None:
+            shape += f", capacity {geometry.capacity}"
+        wear = (
+            "wear counters + retirement"
+            if arch.endurance.supports_retirement
+            else "wear counters"
+            if arch.endurance.wear_tracking
+            else "no wear counters"
+        )
+        print(f"   {'':12s} geometry: {shape}; endurance: {wear}")
+    print("\n(* = default; register custom machines via "
+          "repro.arch.register_architecture)")
+    return 0
+
+
+def cmd_archsweep(args) -> int:
+    session = Session.from_args(args)
+    points = scenarios.architecture_sweep(
+        args.name,
+        archs=args.archs,
+        configs=args.configs,
+        session=session,
+        verify=not args.no_verify,
+    )
+    print(
+        report.render_architecture_sweep(
+            points,
+            title=(
+                f"ARCHITECTURE SWEEP - {args.name} "
+                f"({session.preset} preset)"
+            ),
+        )
+    )
+    return 0
+
+
 def _cache_for_maintenance(args) -> DiskCache:
     """Flag > ``$REPRO_CACHE_DIR`` > default root — maintenance commands
     always need *a* root to inspect, hence the default."""
@@ -192,6 +248,7 @@ def cmd_list(args) -> int:
             f"{spec.category}"
         )
     print("\nconfigurations:", ", ".join(PRESETS))
+    print("architectures :", ", ".join(available_architectures()))
     return 0
 
 
@@ -229,6 +286,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wmax", type=int, default=None,
                    help="additionally run full management at this cap")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("arch", help="inspect the PLiM machine-model registry")
+    arch_sub = p.add_subparsers(dest="arch_command", required=True)
+    pa = arch_sub.add_parser("list", help="registered architectures")
+    pa.set_defaults(func=cmd_arch_list)
+
+    p = sub.add_parser(
+        "archsweep", help="one benchmark across PLiM machine models"
+    )
+    p.add_argument("name", choices=BENCHMARK_ORDER)
+    # The architecture dimension is swept, so no --arch session knob here.
+    Session.add_arguments(p, parallel=False, arch=False)
+    p.add_argument(
+        "--archs",
+        nargs="*",
+        default=None,
+        choices=available_architectures(),
+        metavar="ARCH",
+        help="architectures to sweep (default: all registered)",
+    )
+    p.add_argument(
+        "--configs",
+        nargs="*",
+        default=["naive", "ea-full"],
+        metavar="CONFIG",
+        help="endurance configurations per architecture",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip program-vs-MIG co-simulation (faster)",
+    )
+    p.set_defaults(func=cmd_archsweep)
 
     p = sub.add_parser("cache", help="inspect/clear the on-disk experiment cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -17,7 +17,12 @@ Entries are written atomically (temp file + ``os.replace``) and loaded
 through an integrity check (magic, payload digest, key match); torn,
 truncated, or otherwise corrupt files are treated as misses, never as
 data.  Multiple processes — e.g. ``run_matrix(parallel=N)`` workers —
-may share one cache root concurrently.
+may share one cache root concurrently: each entry write is guarded by
+an exclusive per-key lockfile, so exactly one writer serialises and
+persists a given artefact while racing writers (whose payload would be
+identical — stage computation is deterministic) skip the redundant
+write-through instead of piling up temp files and renames on the same
+path.  Stale locks left by crashed writers are broken after a timeout.
 
 Layout::
 
@@ -34,6 +39,7 @@ import os
 import pathlib
 import pickle
 import tempfile
+import time
 from typing import Iterable, Optional, Tuple
 
 #: Default cache directory (relative to the working directory).
@@ -44,6 +50,19 @@ CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
 #: File magic; bump when the entry format changes.
 _MAGIC = b"RPCH1\n"
+
+#: Age (seconds) after which another writer's lockfile is presumed dead
+#: (crashed worker) and broken.  Serialising one entry takes well under
+#: a second; a minute leaves room for pathological filesystem stalls.
+STALE_LOCK_SECONDS = 60.0
+
+#: How long a writer waits for a sibling to release an entry's lock
+#: before giving up.  Entry writes take milliseconds, so a losing
+#: writer normally gets the lock on an early poll; the bound only
+#: matters when the holder is wedged (and the stale break then applies).
+LOCK_WAIT_SECONDS = 1.0
+
+_LOCK_POLL_SECONDS = 0.01
 
 _FINGERPRINT: Optional[str] = None
 
@@ -86,6 +105,9 @@ class DiskCache:
         self.fingerprint = fingerprint or code_fingerprint()
         self.hits = 0
         self.misses = 0
+        #: Writes skipped because another process held the entry's lock
+        #: (it was persisting the identical payload).
+        self.lock_skips = 0
 
     # -- keying ----------------------------------------------------------
 
@@ -134,18 +156,80 @@ class DiskCache:
             return None
         return payload
 
-    def store(self, key: Tuple, payload) -> None:
-        """Persist *payload* under *key* (atomic, best-effort).
+    def _acquire_lock(self, path: pathlib.Path) -> Optional[pathlib.Path]:
+        """Take the per-entry writer lock, or ``None`` on timeout.
 
-        A cache must never take the experiment down: filesystem errors
-        (read-only root, disk full) are swallowed and the entry is
-        simply not persisted.
+        The lock is an ``O_EXCL``-created sidecar file: exactly one
+        process holds it at a time, making every entry write
+        single-writer even when a whole worker pool warms the same
+        root.  A held lock is polled for up to
+        :data:`LOCK_WAIT_SECONDS` (entry writes take milliseconds, so
+        losers normally proceed on an early poll — this is what lets a
+        verification-certificate upgrade land even when a sibling was
+        persisting the unverified entry first); a lock older than
+        :data:`STALE_LOCK_SECONDS` belongs to a crashed writer and is
+        broken.
+        """
+        lock = path.with_suffix(".lock")
+        deadline = time.monotonic() + LOCK_WAIT_SECONDS
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                return lock
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    return None
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder finished between open and stat
+                if age >= STALE_LOCK_SECONDS:
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    return None
+                time.sleep(_LOCK_POLL_SECONDS)
+
+    def store(self, key: Tuple, payload, *, replace=None) -> None:
+        """Persist *payload* under *key* (atomic, best-effort,
+        single-writer).
+
+        The entry's lockfile is acquired first (waiting briefly for a
+        sibling writer to finish); an unobtainable lock skips the write
+        (counted in :attr:`lock_skips`).  With a *replace* predicate
+        the decision to overwrite an existing entry happens *inside*
+        the lock: the current payload (if any decodes) is passed to
+        ``replace`` and the write proceeds only on ``True`` — this is
+        how verification certificates upgrade atomically and never
+        downgrade, regardless of writer interleaving.  A cache must
+        never take the experiment down: filesystem and serialisation
+        errors are swallowed and the entry is simply not persisted.
         """
         path = self._path(key)
-        body = pickle.dumps((repr(key), payload), protocol=pickle.HIGHEST_PROTOCOL)
-        blob = _MAGIC + hashlib.sha256(body).hexdigest().encode() + body
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            lock = self._acquire_lock(path)
+            if lock is None:
+                self.lock_skips += 1
+                return
+        except OSError:
+            return
+        try:
+            if replace is not None:
+                try:
+                    current = self._decode(path.read_bytes(), key)
+                except OSError:
+                    current = None
+                if current is not None and not replace(current):
+                    return
+            body = pickle.dumps(
+                (repr(key), payload), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            blob = _MAGIC + hashlib.sha256(body).hexdigest().encode() + body
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".pkl"
             )
@@ -159,8 +243,15 @@ class DiskCache:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except Exception:
+            # Unpicklable payloads and filesystem failures degrade to
+            # "not persisted", never to a crashed experiment.
             pass
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
 
     # -- maintenance -----------------------------------------------------
 
@@ -195,6 +286,7 @@ class DiskCache:
             "shards": shards,
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_lock_skips": self.lock_skips,
         }
 
     def clear(self, *, all_versions: bool = False) -> int:

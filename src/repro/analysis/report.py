@@ -181,6 +181,56 @@ def full_report(
     }
 
 
+def render_architecture_sweep(points, title: str = "") -> str:
+    """Fixed-width table of an architecture sweep.
+
+    *points* are :class:`~repro.analysis.scenarios.ArchSweepPoint`
+    instances; unsupported (architecture, configuration) pairs render as
+    dashes with the refusal reason in a footnote, so e.g. the ``dac16``
+    machine's missing wear counters show up as a capability gap rather
+    than an error.  Lifetime uses each machine's own endurance budget.
+    """
+    lines: List[str] = []
+    lines.append(
+        title
+        or "ARCHITECTURE SWEEP - ONE SOURCE ACROSS PLIM MACHINE MODELS"
+    )
+    header = ["arch", "config", "#I", "#R", "min/max", "STDEV", "lifetime"]
+    widths = [10, 12, 8, 8, 9, 8, 14]
+    lines.append(
+        " | ".join(f"{c:>{w}s}" for c, w in zip(header, widths))
+    )
+    lines.append("-" * len(lines[-1]))
+    notes: List[str] = []
+    for p in points:
+        if not p.supported:
+            row = [p.arch, p.config, "-", "-", "-", "-", "-"]
+            notes.append(f"  [{len(notes) + 1}] {p.arch}/{p.config}: {p.reason}")
+            row[1] += f"[{len(notes)}]"
+        else:
+            result = p.result.compilation
+            stats = result.stats
+            counts = result.program.write_counts()
+            life = p.result.architecture.estimate_lifetime(counts)
+            row = [
+                p.arch,
+                p.config,
+                str(result.num_instructions),
+                str(result.num_rrams),
+                f"{stats.min_writes}/{stats.max_writes}",
+                f"{stats.stdev:.2f}",
+                f"{life.executions:,d}",
+            ]
+        lines.append(
+            " | ".join(f"{c:>{w}s}" for c, w in zip(row, widths))
+        )
+    if notes:
+        lines.append("")
+        lines.append("unsupported pairs:")
+        lines.extend(notes)
+    return "\n".join(lines)
+
+
 def render_headline(evaluations: Sequence[BenchmarkEvaluation]) -> str:
     """The abstract's headline numbers, paper vs measured."""
     metrics = headline_metrics(evaluations)

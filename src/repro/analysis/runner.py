@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..arch import Architecture, resolve_architecture
 from ..core.manager import (
     CompilationResult,
     EnduranceConfig,
@@ -45,6 +46,11 @@ from ..mig.graph import Mig
 from ..plim.verify import verify_program
 from ..synth.registry import BENCHMARK_ORDER, build_benchmark
 from .diskcache import DiskCache
+
+#: An architecture request: a registry name, an explicit
+#: :class:`~repro.arch.Architecture`, or ``None`` for the ambient
+#: (``$REPRO_ARCH``, else default) selection.
+ArchLike = Union[str, Architecture, None]
 
 #: A configuration request: a preset name or an explicit config object.
 ConfigLike = Union[str, EnduranceConfig]
@@ -77,6 +83,17 @@ def config_key(config: EnduranceConfig) -> Tuple:
         config.effort,
         config.allow_pi_overwrite,
     )
+
+
+def experiment_key(config: EnduranceConfig, arch: Architecture) -> Tuple:
+    """Joint semantic identity of a (configuration, target machine) pair.
+
+    Compiled artefacts are keyed by both: the same configuration on a
+    different machine model (cost table, geometry, endurance semantics)
+    compiles to a different program, so cache lines must never be shared
+    across architectures.
+    """
+    return (config_key(config), arch.key())
 
 
 def mig_key(mig: Mig) -> Tuple:
@@ -266,8 +283,9 @@ class ExperimentCache:
         key: Optional[Tuple] = None,
         verify: bool = False,
         verify_patterns: int = 64,
+        arch: ArchLike = None,
     ) -> CompilationResult:
-        """Compile *mig* under *config*, memoized on semantic keys.
+        """Compile *mig* under *config* for *arch*, memoized on semantic keys.
 
         With ``verify=True`` the compiled program is co-simulated against
         the MIG once per cache entry; re-requests at the same or lower
@@ -279,9 +297,13 @@ class ExperimentCache:
         disk cache: a miss here that hits on disk deserialises the
         stored result (and its certificate) instead of compiling, and
         fresh compilations or certificate upgrades are written back.
+        Entries — in memory and on disk — are keyed by the target
+        architecture (:func:`experiment_key`), so one cache serves every
+        machine model without cross-talk.
         """
         graph_id = key or mig_key(mig)
-        semantic = config_key(config)
+        arch = resolve_architecture(arch)
+        semantic = experiment_key(config, arch)
         cache_key = (graph_id, semantic)
         with self._lock:
             entry = self._results.get(cache_key)
@@ -307,7 +329,9 @@ class ExperimentCache:
             prewritten = self.rewritten(
                 mig, config.rewriting, config.effort, key=graph_id
             )
-            result = compile_pipeline(mig, config, rewritten=prewritten)
+            result = compile_pipeline(
+                mig, config, rewritten=prewritten, arch=arch
+            )
             verified = 0
             computed = True
         upgraded = False
@@ -322,14 +346,17 @@ class ExperimentCache:
                 verified = max(verified, stored[1])
             self._results[cache_key] = (result, verified)
         if bench is not None and (computed or upgraded or 0 <= persisted < verified):
-            # Re-read before writing: another process may have persisted
-            # a wider verification certificate since our probe, and
-            # certificates must never be downgraded (the stored result
-            # is identical either way — compilation is deterministic).
-            disk_key = ("result", *bench, semantic)
-            current = self.disk.load(disk_key)
-            if current is None or current[1] < verified:
-                self.disk.store(disk_key, (result, verified))
+            # The replace predicate runs inside the entry's writer lock:
+            # another process may have persisted a wider verification
+            # certificate since our probe, and certificates must never
+            # be downgraded (the stored result is identical either way —
+            # compilation is deterministic).
+            certified = verified
+            self.disk.store(
+                ("result", *bench, semantic),
+                (result, verified),
+                replace=lambda current: current[1] < certified,
+            )
         return result
 
     def verify(
@@ -339,6 +366,7 @@ class ExperimentCache:
         *,
         key: Optional[Tuple] = None,
         patterns: int = 64,
+        arch: ArchLike = None,
     ) -> CompilationResult:
         """Ensure the stored result carries a certificate >= *patterns*.
 
@@ -351,7 +379,8 @@ class ExperimentCache:
         path when the pair has not been compiled in this session.
         """
         graph_id = key or mig_key(mig)
-        semantic = config_key(config)
+        arch = resolve_architecture(arch)
+        semantic = experiment_key(config, arch)
         cache_key = (graph_id, semantic)
         with self._lock:
             entry = self._results.get(cache_key)
@@ -360,7 +389,7 @@ class ExperimentCache:
             # read-through, counters, and verification in one go.
             return self.compile(
                 mig, config, key=graph_id, verify=True,
-                verify_patterns=patterns,
+                verify_patterns=patterns, arch=arch,
             )
         result, verified = entry
         if patterns <= verified:
@@ -378,10 +407,12 @@ class ExperimentCache:
                 else None
             )
         if bench is not None:
-            disk_key = ("result", *bench, semantic)
-            current = self.disk.load(disk_key)
-            if current is None or current[1] < patterns:
-                self.disk.store(disk_key, (result, patterns))
+            certified = patterns
+            self.disk.store(
+                ("result", *bench, semantic),
+                (result, patterns),
+                replace=lambda current: current[1] < certified,
+            )
         return result
 
     def has(
@@ -390,6 +421,7 @@ class ExperimentCache:
         config: EnduranceConfig,
         *,
         verified_patterns: int = 0,
+        arch: ArchLike = None,
     ) -> bool:
         """Whether a stored result satisfies this pair's requirements.
 
@@ -404,7 +436,7 @@ class ExperimentCache:
         graph_id = (
             mig_or_key if isinstance(mig_or_key, tuple) else mig_key(mig_or_key)
         )
-        semantic = config_key(config)
+        semantic = experiment_key(config, resolve_architecture(arch))
         with self._lock:
             entry = self._results.get((graph_id, semantic))
             if entry is not None:
@@ -431,6 +463,7 @@ class ExperimentCache:
         configs: Sequence[EnduranceConfig],
         evaluation: "BenchmarkEvaluation",
         verified_patterns: int = 0,
+        arch: ArchLike = None,
     ) -> None:
         """Merge results computed elsewhere (a worker process) into this
         cache.
@@ -438,14 +471,16 @@ class ExperimentCache:
         Existing result objects are kept (first stored wins), but their
         verification certificates are upgraded: compilation is
         deterministic, so a worker verifying its recompilation certifies
-        the identical stored program too.
+        the identical stored program too.  *arch* must name the machine
+        the worker targeted — adopted entries land under its keys.
         """
         graph_id = mig_key(mig)
+        arch = resolve_architecture(arch)
         with self._lock:
             self._migs.setdefault((name, preset), mig)
             self._bench_keys[graph_id] = (name, preset)
             for cfg in configs:
-                key = (graph_id, config_key(cfg))
+                key = (graph_id, experiment_key(cfg, arch))
                 stored = self._results.get(key)
                 if stored is None:
                     self._results[key] = (
@@ -492,9 +527,11 @@ def evaluate_mig_cached(
     key: Optional[Tuple] = None,
     verify: bool = False,
     verify_patterns: int = 64,
+    arch: ArchLike = None,
 ) -> BenchmarkEvaluation:
     """Compile *mig* under every configuration through a cache."""
     cache = cache if cache is not None else ExperimentCache()
+    arch = resolve_architecture(arch)
     evaluation = BenchmarkEvaluation(
         name=mig.name,
         num_pis=mig.num_pis,
@@ -514,7 +551,8 @@ def evaluate_mig_cached(
                 "rename one of them"
             )
         evaluation.results[label] = cache.compile(
-            mig, cfg, key=key, verify=verify, verify_patterns=verify_patterns
+            mig, cfg, key=key, verify=verify, verify_patterns=verify_patterns,
+            arch=arch,
         )
     return evaluation
 
@@ -589,27 +627,42 @@ def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation]:
             cache=session.cache,
             verify=verify,
             verify_patterns=verify_patterns,
+            arch=session.architecture,
         )
     return mig, evaluation
 
 
-def _worker_spec(session, cache: Optional[ExperimentCache], preset: str):
+def _worker_spec(
+    session,
+    cache: Optional[ExperimentCache],
+    preset: str,
+    arch: Optional[str] = None,
+):
     """The :class:`repro.flow.SessionSpec` worker processes rebuild from.
 
-    Prefers the dispatching session's own spec (backend + cache root);
-    legacy calls without a session ship just the cache's disk root, so
-    workers still share persisted artefacts.
+    Prefers the dispatching session's own spec (backend + cache root),
+    pinned to the *resolved* architecture the matrix is targeting — an
+    explicit ``run_matrix(arch=...)`` override must reach the workers
+    even when the session prefers a different machine.  Legacy calls
+    without a session ship just the cache's disk root and the
+    architecture name, so workers still share persisted artefacts and
+    target the same machine.
     """
+    import dataclasses
+
     from ..flow.session import SessionSpec  # deferred: flow imports runner
 
     if session is not None:
-        return session.spec()
+        spec = session.spec()
+        if arch is not None and spec.arch != arch:
+            spec = dataclasses.replace(spec, arch=arch)
+        return spec
     disk_root = (
         str(cache.disk.root)
         if cache is not None and cache.disk is not None
         else None
     )
-    return SessionSpec(cache_dir=disk_root, preset=preset)
+    return SessionSpec(cache_dir=disk_root, preset=preset, arch=arch)
 
 
 def run_matrix(
@@ -624,6 +677,7 @@ def run_matrix(
     parallel: Optional[int] = None,
     cache: Optional[ExperimentCache] = None,
     session=None,
+    arch: ArchLike = None,
 ) -> List[BenchmarkEvaluation]:
     """Evaluate a benchmarks x configurations matrix.
 
@@ -636,6 +690,12 @@ def run_matrix(
         objects (default: the five Table I columns).
     caps:
         Additional ``full_management(cap)`` columns, labelled ``wmaxN``.
+    arch:
+        Target machine model for every compilation (a registry name or
+        :class:`~repro.arch.Architecture`).  An explicit value beats
+        the dispatching *session*'s architecture (mirroring
+        ``Flow.arch()``); unset, the session's — else the ambient —
+        selection applies.  Results and cache entries are keyed by it.
     parallel:
         ``None``/``0``/``1`` — run serially through *cache* (created on
         demand).  ``N > 1`` — fan benchmarks out over ``N`` worker
@@ -659,9 +719,18 @@ def run_matrix(
     jobs = resolve_configs(configs, caps, effort)
     if session is not None and cache is None:
         cache = session.cache
+    # An explicit arch argument beats the session's, mirroring
+    # Flow.arch(); with neither, the ambient selection applies.
+    machine = (
+        resolve_architecture(arch)
+        if arch is not None
+        else session.architecture
+        if session is not None
+        else resolve_architecture(None)
+    )
 
     if parallel is not None and parallel > 1 and len(names) > 1:
-        spec = _worker_spec(session, cache, preset)
+        spec = _worker_spec(session, cache, preset, machine.name)
         if cache is None:
             work = [
                 (name, preset, jobs, verify, verify_patterns, spec)
@@ -686,7 +755,8 @@ def run_matrix(
                     cfg
                     for cfg in jobs
                     if not cache.has(
-                        mig_key(mig), cfg, verified_patterns=needed
+                        mig_key(mig), cfg, verified_patterns=needed,
+                        arch=machine,
                     )
                 ]
             )
@@ -708,6 +778,7 @@ def run_matrix(
                         job[2],
                         evaluation,
                         verified_patterns=verify_patterns if verify else 0,
+                        arch=machine,
                     )
         # Fall through: assemble every evaluation from the now-warm cache
         # (pure hits), which also keeps matrix order.
@@ -723,6 +794,7 @@ def run_matrix(
                 cache=cache,
                 verify=verify,
                 verify_patterns=verify_patterns,
+                arch=machine,
             )
         )
     return evaluations

@@ -17,7 +17,8 @@ techniques mitigate them.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..mig.graph import Mig
 from ..mig.signal import complement
@@ -134,6 +135,90 @@ def evaluate_scenarios(
             flow.verify(verify_patterns)
         result = flow.run()
         yield result.compilation.config.name, result
+
+
+@dataclass(frozen=True)
+class ArchSweepPoint:
+    """One (architecture, configuration) measurement of a sweep.
+
+    ``result`` is the :class:`repro.flow.FlowResult` when the machine
+    supports the configuration, ``None`` otherwise (``reason`` then says
+    why — e.g. the ``dac16`` machine has no wear counters for
+    ``min_write``).
+    """
+
+    arch: str
+    config: str
+    result: Optional[object]
+    reason: str = ""
+
+    @property
+    def supported(self) -> bool:
+        return self.result is not None
+
+
+def architecture_sweep(
+    source: Union[Mig, str],
+    archs: Optional[Sequence] = None,
+    configs: Sequence = ("naive", "ea-full"),
+    *,
+    session=None,
+    verify: bool = False,
+    verify_patterns: int = 64,
+) -> List[ArchSweepPoint]:
+    """Compile one source under every (architecture, configuration) pair.
+
+    The architecture dimension of the design space: the same benchmark
+    (a registry name or an explicit MIG) is compiled for each machine
+    model — by default every registered one — under each endurance
+    configuration, all through one session so every artefact lands in
+    the shared (architecture-keyed) cache.  Pairs the machine cannot
+    implement (e.g. ``min_write`` on the wear-counter-free ``dac16``)
+    come back as unsupported points rather than raising, so a sweep
+    table can render them as gaps.
+
+    The CLI ``archsweep`` subcommand, the architecture example, and the
+    ``ARCH_sweep`` benchmark artefact all render these points via
+    :func:`repro.analysis.report.render_architecture_sweep`.
+    """
+    from ..arch import ArchitectureError, available_architectures, resolve_architecture
+    from ..flow import Flow, Session  # deferred: flow imports analysis
+
+    if session is None:
+        session = Session()
+    if archs is None:
+        archs = available_architectures()
+    points: List[ArchSweepPoint] = []
+    for arch in archs:
+        machine = resolve_architecture(arch)
+        for config in configs:
+            flow = Flow.for_config(config, session=session).arch(machine)
+            if isinstance(source, str):
+                flow.source(source)
+            else:
+                flow.source_mig(source)
+            if verify:
+                flow.verify(verify_patterns)
+            try:
+                result = flow.run()
+            except ArchitectureError as exc:
+                points.append(
+                    ArchSweepPoint(
+                        arch=machine.name,
+                        config=config if isinstance(config, str) else config.name,
+                        result=None,
+                        reason=str(exc),
+                    )
+                )
+                continue
+            points.append(
+                ArchSweepPoint(
+                    arch=machine.name,
+                    config=result.compilation.config.name,
+                    result=result,
+                )
+            )
+    return points
 
 
 def storage_pressure(program) -> Tuple[int, float]:

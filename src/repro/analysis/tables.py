@@ -74,6 +74,7 @@ def evaluate_mig(
                 cache=cache if cache is not None else session.cache,
                 verify=verify,
                 verify_patterns=verify_patterns,
+                arch=session.architecture,
             )
     return evaluate_mig_cached(
         mig,

@@ -128,7 +128,11 @@ def full_management(w_max: int) -> EnduranceConfig:
 
 
 def compile_pipeline(
-    mig: Mig, config: EnduranceConfig, *, rewritten: Optional[Mig] = None
+    mig: Mig,
+    config: EnduranceConfig,
+    *,
+    rewritten: Optional[Mig] = None,
+    arch=None,
 ) -> CompilationResult:
     """Rewrite, compile, and summarise *mig* under *config*.
 
@@ -137,11 +141,21 @@ def compile_pipeline(
     the hook :class:`repro.analysis.runner.ExperimentCache` uses to share
     one rewriting run between every configuration with the same script.
 
+    *arch* selects the target machine model (a
+    :class:`repro.arch.Architecture`, a registry name, or ``None`` for
+    the ambient ``$REPRO_ARCH``/default selection); the machine is
+    validated against the configuration before any work happens, so a
+    policy the architecture cannot implement fails fast.
+
     This is the raw, uncached pipeline body.  Application code should go
     through :class:`repro.flow.Flow` (or an
     :class:`~repro.analysis.runner.ExperimentCache`), which add stage
     caching, observers, and verification on top.
     """
+    from ..arch import resolve_architecture
+
+    machine = resolve_architecture(arch)
+    machine.validate_config(config)
     gates_before = mig.num_live_gates()
     if rewritten is None:
         rewritten = rewrite(mig, config.rewriting, effort=config.effort)
@@ -153,6 +167,7 @@ def compile_pipeline(
         allocation=config.allocation.strategy,
         w_max=config.allocation.w_max,
         allow_pi_overwrite=config.allow_pi_overwrite,
+        arch=machine,
     )
     program = compiler.compile(rewritten)
     stats = WriteTrafficStats.from_counts(program.write_counts())

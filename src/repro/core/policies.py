@@ -1,9 +1,15 @@
 """Allocation-policy descriptions for endurance management.
 
-The mechanics live in :class:`repro.plim.allocator.RramAllocator`; this
-module names and documents the policies the paper proposes and provides
-small value objects the configuration layer (:mod:`repro.core.manager`)
-and the ablation benchmarks compose.
+The mechanics live in :class:`repro.plim.allocator.RramAllocator` (and
+its word-addressed sibling :class:`repro.plim.blocked.BlockedAllocator`);
+this module names and documents the policies the paper proposes and
+provides small value objects the configuration layer
+(:mod:`repro.core.manager`) and the ablation benchmarks compose.
+
+Policies are *requests*: whether the target machine can implement one is
+decided by its :class:`repro.arch.Architecture` — e.g. the ``dac16``
+machine has no wear counters, so it refuses ``min_write`` and any
+``w_max`` cap with an :class:`~repro.arch.ArchitectureError`.
 """
 
 from __future__ import annotations

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..arch import Architecture, DEFAULT_ARCHITECTURE, resolve_architecture
 from ..core.manager import CompilationResult, EnduranceConfig, PRESETS
 from ..core.rewriting import DEFAULT_EFFORT
 from ..core.stats import WriteTrafficStats
@@ -87,6 +88,8 @@ class FlowResult:
     compilation: CompilationResult
     verified_patterns: int = 0
     stages: Dict[str, StageArtifact] = field(default_factory=dict)
+    #: The machine model the compile stage targeted.
+    architecture: Optional[Architecture] = None
 
     @property
     def program(self) -> Program:
@@ -131,6 +134,7 @@ class Flow:
         self._config: Optional[EnduranceConfig] = None
         self._rewrite: Optional[Tuple[str, int]] = None
         self._verify_patterns: Optional[int] = None
+        self._arch: "str | Architecture | None" = None
         self._start_hooks: List[Callable[[StageEvent], None]] = []
         self._end_hooks: List[Callable[[StageEvent], None]] = []
 
@@ -173,6 +177,18 @@ class Flow:
         self._verify_patterns = patterns
         return self
 
+    def arch(self, arch: "str | Architecture") -> "Flow":
+        """Target a specific machine model (overrides the session's).
+
+        *arch* is a registry name or an explicit
+        :class:`repro.arch.Architecture`; unset, the session's
+        architecture (``--arch`` / ``$REPRO_ARCH`` / default) applies.
+        Per-flow overrides are how architecture sweeps share one
+        session cache — artefacts are keyed by machine.
+        """
+        self._arch = arch
+        return self
+
     def on_stage_start(self, hook: Callable[[StageEvent], None]) -> "Flow":
         self._start_hooks.append(hook)
         return self
@@ -209,11 +225,18 @@ class Flow:
             )
         config = self._effective_config()
         cache = self.session.cache
+        machine = (
+            resolve_architecture(self._arch)
+            if self._arch is not None
+            else self.session.architecture
+        )
         label = (
             f"{self._benchmark[0]}@{self._benchmark[1]}"
             if self._benchmark is not None
             else self._mig.name
         ) + f"/{config.name}"
+        if machine.name != DEFAULT_ARCHITECTURE:
+            label += f"#{machine.name}"
         stages: Dict[str, StageArtifact] = {}
 
         def stage(name: str, benchmark: Optional[str], work, cached_probe):
@@ -260,12 +283,15 @@ class Flow:
                 ),
             )
 
-            # compile: selection + allocation + RM3 emission + stats
+            # compile: selection + allocation + RM3 emission + stats,
+            # targeting the resolved machine model
             compilation = stage(
                 "compile",
                 bench_name,
-                lambda: cache.compile(mig, config, key=graph_id),
-                lambda: cache.has(graph_id, config),
+                lambda: cache.compile(
+                    mig, config, key=graph_id, arch=machine
+                ),
+                lambda: cache.has(graph_id, config, arch=machine),
             )
 
             # verify: co-simulate program vs MIG (certificate-cached)
@@ -276,10 +302,12 @@ class Flow:
                     "verify",
                     bench_name,
                     lambda: cache.verify(
-                        mig, config, key=graph_id, patterns=patterns
+                        mig, config, key=graph_id, patterns=patterns,
+                        arch=machine,
                     ),
                     lambda: cache.has(
-                        graph_id, config, verified_patterns=patterns
+                        graph_id, config, verified_patterns=patterns,
+                        arch=machine,
                     ),
                 )
                 verified = patterns
@@ -290,4 +318,5 @@ class Flow:
             compilation=compilation,
             verified_patterns=verified,
             stages=stages,
+            architecture=machine,
         )

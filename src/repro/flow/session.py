@@ -1,10 +1,12 @@
 """The :class:`Session`: one object owning every cross-cutting concern.
 
-The harness resolves the same four knobs over and over — which
+The harness resolves the same knobs over and over — which
 simulation-kernel backend to use (``$REPRO_SIM_BACKEND``), whether and
 where to persist experiment artefacts (``$REPRO_CACHE_DIR`` /
-``--cache-dir``), how many worker processes to fan out over, and which
-benchmark width preset to build.  Before this module each entry point
+``--cache-dir``), which PLiM machine model to target (``$REPRO_ARCH`` /
+``--arch``, see :mod:`repro.arch`), how many worker processes to fan out
+over, and which benchmark width preset to build.  Before this module
+each entry point
 (CLI subcommands, table runners, benchmark conftest, examples) re-derived
 them independently; a :class:`Session` resolves them once and everything
 downstream — :class:`repro.flow.Flow` pipelines, matrix evaluations,
@@ -36,6 +38,13 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from ..arch import (
+    ARCH_ENV_VAR,
+    Architecture,
+    arch_from_env,
+    available_architectures,
+    resolve_architecture,
+)
 from ..core.rewriting import DEFAULT_EFFORT
 from ..mig.kernel import (
     BACKEND_ENV_VAR,
@@ -67,12 +76,16 @@ class SessionSpec:
     :func:`repro.analysis.runner.run_matrix` ships this spec instead and
     each worker rebuilds an equivalent :class:`Session` from it.
     ``parallel`` is deliberately absent from what workers adopt — a
-    worker never fans out again.
+    worker never fans out again.  ``arch`` is a registry name (custom
+    architectures must be registered in the worker too, e.g. at module
+    import); ``None`` defers to the worker's ambient
+    ``$REPRO_ARCH``/default resolution, which matches the parent's.
     """
 
     backend: Optional[str] = None
     cache_dir: Optional[str] = None
     preset: str = "default"
+    arch: Optional[str] = None
 
 
 class Session:
@@ -96,12 +109,21 @@ class Session:
         parallel: Optional[int] = None,
         preset: str = "default",
         cache: Optional[ExperimentCache] = None,
+        arch: "str | Architecture | None" = None,
     ) -> None:
         if backend is not None:
             resolve_backend(backend)  # fail fast on unknown/unavailable
         self.backend = backend
         self.parallel = parallel
         self.preset = preset
+        # Resolve an explicit architecture now (fail fast on unknown
+        # names); None defers to ambient $REPRO_ARCH/default at use time.
+        self._architecture = (
+            resolve_architecture(arch) if arch is not None else None
+        )
+        self.arch = (
+            self._architecture.name if self._architecture is not None else None
+        )
         self.cache_dir = str(cache_dir) if cache_dir else None
         if cache is not None:
             # Adopt an existing cache (legacy shims, shared harnesses);
@@ -126,13 +148,15 @@ class Session:
         preset: Optional[str] = None,
         parallel: Optional[int] = None,
     ) -> "Session":
-        """Session configured from ``$REPRO_SIM_BACKEND`` / ``$REPRO_CACHE_DIR``."""
+        """Session configured from ``$REPRO_SIM_BACKEND`` /
+        ``$REPRO_CACHE_DIR`` / ``$REPRO_ARCH``."""
         backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
         return cls(
             backend=backend,
             cache_dir=resolve_cache_dir(),
             parallel=parallel,
             preset=preset or "default",
+            arch=arch_from_env(),
         )
 
     @classmethod
@@ -148,6 +172,7 @@ class Session:
             cache_dir=resolve_cache_dir(getattr(args, "cache_dir", None)),
             parallel=getattr(args, "parallel", None),
             preset=getattr(args, "preset", None) or preset or "default",
+            arch=getattr(args, "arch", None),
         )
 
     @staticmethod
@@ -158,6 +183,7 @@ class Session:
         parallel: bool = True,
         cache: bool = True,
         backend: bool = True,
+        arch: bool = True,
     ):
         """Install the session options on an ``argparse`` parser.
 
@@ -180,6 +206,16 @@ class Session:
                 help=(
                     "simulation-kernel backend (default: $REPRO_SIM_BACKEND "
                     "if set, else auto-detection)"
+                ),
+            )
+        if arch:
+            parser.add_argument(
+                "--arch",
+                default=None,
+                choices=available_architectures(),
+                help=(
+                    "target PLiM machine model (default: $REPRO_ARCH if "
+                    "set, else the paper's 'endurance' machine)"
                 ),
             )
         if parallel:
@@ -210,6 +246,7 @@ class Session:
             backend=self.backend,
             cache_dir=self.cache_dir,
             preset=self.preset,
+            arch=self.arch,
         )
 
     @classmethod
@@ -218,6 +255,7 @@ class Session:
             backend=spec.backend,
             cache_dir=spec.cache_dir,
             preset=spec.preset,
+            arch=getattr(spec, "arch", None),
         )
 
     # -- backend -------------------------------------------------------
@@ -228,6 +266,20 @@ class Session:
         if self.backend is not None:
             return resolve_backend(self.backend)
         return get_kernel()
+
+    # -- architecture --------------------------------------------------
+
+    @property
+    def architecture(self) -> Architecture:
+        """The target machine model this session resolves to.
+
+        An explicit ``Session(arch=...)`` wins; otherwise the ambient
+        selection (``$REPRO_ARCH``, else the default ``endurance``
+        machine) applies at access time, mirroring :attr:`kernel`.
+        """
+        if self._architecture is not None:
+            return self._architecture
+        return resolve_architecture(None)
 
     @property
     def disk(self) -> Optional[DiskCache]:
@@ -373,5 +425,6 @@ class Session:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Session(backend={self.backend!r}, cache_dir={self.cache_dir!r}, "
-            f"parallel={self.parallel!r}, preset={self.preset!r})"
+            f"parallel={self.parallel!r}, preset={self.preset!r}, "
+            f"arch={self.arch!r})"
         )

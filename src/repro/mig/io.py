@@ -22,7 +22,7 @@ equally simple listing of ``RM3 p q z`` lines with ``@addr`` operands.
 from __future__ import annotations
 
 import io as _io
-from typing import Dict, List, TextIO, Union
+from typing import Dict, TextIO, Union
 
 from ..plim.isa import OP_CONST0, OP_CONST1, Program
 from .graph import Mig

@@ -18,6 +18,11 @@ endurance-management techniques live:
 The default ``strategy="naive"`` is a LIFO free list, which models the
 endurance-oblivious compiler: the most recently freed device is the next
 destination, concentrating writes on few cells.
+
+Which allocator class (and which capacity / write-cap constants) a
+compilation uses is decided by the target machine model — see
+:mod:`repro.arch`; this flat allocator serves the crossbar geometries,
+:class:`repro.plim.blocked.BlockedAllocator` the word-addressed ones.
 """
 
 from __future__ import annotations
@@ -33,11 +38,19 @@ STRATEGIES = ("naive", "min_write")
 MIN_WRITE_CAP = 3
 
 
+class CapacityExceededError(RuntimeError):
+    """The target architecture's array cannot hold another device."""
+
+
 class RramAllocator:
     """Tracks devices, their compile-time write counts, and the free pool."""
 
     def __init__(
-        self, strategy: str = "naive", w_max: Optional[int] = None
+        self,
+        strategy: str = "naive",
+        w_max: Optional[int] = None,
+        *,
+        capacity: Optional[int] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -50,6 +63,7 @@ class RramAllocator:
             )
         self.strategy = strategy
         self.w_max = w_max
+        self.capacity = capacity
         self.writes: List[int] = []
         self._free_stack: List[int] = []  # naive: LIFO
         self._free_heap: List[tuple] = []  # min_write: (writes, addr)
@@ -64,7 +78,16 @@ class RramAllocator:
         return len(self.writes)
 
     def new_cell(self) -> int:
-        """Allocate a brand-new device (bypasses the free pool)."""
+        """Allocate a brand-new device (bypasses the free pool).
+
+        Raises :class:`CapacityExceededError` when the architecture's
+        array is bounded and full (``capacity=None`` is unbounded, the
+        paper's assumption).
+        """
+        if self.capacity is not None and len(self.writes) >= self.capacity:
+            raise CapacityExceededError(
+                f"crossbar is full: capacity {self.capacity} devices"
+            )
         self.writes.append(0)
         return len(self.writes) - 1
 

@@ -28,7 +28,12 @@ costs **two extra instructions and one extra RRAM**:
 
 The translator enumerates all role assignments of the three fanins and
 picks the cheapest, so those rules emerge from a small cost table rather
-than a case cascade.
+than a case cascade.  The cost table — and the device-allocation
+machinery behind the destination decisions — belong to the *target
+machine*: the compiler consumes a :class:`repro.arch.Architecture`
+(cost model, array geometry, endurance semantics) and emits a program
+for that machine.  The default architecture is the paper's unbounded
+wear-tracked crossbar, which reproduces the historic behaviour exactly.
 """
 
 from __future__ import annotations
@@ -39,7 +44,6 @@ from typing import List, Optional, Tuple
 
 from ..mig.graph import Mig
 from ..mig.signal import is_complemented, node_of
-from .allocator import RramAllocator
 from .isa import OP_CONST0, OP_CONST1, Program, const_operand
 
 
@@ -85,6 +89,14 @@ class PlimCompiler:
     fanout_aggregate:
         ``"max"`` (storage-duration reading) or ``"min"`` (first-use
         reading) for the fanout level index used by selection strategies.
+    arch:
+        The target machine model — a :class:`repro.arch.Architecture`,
+        a registry name, or ``None`` for the ambient selection
+        (``$REPRO_ARCH``, else the paper's ``endurance`` machine).  The
+        architecture supplies the translation cost table and the device
+        allocator matching its array geometry, and refuses allocation
+        policies it cannot implement (e.g. ``min_write`` on the
+        wear-counter-free ``dac16`` machine).
     """
 
     def __init__(
@@ -94,21 +106,27 @@ class PlimCompiler:
         w_max: Optional[int] = None,
         allow_pi_overwrite: bool = True,
         fanout_aggregate: str = "max",
+        arch=None,
     ) -> None:
         self.selection = selection
         self.allocation = allocation
         self.w_max = w_max
         self.allow_pi_overwrite = allow_pi_overwrite
         self.fanout_aggregate = fanout_aggregate
+        self.arch = arch
 
     def compile(self, mig: Mig) -> Program:
         """Translate *mig* into a :class:`~repro.plim.isa.Program`."""
+        from ..arch import resolve_architecture
+
+        arch = resolve_architecture(self.arch)
         run = _Compilation(
             mig,
             selection=self.selection,
-            allocator=RramAllocator(self.allocation, self.w_max),
+            allocator=arch.make_allocator(self.allocation, self.w_max),
             allow_pi_overwrite=self.allow_pi_overwrite,
             fanout_aggregate=self.fanout_aggregate,
+            cost=arch.cost,
         )
         return run.run()
 
@@ -120,13 +138,15 @@ class _Compilation:
         self,
         mig: Mig,
         selection,
-        allocator: RramAllocator,
+        allocator,
         allow_pi_overwrite: bool,
         fanout_aggregate: str,
+        cost,
     ) -> None:
         self.mig = mig
         self.selection = selection
         self.alloc = allocator
+        self.cost = cost
         self.allow_pi_overwrite = allow_pi_overwrite
 
         view = mig.fanout_view()
@@ -309,15 +329,24 @@ class _Compilation:
                 q_cost = self._q_cost(q)
                 z_kind = self._z_kind(z)
                 p_cost = self._p_cost(p)
-                # instruction overhead: Q invert 2, Z const 1 / copy 2,
-                # P invert 2
+                # Overheads come from the target machine's cost table
+                # (defaults: Q invert 2, Z const 1 / copy 2, P invert 2).
+                cost = self.cost
                 extra = (
-                    2 * q_cost
-                    + (1 if z_kind == _Z_CONST else 2 if z_kind == _Z_COPY else 0)
-                    + 2 * p_cost
+                    cost.q_invert_instructions * q_cost
+                    + (
+                        cost.z_const_instructions
+                        if z_kind == _Z_CONST
+                        else cost.z_copy_instructions
+                        if z_kind == _Z_COPY
+                        else 0
+                    )
+                    + cost.p_invert_instructions * p_cost
                 )
                 extra_cells = (
-                    q_cost + p_cost + (0 if z_kind == _Z_DIRECT else 1)
+                    cost.q_invert_cells * q_cost
+                    + cost.p_invert_cells * p_cost
+                    + (0 if z_kind == _Z_DIRECT else cost.z_request_cells)
                 )
                 if z_kind == _Z_DIRECT and self.alloc.strategy == "min_write":
                     z_writes = self.alloc.writes[self.cell_of[z.node]]

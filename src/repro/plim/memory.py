@@ -121,7 +121,10 @@ class LifetimeEstimate:
 
 
 def estimate_lifetime(
-    write_counts: Sequence[int], endurance: int = TYPICAL_ENDURANCE_LOW
+    write_counts: Sequence[int],
+    endurance: Optional[int] = None,
+    *,
+    arch=None,
 ) -> LifetimeEstimate:
     """Lifetime of an array executing a program with *write_counts* forever.
 
@@ -130,7 +133,17 @@ def estimate_lifetime(
     ``endurance // max(write_counts)`` runs.  Balancing writes (reducing the
     max) therefore directly multiplies the usable lifetime — the paper's
     core argument.
+
+    The budget comes from, in order: an explicit *endurance*, the target
+    machine model's :attr:`~repro.arch.EnduranceModel.cell_endurance`
+    (pass *arch*), or the paper's cited low-end figure.
     """
+    if endurance is None:
+        endurance = (
+            arch.endurance.cell_endurance
+            if arch is not None
+            else TYPICAL_ENDURANCE_LOW
+        )
     peak = max(write_counts, default=0)
     if peak == 0:
         return LifetimeEstimate(

@@ -20,6 +20,13 @@ Mechanics (faithful to the original scheme):
 * after ``num_cells + 1`` gap movements every logical line has shifted
   by one physical position (``start`` increments), so sustained traffic
   visits all physical cells.
+
+The writes-per-rotation interval is a property of the machine, not of
+this module: pass an :class:`repro.arch.Architecture` (or use
+:meth:`StartGapArray.for_architecture`) and it comes from its
+:class:`~repro.arch.Geometry` instead of the historic hard-coded
+default; the machine's physical endurance budget is armed with
+``for_architecture(..., wear_out=True)``.
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ from .controller import PlimController
 from .isa import Program
 from .memory import RramArray
 
+#: Historic default rotation interval (Qureshi et al., MICRO'09).
+DEFAULT_GAP_INTERVAL = 100
+
 
 class StartGapArray:
     """A logical RRAM array with Start-Gap address rotation.
@@ -38,14 +48,28 @@ class StartGapArray:
     :class:`~repro.plim.memory.RramArray` so the PLiM controller can run
     on it unmodified, while the physical array underneath has
     ``num_cells + 1`` cells and a rotating gap.
+
+    *gap_interval* defaults to the target machine model's
+    :attr:`~repro.arch.Geometry.gap_interval` when *arch* is given,
+    else to the historic 100.  *endurance* stays explicit (``None`` =
+    no wear-out); :meth:`for_architecture` with ``wear_out=True`` arms
+    the machine's physical budget.
     """
 
     def __init__(
         self,
         num_cells: int,
-        gap_interval: int = 100,
+        gap_interval: Optional[int] = None,
         endurance: Optional[int] = None,
+        *,
+        arch=None,
     ) -> None:
+        if gap_interval is None:
+            gap_interval = (
+                arch.geometry.gap_interval
+                if arch is not None
+                else DEFAULT_GAP_INTERVAL
+            )
         if gap_interval < 1:
             raise ValueError("gap interval must be positive")
         self.num_logical = num_cells
@@ -61,6 +85,18 @@ class StartGapArray:
         # physical cells; -1 marks the gap in the inverse map.
         self._log_to_phys: List[int] = list(range(num_cells))
         self._phys_to_log: List[int] = list(range(num_cells)) + [-1]
+
+    @classmethod
+    def for_architecture(
+        cls, arch, num_cells: int, *, wear_out: bool = False
+    ) -> "StartGapArray":
+        """A Start-Gap array with *arch*'s rotation interval;
+        ``wear_out=True`` arms the machine's physical endurance budget."""
+        return cls(
+            num_cells,
+            endurance=arch.endurance.cell_endurance if wear_out else None,
+            arch=arch,
+        )
 
     # -- address translation ---------------------------------------------
 
@@ -137,17 +173,21 @@ def run_with_start_gap(
     program: Program,
     pi_values: Sequence[int],
     executions: int,
-    gap_interval: int = 100,
+    gap_interval: Optional[int] = None,
     mask: int = 1,
+    *,
+    arch=None,
 ) -> StartGapArray:
     """Execute *program* repeatedly on a Start-Gap array; returns the
     array so callers can inspect physical wear.
 
     This is the runtime-only balancing baseline: the compiled write
     pattern stays as unbalanced as the compiler left it, but rotation
-    spreads it over physical cells across executions.
+    spreads it over physical cells across executions.  The rotation
+    interval follows *gap_interval* > *arch* geometry > the historic
+    default of 100.
     """
-    array = StartGapArray(program.num_cells, gap_interval=gap_interval)
+    array = StartGapArray(program.num_cells, gap_interval=gap_interval, arch=arch)
     controller = PlimController(array)  # duck-typed array interface
     for _ in range(executions):
         controller.run(program, pi_values, mask=mask)

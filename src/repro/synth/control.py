@@ -21,7 +21,7 @@ The paper's control benchmarks split into two groups:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..mig.bitvec import popcount_threshold
 from ..mig.graph import Mig

@@ -18,7 +18,7 @@ import math
 from typing import List, Tuple
 
 from ..mig.graph import Mig
-from ..mig.signal import CONST0, complement
+from ..mig.signal import complement
 from . import blocks
 from .blocks import Word
 from .elaborate import new_mig

@@ -14,7 +14,7 @@ benchmark substitution).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..mig.graph import Mig

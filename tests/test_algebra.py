@@ -11,7 +11,6 @@ Every axiom used by the rewriting scripts is checked two ways:
 
 from itertools import product
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mig import algebra

@@ -122,3 +122,61 @@ class TestMaxWriteCap:
         alloc.release(a)
         assert not alloc.retired
         assert alloc.writable(a)
+
+
+class TestWmaxRetirementBoundaries:
+    """Exact-cap edges of the maximum write count strategy."""
+
+    def test_device_one_below_cap_is_still_a_destination(self):
+        alloc = RramAllocator("min_write", w_max=3)
+        a = alloc.new_cell()
+        for _ in range(2):
+            alloc.record_write(a)
+        assert alloc.writable(a)  # 2 < 3: one RM3 still fits
+        assert alloc.headroom(a) == 1
+        alloc.release(a)
+        assert a not in alloc.retired  # below cap: pooled, not retired
+        assert alloc.request(headroom=1) == a
+
+    def test_device_at_exact_cap_refused_everywhere(self):
+        alloc = RramAllocator("min_write", w_max=3)
+        a = alloc.new_cell()
+        for _ in range(3):
+            alloc.record_write(a)
+        assert not alloc.writable(a)
+        assert alloc.headroom(a) == 0
+        alloc.release(a)
+        assert a in alloc.retired
+        # never served again, for any headroom
+        assert alloc.request(headroom=1) != a
+
+    def test_pooled_device_reaching_cap_is_skipped_not_lost(self):
+        """A device released *below* the cap can still sit in the pool
+        when later requests need more headroom than it has left — it
+        must be skipped for those and kept for smaller asks."""
+        alloc = RramAllocator("min_write", w_max=4)
+        a = alloc.new_cell()
+        for _ in range(3):
+            alloc.record_write(a)
+        alloc.release(a)  # one write of headroom left
+        fresh = alloc.request(headroom=2)  # copy destination: won't fit
+        assert fresh != a
+        assert alloc.request(headroom=1) == a  # still available
+
+    def test_retirement_mid_translation_bounds_every_cell(self):
+        """Compiled under a cap, no cell of the emitted program may
+        exceed it — retirement must kick in mid-translation, exactly
+        when a destination hits the cap, for both allocator shapes."""
+        from repro.analysis.scenarios import fig1_chain
+        from repro.core.manager import compile_pipeline, full_management
+
+        mig = fig1_chain(12)
+        for arch in ("endurance", "blocked"):
+            result = compile_pipeline(mig, full_management(4), arch=arch)
+            counts = result.program.write_counts()
+            assert max(counts) <= 4
+            # the cap forces extra devices vs the uncapped run
+            uncapped = compile_pipeline(
+                mig, full_management(100), arch=arch
+            )
+            assert result.program.num_cells >= uncapped.program.num_cells

@@ -1,6 +1,5 @@
 """Tests for the low-level bitvec helpers and the DOT exporter."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mig.bitvec import full_adder, ge_const, half_adder, popcount, popcount_threshold

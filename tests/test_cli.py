@@ -112,6 +112,65 @@ class TestBackendOption:
         assert capsys.readouterr().out == ambient
 
 
+class TestArchOption:
+    def test_arch_list(self, capsys):
+        assert main(["arch", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dac16", "endurance", "blocked"):
+            assert name in out
+        assert "word lines of 8" in out
+
+    def test_list_shows_architectures(self, capsys):
+        assert main(["list"]) == 0
+        assert "architectures" in capsys.readouterr().out
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--arch", "quantum"])
+
+    def test_bench_accepts_arch(self, capsys):
+        assert main([
+            "bench", "dec", "--preset", "tiny", "--arch", "blocked",
+        ]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_default_arch_does_not_change_artifacts(self, capsys):
+        """Pinning the default machine must not change any table —
+        the architecture layer's core parity promise, at CLI level."""
+        argv = ["table1", "--preset", "tiny", "--benchmarks", "dec"]
+        assert main(argv) == 0
+        ambient = capsys.readouterr().out
+        assert main(argv + ["--arch", "endurance"]) == 0
+        assert capsys.readouterr().out == ambient
+
+    def test_archsweep(self, capsys):
+        assert main([
+            "archsweep", "dec", "--preset", "tiny", "--no-verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ARCHITECTURE SWEEP" in out
+        for name in ("dac16", "endurance", "blocked"):
+            assert name in out
+        assert "unsupported pairs:" in out  # dac16/ea-full gap
+
+    def test_archsweep_subset(self, capsys):
+        assert main([
+            "archsweep", "dec", "--preset", "tiny", "--no-verify",
+            "--archs", "blocked", "--configs", "naive",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blocked" in out and "dac16" not in out
+
+    def test_env_selects_arch(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ARCH", "blocked")
+        assert main(["bench", "dec", "--preset", "tiny"]) == 0
+        blocked_out = capsys.readouterr().out
+        monkeypatch.delenv("REPRO_ARCH")
+        assert main(["bench", "dec", "--preset", "tiny"]) == 0
+        # the word-addressed machine provisions whole lines: different #R
+        assert blocked_out != capsys.readouterr().out
+
+
 class TestCachePrecedence:
     def test_flag_beats_env(self, tmp_path, monkeypatch, capsys):
         env_root = tmp_path / "env"

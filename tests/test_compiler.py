@@ -6,7 +6,6 @@ each complement/fanout violation adds exactly two instructions and one
 device.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.selection import make_selection

@@ -6,7 +6,6 @@ value), release correctness (a freed device is never read again before
 being rewritten), selection-order effects, and determinism.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.manager import PRESETS, compile_pipeline

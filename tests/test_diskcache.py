@@ -50,6 +50,105 @@ class TestDiskCacheBasics:
         assert cache is not None and cache.root == tmp_path / "c"
 
 
+class TestSingleWriterLock:
+    """Entry writes are lockfile-guarded: one writer per key at a time."""
+
+    def test_lock_removed_after_store(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("k",), "v")
+        path = cache._path(("k",))
+        assert path.is_file()
+        assert not path.with_suffix(".lock").exists()
+
+    def test_held_lock_skips_the_write(self, tmp_path, monkeypatch):
+        from repro.analysis import diskcache as module
+
+        monkeypatch.setattr(module, "LOCK_WAIT_SECONDS", 0.05)
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.touch()  # a live sibling writer owns this entry
+        cache.store(("k",), "v")
+        assert not path.exists()  # write-through was skipped...
+        assert cache.lock_skips == 1
+        assert cache.stats()["session_lock_skips"] == 1
+        lock.unlink()
+        cache.store(("k",), "v")  # ...and succeeds once the lock clears
+        assert cache.load(("k",)) == "v"
+
+    def test_waits_for_sibling_writer_to_finish(self, tmp_path):
+        """A briefly-held lock delays the write instead of dropping it —
+        this is what lets certificate upgrades land behind a racing
+        unverified write."""
+        import threading
+
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.touch()
+        timer = threading.Timer(0.1, lock.unlink)
+        timer.start()
+        try:
+            cache.store(("k",), "v")
+        finally:
+            timer.cancel()
+        assert cache.lock_skips == 0
+        assert cache.load(("k",)) == "v"
+
+    def test_replace_predicate_guards_overwrites(self, tmp_path):
+        """With replace=, the overwrite decision sees the current entry
+        inside the lock: upgrades land, downgrades are refused."""
+        cache = DiskCache(tmp_path)
+        cache.store(("k",), ("result", 0))
+        # a downgrade (narrower certificate) is refused...
+        cache.store(
+            ("k",), ("result", -1), replace=lambda cur: cur[1] < -1
+        )
+        assert cache.load(("k",)) == ("result", 0)
+        # ...an upgrade goes through...
+        cache.store(("k",), ("result", 64), replace=lambda cur: cur[1] < 64)
+        assert cache.load(("k",)) == ("result", 64)
+        # ...and an absent entry is always written.
+        cache.store(("j",), ("result", 8), replace=lambda cur: False)
+        assert cache.load(("j",)) == ("result", 8)
+
+    def test_unpicklable_payload_degrades_to_not_persisted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(("k",), lambda: None)  # lambdas cannot pickle
+        assert cache.load(("k",)) is None  # miss, not a crash...
+        path = cache._path(("k",))
+        assert not path.with_suffix(".lock").exists()  # ...lock released
+        cache.store(("k",), "v")  # and the key is immediately writable
+        assert cache.load(("k",)) == "v"
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        from repro.analysis.diskcache import STALE_LOCK_SECONDS
+
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.touch()
+        stale = 2 * STALE_LOCK_SECONDS
+        os.utime(lock, (lock.stat().st_atime - stale,
+                        lock.stat().st_mtime - stale))
+        cache.store(("k",), "v")  # crashed writer's lock must not wedge us
+        assert cache.load(("k",)) == "v"
+        assert not lock.exists()
+        assert cache.lock_skips == 0
+
+    def test_lockfiles_do_not_count_as_entries(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        path.with_suffix(".lock").touch()
+        assert cache.stats()["entries"] == 0
+        cache.clear()  # clearing sweeps leftover locks too
+        assert not path.with_suffix(".lock").exists()
+
+
 class TestCorruptionRejection:
     def _entry_path(self, cache, key):
         cache.store(key, "payload")

@@ -7,11 +7,13 @@ change, deliberately.
 """
 
 import repro
+import repro.arch
 import repro.flow
 
 #: The blessed root namespace.  Additions are appended deliberately;
 #: removals are breaking changes and need a deprecation cycle.
 ROOT_API = [
+    "Architecture",
     "BENCHMARKS",
     "CompilationResult",
     "EnduranceConfig",
@@ -24,13 +26,32 @@ ROOT_API = [
     "RramArray",
     "Session",
     "WriteTrafficStats",
+    "available_architectures",
     "build_benchmark",
     "compile_with_management",
     "equivalent",
     "full_management",
+    "get_architecture",
+    "register_architecture",
     "simulate",
     "truth_tables",
     "verify_program",
+]
+
+#: The blessed repro.arch namespace (the machine-model layer).
+ARCH_API = [
+    "ARCH_ENV_VAR",
+    "Architecture",
+    "ArchitectureError",
+    "CostModel",
+    "DEFAULT_ARCHITECTURE",
+    "EnduranceModel",
+    "Geometry",
+    "arch_from_env",
+    "available_architectures",
+    "get_architecture",
+    "register_architecture",
+    "resolve_architecture",
 ]
 
 #: The blessed repro.flow namespace.
@@ -59,6 +80,25 @@ class TestRootNamespace:
     def test_flow_types_exported_at_root(self):
         assert repro.Session is repro.flow.Session
         assert repro.Flow is repro.flow.Flow
+
+
+class TestArchNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.arch.__all__) == sorted(ARCH_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.arch.__all__:
+            assert getattr(repro.arch, name) is not None
+
+    def test_arch_types_exported_at_root(self):
+        assert repro.Architecture is repro.arch.Architecture
+        assert repro.get_architecture is repro.arch.get_architecture
+
+    def test_builtin_registry_stable(self):
+        """The three shipped machines (and the default) are API."""
+        for name in ("dac16", "endurance", "blocked"):
+            assert name in repro.arch.available_architectures()
+        assert repro.arch.DEFAULT_ARCHITECTURE == "endurance"
 
 
 class TestFlowNamespace:

@@ -105,3 +105,73 @@ class TestWearLevelling:
         base = executions * sum(static_counts)
         assert sum(physical) >= base
         assert sum(physical) <= base * 1.2
+
+
+class TestArchitectureDefaults:
+    """Start-Gap consumes rotation constants from the machine model."""
+
+    def test_gap_interval_from_architecture(self):
+        from repro.arch import Architecture, Geometry
+
+        machine = Architecture(
+            name="fast-rotation", geometry=Geometry(gap_interval=7)
+        )
+        array = StartGapArray(8, arch=machine)
+        assert array.gap_interval == 7
+        # explicit argument still wins over the machine default
+        assert StartGapArray(8, gap_interval=3, arch=machine).gap_interval == 3
+        # no arch, no argument: the historic default
+        assert StartGapArray(8).gap_interval == 100
+
+    def test_for_architecture_wear_out_budget(self):
+        from repro.arch import Architecture, EnduranceModel
+
+        machine = Architecture(
+            name="fragile",
+            endurance=EnduranceModel(cell_endurance=1000),
+        )
+        array = StartGapArray.for_architecture(machine, 8, wear_out=True)
+        assert array.physical.endurance == 1000
+        assert StartGapArray.for_architecture(machine, 8).physical.endurance is None
+
+
+class TestWriteCapInteraction:
+    """Compile-time retirement and runtime rotation compose: the capped
+    program stays correct under rotation, and rotation keeps spreading
+    the already-flattened write profile."""
+
+    def test_capped_program_correct_under_rotation(self):
+        from repro.core.manager import full_management
+
+        mig = build_adder(width=3)
+        program = compile_pipeline(mig, full_management(5)).program
+        words = [(i * 37 + 11) & 0xFF for i in range(mig.num_pis)]
+        plain = RramArray(program.num_cells)
+        PlimController(plain).run(program, words, mask=0xFF)
+        expected = [plain.read(c) for c in program.po_cells]
+
+        rotated = StartGapArray(program.num_cells, gap_interval=4)
+        controller = PlimController(rotated)
+        for _ in range(10):
+            outputs = controller.run(program, words, mask=0xFF)
+        assert [rotated.read(c) for c in program.po_cells] == expected
+        assert outputs == expected
+        assert rotated.gap != program.num_cells  # rotation really moved
+
+    def test_rotation_spreads_capped_profile_further(self):
+        from repro.core.manager import full_management
+
+        mig = build_adder(width=3)
+        program = compile_pipeline(mig, full_management(4)).program
+        counts = program.write_counts()
+        assert max(counts) <= 4  # the compile-time cap held
+        executions = 50
+        array = run_with_start_gap(
+            program, [0] * mig.num_pis, executions=executions,
+            gap_interval=8,
+        )
+        # even the hottest physical cell stays within the static bound
+        # (cap * executions) plus rotation's own copy traffic
+        rotations = sum(array.write_counts()) - executions * sum(counts)
+        assert rotations > 0
+        assert max(array.write_counts()) <= 4 * executions + rotations
