@@ -160,10 +160,15 @@ def pytest_sessionfinish(session):
                     "root": str(disk.root),
                     "hits": disk.hits,
                     "misses": disk.misses,
+                    "lock_skips": disk.lock_skips,
                 }
                 if disk is not None
                 else None
             ),
+            # Aggregated over every run_matrix(parallel=N) worker
+            # process of the session: the parent's counters alone
+            # under-report what a fanned-out suite actually hit.
+            "workers": dict(SESSION_CACHE.worker_counters),
         },
         **BENCH_REPORT,
     }

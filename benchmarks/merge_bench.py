@@ -36,7 +36,12 @@ def merge_reports(reports: List[dict], labels: List[str]) -> dict:
         "shards": labels,
         "suite_seconds": {},
         "stages": {},
-        "cache": {"memory_hits": 0, "memory_misses": 0, "disk": None},
+        "cache": {
+            "memory_hits": 0,
+            "memory_misses": 0,
+            "disk": None,
+            "workers": {},
+        },
     }
     for label, report in zip(labels, reports):
         for scalar in ("preset", "parallel", "backend"):
@@ -65,11 +70,16 @@ def merge_reports(reports: List[dict], labels: List[str]) -> dict:
         disk = cache.get("disk")
         if disk:
             bucket = merged["cache"]["disk"] or {
-                "root": disk.get("root"), "hits": 0, "misses": 0
+                "root": disk.get("root"), "hits": 0, "misses": 0,
+                "lock_skips": 0,
             }
             bucket["hits"] += disk.get("hits", 0)
             bucket["misses"] += disk.get("misses", 0)
+            bucket["lock_skips"] += disk.get("lock_skips", 0)
             merged["cache"]["disk"] = bucket
+        for key, value in cache.get("workers", {}).items():
+            workers = merged["cache"]["workers"]
+            workers[key] = workers.get(key, 0) + value
         for key, value in report.items():
             if key in ("suite_seconds", "stages", "cache", "preset",
                        "parallel", "backend"):

@@ -6,7 +6,7 @@ without the inverter-propagation sandwich — quantifying the paper's two
 design decisions (drop Psi.C; sandwich Omega.A with inverter passes).
 """
 
-from repro.core.rewriting import ALGORITHM2_STEPS
+from repro.opt import ALGORITHM2_STEPS
 from repro.mig.rewrite import apply_script
 from repro.plim.compiler import PlimCompiler
 from repro.core.selection import make_selection

@@ -8,7 +8,7 @@ the naive instruction count by a large factor (paper: −36.48% #I,
 
 from repro.analysis.report import render_table2
 from repro.analysis.tables import average_row
-from repro.core.rewriting import rewrite_dac16, rewrite_endurance_aware
+from repro.opt import rewrite_dac16, rewrite_endurance_aware
 from repro.synth.registry import build_benchmark
 
 from .conftest import PRESET, suite_plain, write_artifact

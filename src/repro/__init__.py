@@ -24,6 +24,12 @@ The package provides:
   ``blocked``) describing the cost table, array geometry, and endurance
   semantics the compiler targets, selected per run via ``--arch`` /
   ``$REPRO_ARCH``;
+* :mod:`repro.opt` — the cost-guided rewriting optimizer: registries of
+  :class:`~repro.opt.RewritePass` transformations, compile-free
+  :class:`~repro.opt.Objective` cost functions (including the
+  architecture-aware estimated write cost), and search strategies
+  (``script``, ``greedy``, ``budget``) selected per run via ``--opt`` /
+  ``$REPRO_OPT``;
 * :mod:`repro.analysis` — table/figure harnesses regenerating the paper's
   experimental evaluation;
 * :mod:`repro.flow` — the Session + pass-pipeline API every harness entry
@@ -48,6 +54,14 @@ from .core.manager import (
     full_management,
 )
 from .core.stats import WriteTrafficStats
+from .opt import (
+    Optimizer,
+    OptimizerSpec,
+    available_objectives,
+    available_strategies,
+    register_objective,
+    resolve_optimizer,
+)
 from .plim.isa import Program
 from .plim.memory import RramArray
 from .plim.controller import PlimController
@@ -65,6 +79,8 @@ __all__ = [
     "Flow",
     "FlowResult",
     "Mig",
+    "Optimizer",
+    "OptimizerSpec",
     "PRESETS",
     "PlimController",
     "Program",
@@ -72,12 +88,16 @@ __all__ = [
     "Session",
     "WriteTrafficStats",
     "available_architectures",
+    "available_objectives",
+    "available_strategies",
     "build_benchmark",
     "compile_with_management",
     "equivalent",
     "full_management",
     "get_architecture",
     "register_architecture",
+    "register_objective",
+    "resolve_optimizer",
     "simulate",
     "truth_tables",
     "verify_program",

@@ -8,15 +8,18 @@ Subcommands regenerate each experiment of the paper:
 * ``bench NAME`` — one benchmark under all configurations;
 * ``arch list`` — the registered PLiM machine models;
 * ``archsweep NAME`` — one benchmark across machine models;
+* ``opt list`` — the registered optimizer strategies/objectives/passes;
+* ``optsweep NAME`` — one benchmark across rewriting optimizers;
 * ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
 * ``list`` — available benchmarks and presets.
 
 Every subcommand routes through one :class:`repro.flow.Session` built
 from its arguments: ``--backend`` selects the simulation kernel,
 ``--arch`` (or ``$REPRO_ARCH``; flag wins) targets a machine model,
-``--cache-dir`` (or ``$REPRO_CACHE_DIR``; flag wins) persists artefacts
-across invocations, ``--parallel`` fans benchmarks out over worker
-processes, and ``--preset`` picks the benchmark widths.
+``--opt`` (or ``$REPRO_OPT``; flag wins) selects the rewriting
+optimizer, ``--cache-dir`` (or ``$REPRO_CACHE_DIR``; flag wins)
+persists artefacts across invocations, ``--parallel`` fans benchmarks
+out over worker processes, and ``--preset`` picks the benchmark widths.
 """
 
 from __future__ import annotations
@@ -31,6 +34,15 @@ from ..arch import (
     get_architecture,
 )
 from ..core.manager import PRESETS, full_management
+from ..opt import (
+    DEFAULT_OPTIMIZER,
+    available_objectives,
+    available_passes,
+    available_strategies,
+    get_objective,
+    get_pass,
+    get_strategy,
+)
 from ..flow import Flow, Session, resolve_cache_dir
 from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER
 from . import report, scenarios
@@ -207,6 +219,51 @@ def cmd_archsweep(args) -> int:
     return 0
 
 
+def cmd_opt_list(args) -> int:
+    print("optimizer strategies (select with --opt or $REPRO_OPT, "
+          "spec = STRATEGY[:OBJECTIVE][@DEPTH]):")
+    for name in available_strategies():
+        strategy = get_strategy(name)
+        marker = "*" if name == DEFAULT_OPTIMIZER else " "
+        lines = (strategy.__doc__ or "").strip().splitlines()
+        print(f" {marker} {name:12s} {lines[0] if lines else ''}")
+    print("\nobjectives (lower is better; register custom ones via "
+          "repro.opt.register_objective):")
+    for name in available_objectives():
+        objective = get_objective(name)
+        arch_note = " [arch-aware]" if objective.arch_sensitive else ""
+        print(f"   {name:12s} {objective.description}{arch_note}")
+    print("\nrewrite passes (candidates of the search strategies):")
+    for name in available_passes():
+        rewrite_pass = get_pass(name)
+        print(f"   {name:16s} {rewrite_pass.description}")
+    print("\n(* = default; the script strategy replays the paper's "
+          "fixed pipelines byte-identically)")
+    return 0
+
+
+def cmd_optsweep(args) -> int:
+    session = Session.from_args(args)
+    points = scenarios.optimizer_sweep(
+        args.name,
+        opts=args.opts,
+        configs=args.configs,
+        session=session,
+        verify=not args.no_verify,
+    )
+    print(
+        report.render_optimizer_sweep(
+            points,
+            title=(
+                f"OPTIMIZER SWEEP - {args.name} "
+                f"({session.preset} preset, {session.architecture.name} "
+                "machine)"
+            ),
+        )
+    )
+    return 0
+
+
 def _cache_for_maintenance(args) -> DiskCache:
     """Flag > ``$REPRO_CACHE_DIR`` > default root — maintenance commands
     always need *a* root to inspect, hence the default."""
@@ -249,6 +306,8 @@ def cmd_list(args) -> int:
         )
     print("\nconfigurations:", ", ".join(PRESETS))
     print("architectures :", ", ".join(available_architectures()))
+    print("optimizers    :", ", ".join(available_strategies()),
+          "(see 'repro opt list')")
     return 0
 
 
@@ -319,6 +378,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip program-vs-MIG co-simulation (faster)",
     )
     p.set_defaults(func=cmd_archsweep)
+
+    p = sub.add_parser(
+        "opt", help="inspect the rewriting-optimizer registries"
+    )
+    opt_sub = p.add_subparsers(dest="opt_command", required=True)
+    po = opt_sub.add_parser(
+        "list", help="registered strategies, objectives, and passes"
+    )
+    po.set_defaults(func=cmd_opt_list)
+
+    p = sub.add_parser(
+        "optsweep", help="one benchmark across rewriting optimizers"
+    )
+    p.add_argument("name", choices=BENCHMARK_ORDER)
+    # The optimizer dimension is swept, so no --opt session knob here.
+    Session.add_arguments(p, parallel=False, opt=False)
+    p.add_argument(
+        "--opts",
+        nargs="*",
+        default=["script", "greedy", "budget"],
+        metavar="SPEC",
+        help=(
+            "optimizer specs to sweep, STRATEGY[:OBJECTIVE][@DEPTH] "
+            "(default: script greedy budget)"
+        ),
+    )
+    p.add_argument(
+        "--configs",
+        nargs="*",
+        default=["ea-full"],
+        metavar="CONFIG",
+        help="endurance configurations per optimizer",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip program-vs-MIG co-simulation (faster)",
+    )
+    p.set_defaults(func=cmd_optsweep)
 
     p = sub.add_parser("cache", help="inspect/clear the on-disk experiment cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -231,6 +231,77 @@ def render_architecture_sweep(points, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_optimizer_sweep(points, title: str = "") -> str:
+    """Fixed-width table of an optimizer sweep.
+
+    *points* are :class:`~repro.analysis.scenarios.OptSweepPoint`
+    instances: per (optimizer, configuration) pair the *measured*
+    compilation (#I, #R, write statistics) next to the optimizer's
+    compile-free objective estimate of its rewritten graph, so the
+    estimate's fidelity is visible in the artefact itself.
+    """
+    lines: List[str] = []
+    lines.append(
+        title or "OPTIMIZER SWEEP - ONE SOURCE ACROSS REWRITE STRATEGIES"
+    )
+    header = [
+        "optimizer", "config", "gates", "objective", "#I", "#R",
+        "min/max", "STDEV",
+    ]
+    widths = [22, 12, 7, 9, 8, 7, 9, 8]
+    lines.append(" | ".join(f"{c:>{w}s}" for c, w in zip(header, widths)))
+    lines.append("-" * len(lines[-1]))
+    for p in points:
+        result = p.result.compilation
+        stats = result.stats
+        row = [
+            p.opt,
+            p.config,
+            str(p.result.rewritten.num_live_gates()),
+            str(p.objective),
+            str(result.num_instructions),
+            str(result.num_rrams),
+            f"{stats.min_writes}/{stats.max_writes}",
+            f"{stats.stdev:.2f}",
+        ]
+        lines.append(" | ".join(f"{c:>{w}s}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_objective_study(rows, title: str = "") -> str:
+    """Fixed-width table of a suite-wide objective study.
+
+    *rows* are :class:`~repro.analysis.scenarios.ObjectiveStudyRow`
+    instances; the summary line counts the benchmarks on which the
+    cost-guided optimizer strictly beat the fixed script.
+    """
+    lines: List[str] = []
+    lines.append(
+        title or "OBJECTIVE STUDY - COST-GUIDED OPTIMIZER VS FIXED SCRIPT"
+    )
+    header = ["benchmark", "raw", "script", "optimized", "delta", ""]
+    widths = [12, 8, 8, 9, 7, 4]
+    lines.append(" | ".join(f"{c:>{w}s}" for c, w in zip(header, widths)))
+    lines.append("-" * len(lines[-1]))
+    improved = 0
+    for row in rows:
+        improved += 1 if row.improved else 0
+        cells = [
+            row.benchmark,
+            str(row.raw),
+            str(row.script),
+            str(row.optimized),
+            str(row.optimized - row.script),
+            "WIN" if row.improved else "",
+        ]
+        lines.append(" | ".join(f"{c:>{w}s}" for c, w in zip(cells, widths)))
+    lines.append("-" * len(lines[1]))
+    lines.append(
+        f"strictly improved on {improved}/{len(rows)} benchmarks"
+    )
+    return "\n".join(lines)
+
+
 def render_headline(evaluations: Sequence[BenchmarkEvaluation]) -> str:
     """The abstract's headline numbers, paper vs measured."""
     metrics = headline_metrics(evaluations)

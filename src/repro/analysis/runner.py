@@ -40,8 +40,15 @@ from ..core.manager import (
     compile_pipeline,
     full_management,
 )
-from ..core.rewriting import DEFAULT_EFFORT, rewrite
 from ..core.stats import improvement_percent
+from ..opt import (
+    DEFAULT_EFFORT,
+    OptLike,
+    Optimizer,
+    OptimizerSpec,
+    resolve_optimizer,
+    rewrite,
+)
 from ..mig.graph import Mig
 from ..plim.verify import verify_program
 from ..synth.registry import BENCHMARK_ORDER, build_benchmark
@@ -85,15 +92,23 @@ def config_key(config: EnduranceConfig) -> Tuple:
     )
 
 
-def experiment_key(config: EnduranceConfig, arch: Architecture) -> Tuple:
-    """Joint semantic identity of a (configuration, target machine) pair.
+def experiment_key(
+    config: EnduranceConfig,
+    arch: Architecture,
+    opt: Optional[OptimizerSpec] = None,
+) -> Tuple:
+    """Joint semantic identity of a (configuration, machine, optimizer)
+    triple.
 
-    Compiled artefacts are keyed by both: the same configuration on a
-    different machine model (cost table, geometry, endurance semantics)
-    compiles to a different program, so cache lines must never be shared
-    across architectures.
+    Compiled artefacts are keyed by all three: the same configuration on
+    a different machine model (cost table, geometry, endurance
+    semantics) — or through a different rewriting optimizer — compiles
+    to a different program, so cache lines must never be shared across
+    them.  ``opt=None`` means the default ``script`` optimizer, whose
+    rewriting is fully determined by the configuration key.
     """
-    return (config_key(config), arch.key())
+    opt_key = opt.key() if opt is not None else ("script",)
+    return (config_key(config), arch.key(), opt_key)
 
 
 def mig_key(mig: Mig) -> Tuple:
@@ -169,6 +184,39 @@ class ExperimentCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: Aggregated counters of the ``run_matrix(parallel=N)`` worker
+        #: processes that fed this cache (each worker has its own
+        #: in-memory cache and disk handle, so the parent's counters
+        #: alone under-report what the fan-out actually did).
+        self.worker_counters: Dict[str, int] = {
+            "workers": 0,
+            "hits": 0,
+            "misses": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "disk_lock_skips": 0,
+        }
+
+    def counters(self) -> Dict[str, int]:
+        """This cache's own hit/miss counters (memory and disk)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk.hits if self.disk is not None else 0,
+            "disk_misses": self.disk.misses if self.disk is not None else 0,
+            "disk_lock_skips": (
+                self.disk.lock_skips if self.disk is not None else 0
+            ),
+        }
+
+    def absorb_worker_counters(self, counters: Dict[str, int]) -> None:
+        """Fold one worker's :meth:`counters` into
+        :attr:`worker_counters` (thread-safe)."""
+        with self._lock:
+            self.worker_counters["workers"] += 1
+            for key, value in counters.items():
+                if key in self.worker_counters:
+                    self.worker_counters[key] += value
 
     # -- stages ----------------------------------------------------------
 
@@ -210,8 +258,22 @@ class ExperimentCache:
             self.disk.store(("mig", name, preset), mig)
         return mig
 
+    @staticmethod
+    def _rewrite_tail(
+        script: str, effort: int, optimizer: Optional[Optimizer]
+    ) -> Tuple:
+        """Cache-key tail identifying one rewriting result (shared by
+        the memory and disk keys)."""
+        if optimizer is None:
+            return ("script", script, effort)
+        return optimizer.rewrite_key(script, effort)
+
     def has_rewritten(
-        self, mig_or_key, script: str, effort: int
+        self,
+        mig_or_key,
+        script: str,
+        effort: int,
+        optimizer: Optional[Optimizer] = None,
     ) -> bool:
         """Whether the rewriting result is already available.
 
@@ -224,7 +286,8 @@ class ExperimentCache:
         graph_id = (
             mig_or_key if isinstance(mig_or_key, tuple) else mig_key(mig_or_key)
         )
-        cache_key = (graph_id, script, effort)
+        tail = self._rewrite_tail(script, effort, optimizer)
+        cache_key = (graph_id, tail)
         with self._lock:
             if cache_key in self._rewrites:
                 return True
@@ -235,7 +298,7 @@ class ExperimentCache:
             )
         if bench is None:
             return False
-        payload = self.disk.load(("rewrite", *bench, script, effort))
+        payload = self.disk.load(("rewrite", *bench, tail))
         if payload is None:
             return False
         with self._lock:
@@ -243,17 +306,27 @@ class ExperimentCache:
         return True
 
     def rewritten(
-        self, mig: Mig, script: str, effort: int, key: Optional[Tuple] = None
+        self,
+        mig: Mig,
+        script: str,
+        effort: int,
+        key: Optional[Tuple] = None,
+        optimizer: Optional[Optimizer] = None,
     ) -> Mig:
-        """Rewriting result shared by every config running *script*.
+        """Rewriting result shared by every config running *script*
+        through *optimizer* (default: the legacy fixed pipelines).
 
+        Results are keyed by :meth:`repro.opt.Optimizer.rewrite_key`, so
+        script-driven rewrites stay shared across machines while
+        architecture-sensitive search results are kept per machine.
         Registry benchmarks read through to the attached disk cache
         (except the trivial ``"none"`` script, whose result is just a
         cleanup copy of the stored benchmark): a cold process deserialises
         the rewritten MIG instead of re-running the rewriting engine.
         """
         graph_id = key or mig_key(mig)
-        cache_key = (graph_id, script, effort)
+        tail = self._rewrite_tail(script, effort, optimizer)
+        cache_key = (graph_id, tail)
         with self._lock:
             result = self._rewrites.get(cache_key)
             bench = (
@@ -264,15 +337,18 @@ class ExperimentCache:
         if result is not None:
             return result
         if bench is not None:
-            result = self.disk.load(("rewrite", *bench, script, effort))
+            result = self.disk.load(("rewrite", *bench, tail))
         computed = False
         if result is None:
-            result = rewrite(mig, script, effort=effort)
+            if optimizer is not None:
+                result = optimizer.run(mig, script, effort=effort)
+            else:
+                result = rewrite(mig, script, effort=effort)
             computed = True
         with self._lock:
             result = self._rewrites.setdefault(cache_key, result)
         if computed and bench is not None:
-            self.disk.store(("rewrite", *bench, script, effort), result)
+            self.disk.store(("rewrite", *bench, tail), result)
         return result
 
     def compile(
@@ -284,6 +360,7 @@ class ExperimentCache:
         verify: bool = False,
         verify_patterns: int = 64,
         arch: ArchLike = None,
+        optimizer: "OptLike | Optimizer" = None,
     ) -> CompilationResult:
         """Compile *mig* under *config* for *arch*, memoized on semantic keys.
 
@@ -298,12 +375,18 @@ class ExperimentCache:
         stored result (and its certificate) instead of compiling, and
         fresh compilations or certificate upgrades are written back.
         Entries — in memory and on disk — are keyed by the target
-        architecture (:func:`experiment_key`), so one cache serves every
-        machine model without cross-talk.
+        architecture and rewriting optimizer (:func:`experiment_key`),
+        so one cache serves every machine model and optimizer spec
+        without cross-talk.
         """
         graph_id = key or mig_key(mig)
         arch = resolve_architecture(arch)
-        semantic = experiment_key(config, arch)
+        optimizer = (
+            optimizer
+            if isinstance(optimizer, Optimizer)
+            else Optimizer(optimizer, arch)
+        )
+        semantic = experiment_key(config, arch, optimizer.spec)
         cache_key = (graph_id, semantic)
         with self._lock:
             entry = self._results.get(cache_key)
@@ -327,7 +410,8 @@ class ExperimentCache:
             result, verified = entry
         else:
             prewritten = self.rewritten(
-                mig, config.rewriting, config.effort, key=graph_id
+                mig, config.rewriting, config.effort, key=graph_id,
+                optimizer=optimizer,
             )
             result = compile_pipeline(
                 mig, config, rewritten=prewritten, arch=arch
@@ -367,6 +451,7 @@ class ExperimentCache:
         key: Optional[Tuple] = None,
         patterns: int = 64,
         arch: ArchLike = None,
+        optimizer: "OptLike | Optimizer" = None,
     ) -> CompilationResult:
         """Ensure the stored result carries a certificate >= *patterns*.
 
@@ -380,7 +465,12 @@ class ExperimentCache:
         """
         graph_id = key or mig_key(mig)
         arch = resolve_architecture(arch)
-        semantic = experiment_key(config, arch)
+        optimizer = (
+            optimizer
+            if isinstance(optimizer, Optimizer)
+            else Optimizer(optimizer, arch)
+        )
+        semantic = experiment_key(config, arch, optimizer.spec)
         cache_key = (graph_id, semantic)
         with self._lock:
             entry = self._results.get(cache_key)
@@ -389,7 +479,7 @@ class ExperimentCache:
             # read-through, counters, and verification in one go.
             return self.compile(
                 mig, config, key=graph_id, verify=True,
-                verify_patterns=patterns, arch=arch,
+                verify_patterns=patterns, arch=arch, optimizer=optimizer,
             )
         result, verified = entry
         if patterns <= verified:
@@ -422,6 +512,7 @@ class ExperimentCache:
         *,
         verified_patterns: int = 0,
         arch: ArchLike = None,
+        optimizer: "OptLike | Optimizer" = None,
     ) -> bool:
         """Whether a stored result satisfies this pair's requirements.
 
@@ -436,7 +527,13 @@ class ExperimentCache:
         graph_id = (
             mig_or_key if isinstance(mig_or_key, tuple) else mig_key(mig_or_key)
         )
-        semantic = experiment_key(config, resolve_architecture(arch))
+        machine = resolve_architecture(arch)
+        spec = (
+            optimizer.spec
+            if isinstance(optimizer, Optimizer)
+            else resolve_optimizer(optimizer)
+        )
+        semantic = experiment_key(config, machine, spec)
         with self._lock:
             entry = self._results.get((graph_id, semantic))
             if entry is not None:
@@ -464,6 +561,7 @@ class ExperimentCache:
         evaluation: "BenchmarkEvaluation",
         verified_patterns: int = 0,
         arch: ArchLike = None,
+        optimizer: "OptLike | Optimizer" = None,
     ) -> None:
         """Merge results computed elsewhere (a worker process) into this
         cache.
@@ -471,16 +569,22 @@ class ExperimentCache:
         Existing result objects are kept (first stored wins), but their
         verification certificates are upgraded: compilation is
         deterministic, so a worker verifying its recompilation certifies
-        the identical stored program too.  *arch* must name the machine
-        the worker targeted — adopted entries land under its keys.
+        the identical stored program too.  *arch* and *optimizer* must
+        name the machine and optimizer the worker targeted — adopted
+        entries land under their keys.
         """
         graph_id = mig_key(mig)
         arch = resolve_architecture(arch)
+        spec = (
+            optimizer.spec
+            if isinstance(optimizer, Optimizer)
+            else resolve_optimizer(optimizer)
+        )
         with self._lock:
             self._migs.setdefault((name, preset), mig)
             self._bench_keys[graph_id] = (name, preset)
             for cfg in configs:
-                key = (graph_id, experiment_key(cfg, arch))
+                key = (graph_id, experiment_key(cfg, arch, spec))
                 stored = self._results.get(key)
                 if stored is None:
                     self._results[key] = (
@@ -528,10 +632,12 @@ def evaluate_mig_cached(
     verify: bool = False,
     verify_patterns: int = 64,
     arch: ArchLike = None,
+    opt: "OptLike | Optimizer" = None,
 ) -> BenchmarkEvaluation:
     """Compile *mig* under every configuration through a cache."""
     cache = cache if cache is not None else ExperimentCache()
     arch = resolve_architecture(arch)
+    optimizer = opt if isinstance(opt, Optimizer) else Optimizer(opt, arch)
     evaluation = BenchmarkEvaluation(
         name=mig.name,
         num_pis=mig.num_pis,
@@ -552,7 +658,7 @@ def evaluate_mig_cached(
             )
         evaluation.results[label] = cache.compile(
             mig, cfg, key=key, verify=verify, verify_patterns=verify_patterns,
-            arch=arch,
+            arch=arch, optimizer=optimizer,
         )
     return evaluation
 
@@ -605,15 +711,17 @@ def _importable_in_workers():
                     os.environ["PYTHONPATH"] = _ENV_SAVED
 
 
-def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation]:
+def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation, Dict[str, int]]:
     """Worker-process entry: evaluate one benchmark in a local session.
 
     The worker reconstructs a :class:`repro.flow.Session` from the
     picklable spec shipped by the parent — same disk-cache root, same
-    simulation backend — so cross-cutting concerns resolve identically
-    on both sides of the process boundary.  Returns the built MIG
-    alongside the evaluation so the parent can adopt both into a shared
-    cache.
+    simulation backend, same machine model and optimizer — so
+    cross-cutting concerns resolve identically on both sides of the
+    process boundary.  Returns the built MIG alongside the evaluation
+    (so the parent can adopt both into a shared cache) and the worker
+    cache's hit/miss counters (so ``BENCH_suite.json`` can report the
+    fan-out's cache behaviour, not just the parent's).
     """
     name, preset, configs, verify, verify_patterns, spec = args
     from ..flow.session import Session  # deferred: flow imports runner
@@ -628,8 +736,9 @@ def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation]:
             verify=verify,
             verify_patterns=verify_patterns,
             arch=session.architecture,
+            opt=session.optimizer,
         )
-    return mig, evaluation
+    return mig, evaluation, session.cache.counters()
 
 
 def _worker_spec(
@@ -637,16 +746,18 @@ def _worker_spec(
     cache: Optional[ExperimentCache],
     preset: str,
     arch: Optional[str] = None,
+    opt: Optional[str] = None,
 ):
     """The :class:`repro.flow.SessionSpec` worker processes rebuild from.
 
     Prefers the dispatching session's own spec (backend + cache root),
-    pinned to the *resolved* architecture the matrix is targeting — an
-    explicit ``run_matrix(arch=...)`` override must reach the workers
-    even when the session prefers a different machine.  Legacy calls
-    without a session ship just the cache's disk root and the
-    architecture name, so workers still share persisted artefacts and
-    target the same machine.
+    pinned to the *resolved* architecture and optimizer the matrix is
+    targeting — an explicit ``run_matrix(arch=...)``/``opt=...``
+    override must reach the workers even when the session prefers
+    different ones.  Legacy calls without a session ship just the
+    cache's disk root plus the architecture and optimizer names, so
+    workers still share persisted artefacts and target the same
+    machine/optimizer.
     """
     import dataclasses
 
@@ -656,13 +767,15 @@ def _worker_spec(
         spec = session.spec()
         if arch is not None and spec.arch != arch:
             spec = dataclasses.replace(spec, arch=arch)
+        if opt is not None and spec.opt != opt:
+            spec = dataclasses.replace(spec, opt=opt)
         return spec
     disk_root = (
         str(cache.disk.root)
         if cache is not None and cache.disk is not None
         else None
     )
-    return SessionSpec(cache_dir=disk_root, preset=preset, arch=arch)
+    return SessionSpec(cache_dir=disk_root, preset=preset, arch=arch, opt=opt)
 
 
 def run_matrix(
@@ -678,6 +791,7 @@ def run_matrix(
     cache: Optional[ExperimentCache] = None,
     session=None,
     arch: ArchLike = None,
+    opt: OptLike = None,
 ) -> List[BenchmarkEvaluation]:
     """Evaluate a benchmarks x configurations matrix.
 
@@ -696,6 +810,13 @@ def run_matrix(
         the dispatching *session*'s architecture (mirroring
         ``Flow.arch()``); unset, the session's — else the ambient —
         selection applies.  Results and cache entries are keyed by it.
+    opt:
+        Rewriting optimizer for every compilation (an
+        :class:`repro.opt.OptimizerSpec` or spec string such as
+        ``"greedy:write_cost"``).  Resolution mirrors *arch*: explicit
+        beats the session's, which beats the ambient
+        ``$REPRO_OPT``/default selection.  Results and cache entries
+        are keyed by it.
     parallel:
         ``None``/``0``/``1`` — run serially through *cache* (created on
         demand).  ``N > 1`` — fan benchmarks out over ``N`` worker
@@ -719,8 +840,9 @@ def run_matrix(
     jobs = resolve_configs(configs, caps, effort)
     if session is not None and cache is None:
         cache = session.cache
-    # An explicit arch argument beats the session's, mirroring
-    # Flow.arch(); with neither, the ambient selection applies.
+    # An explicit arch/opt argument beats the session's, mirroring
+    # Flow.arch()/Flow.optimize(); with neither, the ambient selection
+    # applies.
     machine = (
         resolve_architecture(arch)
         if arch is not None
@@ -728,9 +850,19 @@ def run_matrix(
         if session is not None
         else resolve_architecture(None)
     )
+    opt_spec = (
+        resolve_optimizer(opt)
+        if opt is not None
+        else session.optimizer
+        if session is not None
+        else resolve_optimizer(None)
+    )
+    optimizer = Optimizer(opt_spec, machine)
 
     if parallel is not None and parallel > 1 and len(names) > 1:
-        spec = _worker_spec(session, cache, preset, machine.name)
+        spec = _worker_spec(
+            session, cache, preset, machine.name, opt_spec.label()
+        )
         if cache is None:
             work = [
                 (name, preset, jobs, verify, verify_patterns, spec)
@@ -739,7 +871,7 @@ def run_matrix(
             with _importable_in_workers(), ProcessPoolExecutor(
                 max_workers=parallel
             ) as pool:
-                return [ev for _, ev in pool.map(_run_benchmark_job, work)]
+                return [ev for _, ev, _ in pool.map(_run_benchmark_job, work)]
         # Cooperative mode: dispatch only the pairs the cache is missing
         # (an entry without a wide-enough verification certificate counts
         # as missing when this run verifies).  Workers share the cache's
@@ -756,7 +888,7 @@ def run_matrix(
                     for cfg in jobs
                     if not cache.has(
                         mig_key(mig), cfg, verified_patterns=needed,
-                        arch=machine,
+                        arch=machine, optimizer=optimizer,
                     )
                 ]
             )
@@ -768,7 +900,7 @@ def run_matrix(
             with _importable_in_workers(), ProcessPoolExecutor(
                 max_workers=parallel
             ) as pool:
-                for job, (mig, evaluation) in zip(
+                for job, (mig, evaluation, counters) in zip(
                     work, pool.map(_run_benchmark_job, work)
                 ):
                     cache.adopt(
@@ -779,7 +911,9 @@ def run_matrix(
                         evaluation,
                         verified_patterns=verify_patterns if verify else 0,
                         arch=machine,
+                        optimizer=optimizer,
                     )
+                    cache.absorb_worker_counters(counters)
         # Fall through: assemble every evaluation from the now-warm cache
         # (pure hits), which also keeps matrix order.
 
@@ -795,6 +929,7 @@ def run_matrix(
                 verify=verify,
                 verify_patterns=verify_patterns,
                 arch=machine,
+                opt=optimizer,
             )
         )
     return evaluations

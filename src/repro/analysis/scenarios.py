@@ -221,6 +221,148 @@ def architecture_sweep(
     return points
 
 
+@dataclass(frozen=True)
+class OptSweepPoint:
+    """One (optimizer, configuration) measurement of an optimizer sweep.
+
+    ``objective`` is the optimizer's own objective score of the
+    rewritten graph (estimated, compile-free); ``result`` the full
+    :class:`repro.flow.FlowResult` with the *measured* compilation.
+    """
+
+    opt: str
+    config: str
+    result: object
+    objective: int
+
+
+def optimizer_sweep(
+    source: Union[Mig, str],
+    opts: Sequence = ("script", "greedy", "budget"),
+    configs: Sequence = ("ea-full",),
+    *,
+    session=None,
+    verify: bool = False,
+    verify_patterns: int = 64,
+) -> List[OptSweepPoint]:
+    """Compile one source under every (optimizer, configuration) pair.
+
+    The optimizer dimension of the design space: the same benchmark (a
+    registry name or an explicit MIG) is rewritten by each optimizer
+    spec — the legacy fixed scripts, the greedy cost-guided strategy,
+    the bounded look-ahead search, or any custom spec string — then
+    compiled under each endurance configuration, all through one
+    session so every artefact lands in the shared (optimizer-keyed)
+    cache and the measured #I/#R/write statistics are directly
+    comparable against the compile-free objective estimates.
+
+    The CLI ``optsweep`` subcommand, the optimizer example, and the
+    ``OPT_sweep`` benchmark artefact all render these points via
+    :func:`repro.analysis.report.render_optimizer_sweep`.
+    """
+    from ..flow import Flow, Session  # deferred: flow imports analysis
+    from ..opt import Optimizer, resolve_optimizer
+
+    if session is None:
+        session = Session()
+    machine = session.architecture
+    points: List[OptSweepPoint] = []
+    for opt in opts:
+        spec = resolve_optimizer(opt)
+        for config in configs:
+            flow = Flow.for_config(config, session=session).optimize(spec)
+            if isinstance(source, str):
+                flow.source(source)
+            else:
+                flow.source_mig(source)
+            if verify:
+                flow.verify(verify_patterns)
+            result = flow.run()
+            points.append(
+                OptSweepPoint(
+                    opt=spec.label(),
+                    config=result.compilation.config.name,
+                    result=result,
+                    objective=Optimizer(spec, machine).score(
+                        result.rewritten
+                    ),
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class ObjectiveStudyRow:
+    """One benchmark of the suite-wide objective study.
+
+    Objective scores of the raw graph, the fixed baseline script's
+    result, and the cost-guided optimizer's result — ``improved`` flags
+    a strict reduction of the optimizer over the script.
+    """
+
+    benchmark: str
+    raw: int
+    script: int
+    optimized: int
+
+    @property
+    def improved(self) -> bool:
+        return self.optimized < self.script
+
+
+def optimizer_objective_study(
+    benchmarks: Optional[Sequence[str]] = None,
+    *,
+    opt="greedy",
+    baseline: str = "endurance",
+    effort: Optional[int] = None,
+    preset: Optional[str] = None,
+    session=None,
+) -> List[ObjectiveStudyRow]:
+    """Score a cost-guided optimizer against a fixed script, suite-wide.
+
+    For each registry benchmark the *baseline* script and the *opt*
+    optimizer rewrite the same graph (both through the session cache,
+    so rewrites persist and rerunning the study is cheap) and the
+    optimizer's objective — priced under the session's architecture —
+    is compared.  This is the quantitative backing of the paper-level
+    claim that cost-guided rewriting beats fixed pipelines: the
+    ``OPT_sweep.txt`` benchmark artefact asserts the optimizer strictly
+    improves at least half the suite.
+    """
+    from ..flow import Session  # deferred: flow imports analysis
+    from ..opt import DEFAULT_EFFORT, Optimizer
+    from ..synth.registry import BENCHMARK_ORDER
+    from .runner import mig_key
+
+    if session is None:
+        session = Session()
+    names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    effort = effort if effort is not None else DEFAULT_EFFORT
+    preset = preset or session.preset
+    optimizer = Optimizer(opt, session.architecture)
+    rows: List[ObjectiveStudyRow] = []
+    with session.activated():
+        for name in names:
+            mig = session.cache.benchmark_mig(name, preset)
+            graph_id = mig_key(mig)
+            scripted = session.cache.rewritten(
+                mig, baseline, effort, key=graph_id
+            )
+            optimized = session.cache.rewritten(
+                mig, baseline, effort, key=graph_id, optimizer=optimizer
+            )
+            rows.append(
+                ObjectiveStudyRow(
+                    benchmark=name,
+                    raw=optimizer.score(mig),
+                    script=optimizer.score(scripted),
+                    optimized=optimizer.score(optimized),
+                )
+            )
+    return rows
+
+
 def storage_pressure(program) -> Tuple[int, float]:
     """(longest, mean) value lifetime of a compiled program, in
     instructions — the quantitative reading of Fig. 2."""

@@ -4,8 +4,9 @@ Four techniques, applied jointly:
 
 1. minimum write count strategy (:mod:`repro.core.policies`),
 2. maximum write count strategy (:mod:`repro.core.policies`),
-3. endurance-aware MIG rewriting, Algorithm 2
-   (:mod:`repro.core.rewriting`),
+3. endurance-aware MIG rewriting, Algorithm 2 (now part of the
+   cost-guided optimizer layer, :mod:`repro.opt`;
+   :mod:`repro.core.rewriting` is a deprecated shim),
 4. endurance-aware node selection, Algorithm 3
    (:mod:`repro.core.selection`),
 
@@ -26,7 +27,9 @@ from .policies import (
     NAIVE_ALLOCATION,
     capped_allocation,
 )
-from .rewriting import (
+# Historic re-exports; the real home is the optimizer layer now (the
+# repro.core.rewriting shim warns on call, these do not).
+from ..opt.scripts import (
     ALGORITHM1_STEPS,
     ALGORITHM2_STEPS,
     DEFAULT_EFFORT,

@@ -20,10 +20,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from ..mig.graph import Mig
+from ..opt.scripts import DEFAULT_EFFORT
 from ..plim.compiler import PlimCompiler
 from ..plim.isa import Program
 from .policies import AllocationPolicy
-from .rewriting import DEFAULT_EFFORT, rewrite
 from .selection import make_selection
 from .stats import WriteTrafficStats
 
@@ -133,19 +133,25 @@ def compile_pipeline(
     *,
     rewritten: Optional[Mig] = None,
     arch=None,
+    optimizer=None,
 ) -> CompilationResult:
     """Rewrite, compile, and summarise *mig* under *config*.
 
     *rewritten* short-circuits the rewriting stage with a precomputed
-    result of ``rewrite(mig, config.rewriting, effort=config.effort)`` —
-    the hook :class:`repro.analysis.runner.ExperimentCache` uses to share
-    one rewriting run between every configuration with the same script.
+    optimisation result — the hook
+    :class:`repro.analysis.runner.ExperimentCache` uses to share one
+    rewriting run between every configuration with the same script (or
+    optimizer).
 
     *arch* selects the target machine model (a
     :class:`repro.arch.Architecture`, a registry name, or ``None`` for
     the ambient ``$REPRO_ARCH``/default selection); the machine is
     validated against the configuration before any work happens, so a
-    policy the architecture cannot implement fails fast.
+    policy the architecture cannot implement fails fast.  *optimizer*
+    selects the rewriting optimizer (an
+    :class:`repro.opt.OptimizerSpec`, a spec string, or ``None`` for
+    the ambient ``$REPRO_OPT``/default selection — the configuration's
+    fixed script); it is ignored when *rewritten* is supplied.
 
     This is the raw, uncached pipeline body.  Application code should go
     through :class:`repro.flow.Flow` (or an
@@ -153,12 +159,15 @@ def compile_pipeline(
     caching, observers, and verification on top.
     """
     from ..arch import resolve_architecture
+    from ..opt import Optimizer
 
     machine = resolve_architecture(arch)
     machine.validate_config(config)
     gates_before = mig.num_live_gates()
     if rewritten is None:
-        rewritten = rewrite(mig, config.rewriting, effort=config.effort)
+        rewritten = Optimizer(optimizer, machine).run(
+            mig, config.rewriting, effort=config.effort
+        )
     selection = None
     if config.selection != "topo":
         selection = make_selection(config.selection)

@@ -1,98 +1,67 @@
-"""The two MIG rewriting scripts of the reproduced paper.
+"""Deprecated shim over :mod:`repro.opt.scripts`.
 
-**Algorithm 1** — the rewriting used inside the PLiM compiler of
-[Soeken et al., DAC'16]; node minimisation first, complemented-edge
-control at the end of each cycle::
+The paper's two fixed rewriting scripts (Algorithm 1, the DAC'16 PLiM
+compiler pipeline, and Algorithm 2, the endurance-aware pipeline) used
+to live here as the *only* rewriting entry point.  They moved into the
+cost-guided optimisation layer — :mod:`repro.opt.scripts` holds the
+pipelines, :mod:`repro.opt.engine` the strategies that generalise them
+— and this module survives only so existing imports keep working.
 
-    for (cycles = 0; cycles < effort; cycles++):
-        Omega.M ; Omega.D(R->L)
-        Omega.A ; Psi.C
-        Omega.M ; Omega.D(R->L)
-        Omega.I(R->L)(1-3)
-        Omega.I(R->L)
-
-**Algorithm 2** — the endurance-aware rewriting proposed by the paper.
-``Psi.C`` is dropped (it destroys single-complemented-edge nodes, the
-ideal RM3 shape) and ``Omega.A`` is sandwiched between two
-inverter-propagation phases so reshaping happens on complement-normalised
-structure; a final ``Omega.I(R->L)`` removes triple-complemented nodes::
-
-    for (cycles = 0; cycles < effort; cycles++):
-        Omega.M ; Omega.D(R->L)
-        Omega.I(R->L)(1-3)
-        Omega.I(R->L)
-        Omega.A
-        Omega.I(R->L)(1-3)
-        Omega.I(R->L)
-        Omega.M ; Omega.D(R->L)
-        Omega.I(R->L)
-
-The paper sets ``effort = 5`` for all experiments; so do the defaults here.
+The constants re-export silently (they are the same objects); the
+callables warn: new code should run scripts through the optimizer layer
+(``Flow.optimize("script")`` is the default everywhere) or call
+:func:`repro.opt.rewrite` directly.  The ``script`` strategy is
+parity-tested byte-identical to these entry points.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
 
 from ..mig.graph import Mig
-from ..mig.rewrite import apply_script
+from ..opt.scripts import (
+    ALGORITHM1_STEPS,
+    ALGORITHM2_STEPS,
+    DEFAULT_EFFORT,
+    SCRIPTS,
+)
+from ..opt import scripts as _scripts
 
-#: The paper's rewriting effort (number of script cycles).
-DEFAULT_EFFORT = 5
-
-#: Algorithm 1 — rewriting script of the DAC'16 PLiM compiler.
-ALGORITHM1_STEPS: List[str] = [
-    "M",
-    "D_rl",
-    "A",
-    "Psi_C",
-    "M",
-    "D_rl",
-    "I_rl_1_3",
-    "I_rl",
+#: Everything here is a compatibility re-export or a warning wrapper.
+__all__ = [
+    "ALGORITHM1_STEPS",
+    "ALGORITHM2_STEPS",
+    "DEFAULT_EFFORT",
+    "SCRIPTS",
+    "rewrite",
+    "rewrite_dac16",
+    "rewrite_endurance_aware",
 ]
 
-#: Algorithm 2 — the paper's endurance-aware rewriting script.
-ALGORITHM2_STEPS: List[str] = [
-    "M",
-    "D_rl",
-    "I_rl_1_3",
-    "I_rl",
-    "A",
-    "I_rl_1_3",
-    "I_rl",
-    "M",
-    "D_rl",
-    "I_rl",
-]
 
-#: Script registry: configuration name -> pass sequence (``None`` = no
-#: rewriting, the naive baseline).
-SCRIPTS: Dict[str, Optional[List[str]]] = {
-    "none": None,
-    "dac16": ALGORITHM1_STEPS,
-    "endurance": ALGORITHM2_STEPS,
-}
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.core.rewriting.{name}() is deprecated; use "
+        f"repro.opt.{name} (or route rewriting through repro.flow, "
+        "whose default 'script' strategy is byte-identical)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def rewrite_dac16(mig: Mig, effort: int = DEFAULT_EFFORT) -> Mig:
-    """Run Algorithm 1 for *effort* cycles."""
-    return apply_script(mig, ALGORITHM1_STEPS, cycles=effort)
+    """Deprecated alias of :func:`repro.opt.rewrite_dac16`."""
+    _deprecated("rewrite_dac16")
+    return _scripts.rewrite_dac16(mig, effort=effort)
 
 
 def rewrite_endurance_aware(mig: Mig, effort: int = DEFAULT_EFFORT) -> Mig:
-    """Run Algorithm 2 (the paper's endurance-aware script)."""
-    return apply_script(mig, ALGORITHM2_STEPS, cycles=effort)
+    """Deprecated alias of :func:`repro.opt.rewrite_endurance_aware`."""
+    _deprecated("rewrite_endurance_aware")
+    return _scripts.rewrite_endurance_aware(mig, effort=effort)
 
 
 def rewrite(mig: Mig, script: str, effort: int = DEFAULT_EFFORT) -> Mig:
-    """Run a registered script by name (``"none"`` returns a cleanup copy)."""
-    if script not in SCRIPTS:
-        raise ValueError(
-            f"unknown rewriting script {script!r}; expected one of "
-            f"{sorted(SCRIPTS)}"
-        )
-    steps = SCRIPTS[script]
-    if steps is None:
-        return mig.cleanup()
-    return apply_script(mig, steps, cycles=effort)
+    """Deprecated alias of :func:`repro.opt.rewrite`."""
+    _deprecated("rewrite")
+    return _scripts.rewrite(mig, script, effort=effort)

@@ -38,8 +38,13 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..arch import Architecture, DEFAULT_ARCHITECTURE, resolve_architecture
 from ..core.manager import CompilationResult, EnduranceConfig, PRESETS
-from ..core.rewriting import DEFAULT_EFFORT
 from ..core.stats import WriteTrafficStats
+from ..opt import (
+    DEFAULT_EFFORT,
+    Optimizer,
+    OptimizerSpec,
+    resolve_optimizer,
+)
 from ..mig.graph import Mig
 from ..plim.isa import Program
 from ..analysis.runner import mig_key
@@ -90,6 +95,8 @@ class FlowResult:
     stages: Dict[str, StageArtifact] = field(default_factory=dict)
     #: The machine model the compile stage targeted.
     architecture: Optional[Architecture] = None
+    #: The rewriting optimizer the rewrite stage ran.
+    optimizer: Optional[OptimizerSpec] = None
 
     @property
     def program(self) -> Program:
@@ -135,6 +142,7 @@ class Flow:
         self._rewrite: Optional[Tuple[str, int]] = None
         self._verify_patterns: Optional[int] = None
         self._arch: "str | Architecture | None" = None
+        self._opt: "str | OptimizerSpec | None" = None
         self._start_hooks: List[Callable[[StageEvent], None]] = []
         self._end_hooks: List[Callable[[StageEvent], None]] = []
 
@@ -189,6 +197,18 @@ class Flow:
         self._arch = arch
         return self
 
+    def optimize(self, opt: "str | OptimizerSpec") -> "Flow":
+        """Run the rewrite stage through a specific optimizer.
+
+        *opt* is an :class:`repro.opt.OptimizerSpec` or its compact
+        string form (``"greedy:node_count"``); unset, the session's
+        optimizer (``--opt`` / ``$REPRO_OPT`` / the ``script`` default)
+        applies.  Per-flow overrides are how optimizer sweeps share one
+        session cache — artefacts are keyed by optimizer.
+        """
+        self._opt = opt
+        return self
+
     def on_stage_start(self, hook: Callable[[StageEvent], None]) -> "Flow":
         self._start_hooks.append(hook)
         return self
@@ -230,6 +250,12 @@ class Flow:
             if self._arch is not None
             else self.session.architecture
         )
+        opt_spec = (
+            resolve_optimizer(self._opt)
+            if self._opt is not None
+            else self.session.optimizer
+        )
+        optimizer = Optimizer(opt_spec, machine)
         label = (
             f"{self._benchmark[0]}@{self._benchmark[1]}"
             if self._benchmark is not None
@@ -237,6 +263,8 @@ class Flow:
         ) + f"/{config.name}"
         if machine.name != DEFAULT_ARCHITECTURE:
             label += f"#{machine.name}"
+        if opt_spec.strategy != "script":
+            label += f"!{opt_spec.label()}"
         stages: Dict[str, StageArtifact] = {}
 
         def stage(name: str, benchmark: Optional[str], work, cached_probe):
@@ -272,14 +300,17 @@ class Flow:
             graph_id = mig_key(mig)
 
             # rewrite: shared by every config running the same script
+            # through the same optimizer
             rewritten = stage(
                 "rewrite",
                 bench_name,
                 lambda: cache.rewritten(
-                    mig, config.rewriting, config.effort, key=graph_id
+                    mig, config.rewriting, config.effort, key=graph_id,
+                    optimizer=optimizer,
                 ),
                 lambda: cache.has_rewritten(
-                    graph_id, config.rewriting, config.effort
+                    graph_id, config.rewriting, config.effort,
+                    optimizer=optimizer,
                 ),
             )
 
@@ -289,9 +320,12 @@ class Flow:
                 "compile",
                 bench_name,
                 lambda: cache.compile(
-                    mig, config, key=graph_id, arch=machine
+                    mig, config, key=graph_id, arch=machine,
+                    optimizer=optimizer,
                 ),
-                lambda: cache.has(graph_id, config, arch=machine),
+                lambda: cache.has(
+                    graph_id, config, arch=machine, optimizer=optimizer
+                ),
             )
 
             # verify: co-simulate program vs MIG (certificate-cached)
@@ -303,11 +337,11 @@ class Flow:
                     bench_name,
                     lambda: cache.verify(
                         mig, config, key=graph_id, patterns=patterns,
-                        arch=machine,
+                        arch=machine, optimizer=optimizer,
                     ),
                     lambda: cache.has(
                         graph_id, config, verified_patterns=patterns,
-                        arch=machine,
+                        arch=machine, optimizer=optimizer,
                     ),
                 )
                 verified = patterns
@@ -319,4 +353,5 @@ class Flow:
             verified_patterns=verified,
             stages=stages,
             architecture=machine,
+            optimizer=opt_spec,
         )

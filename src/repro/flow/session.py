@@ -4,8 +4,9 @@ The harness resolves the same knobs over and over — which
 simulation-kernel backend to use (``$REPRO_SIM_BACKEND``), whether and
 where to persist experiment artefacts (``$REPRO_CACHE_DIR`` /
 ``--cache-dir``), which PLiM machine model to target (``$REPRO_ARCH`` /
-``--arch``, see :mod:`repro.arch`), how many worker processes to fan out
-over, and which benchmark width preset to build.  Before this module
+``--arch``, see :mod:`repro.arch`), which rewriting optimizer to run
+(``$REPRO_OPT`` / ``--opt``, see :mod:`repro.opt`), how many worker
+processes to fan out over, and which benchmark width preset to build.  Before this module
 each entry point
 (CLI subcommands, table runners, benchmark conftest, examples) re-derived
 them independently; a :class:`Session` resolves them once and everything
@@ -45,7 +46,12 @@ from ..arch import (
     available_architectures,
     resolve_architecture,
 )
-from ..core.rewriting import DEFAULT_EFFORT
+from ..opt import (
+    DEFAULT_EFFORT,
+    OptimizerSpec,
+    opt_from_env,
+    resolve_optimizer,
+)
 from ..mig.kernel import (
     BACKEND_ENV_VAR,
     backend_scope,
@@ -80,12 +86,16 @@ class SessionSpec:
     architectures must be registered in the worker too, e.g. at module
     import); ``None`` defers to the worker's ambient
     ``$REPRO_ARCH``/default resolution, which matches the parent's.
+    ``opt`` is a canonical optimizer spec string (see
+    :meth:`repro.opt.OptimizerSpec.label`) with the same ``None``
+    semantics against ``$REPRO_OPT``.
     """
 
     backend: Optional[str] = None
     cache_dir: Optional[str] = None
     preset: str = "default"
     arch: Optional[str] = None
+    opt: Optional[str] = None
 
 
 class Session:
@@ -110,6 +120,7 @@ class Session:
         preset: str = "default",
         cache: Optional[ExperimentCache] = None,
         arch: "str | Architecture | None" = None,
+        opt: "str | OptimizerSpec | None" = None,
     ) -> None:
         if backend is not None:
             resolve_backend(backend)  # fail fast on unknown/unavailable
@@ -123,6 +134,13 @@ class Session:
         )
         self.arch = (
             self._architecture.name if self._architecture is not None else None
+        )
+        # Same contract for the rewriting optimizer ($REPRO_OPT).
+        self._optimizer = (
+            OptimizerSpec.parse(opt) if opt is not None else None
+        )
+        self.opt = (
+            self._optimizer.label() if self._optimizer is not None else None
         )
         self.cache_dir = str(cache_dir) if cache_dir else None
         if cache is not None:
@@ -149,7 +167,7 @@ class Session:
         parallel: Optional[int] = None,
     ) -> "Session":
         """Session configured from ``$REPRO_SIM_BACKEND`` /
-        ``$REPRO_CACHE_DIR`` / ``$REPRO_ARCH``."""
+        ``$REPRO_CACHE_DIR`` / ``$REPRO_ARCH`` / ``$REPRO_OPT``."""
         backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
         return cls(
             backend=backend,
@@ -157,6 +175,7 @@ class Session:
             parallel=parallel,
             preset=preset or "default",
             arch=arch_from_env(),
+            opt=opt_from_env(),
         )
 
     @classmethod
@@ -173,6 +192,7 @@ class Session:
             parallel=getattr(args, "parallel", None),
             preset=getattr(args, "preset", None) or preset or "default",
             arch=getattr(args, "arch", None),
+            opt=getattr(args, "opt", None),
         )
 
     @staticmethod
@@ -184,6 +204,7 @@ class Session:
         cache: bool = True,
         backend: bool = True,
         arch: bool = True,
+        opt: bool = True,
     ):
         """Install the session options on an ``argparse`` parser.
 
@@ -218,6 +239,18 @@ class Session:
                     "set, else the paper's 'endurance' machine)"
                 ),
             )
+        if opt:
+            parser.add_argument(
+                "--opt",
+                default=None,
+                metavar="SPEC",
+                help=(
+                    "rewriting optimizer spec, STRATEGY[:OBJECTIVE][@DEPTH] "
+                    "— e.g. 'script', 'greedy', 'budget:write_cost@3' "
+                    "(default: $REPRO_OPT if set, else the paper's fixed "
+                    "scripts; see 'repro opt list')"
+                ),
+            )
         if parallel:
             parser.add_argument(
                 "--parallel",
@@ -247,6 +280,7 @@ class Session:
             cache_dir=self.cache_dir,
             preset=self.preset,
             arch=self.arch,
+            opt=self.opt,
         )
 
     @classmethod
@@ -256,6 +290,7 @@ class Session:
             cache_dir=spec.cache_dir,
             preset=spec.preset,
             arch=getattr(spec, "arch", None),
+            opt=getattr(spec, "opt", None),
         )
 
     # -- backend -------------------------------------------------------
@@ -280,6 +315,18 @@ class Session:
         if self._architecture is not None:
             return self._architecture
         return resolve_architecture(None)
+
+    @property
+    def optimizer(self) -> OptimizerSpec:
+        """The rewriting optimizer this session resolves to.
+
+        An explicit ``Session(opt=...)`` wins; otherwise the ambient
+        selection (``$REPRO_OPT``, else the ``script`` default) applies
+        at access time, mirroring :attr:`architecture`.
+        """
+        if self._optimizer is not None:
+            return self._optimizer
+        return resolve_optimizer(None)
 
     @property
     def disk(self) -> Optional[DiskCache]:
@@ -426,5 +473,5 @@ class Session:
         return (
             f"Session(backend={self.backend!r}, cache_dir={self.cache_dir!r}, "
             f"parallel={self.parallel!r}, preset={self.preset!r}, "
-            f"arch={self.arch!r})"
+            f"arch={self.arch!r}, opt={self.opt!r})"
         )

@@ -25,11 +25,17 @@ every rule is property-tested exhaustively in the test suite.
 
 from __future__ import annotations
 
-from itertools import permutations
 from typing import Optional, Tuple
 
 from .graph import Mig
-from .signal import complement, is_complemented, node_of
+from .signal import complement
+
+#: The six orderings of three operand positions, in the order
+#: ``itertools.permutations`` yields them (rewrites are first-match, so
+#: this order is semantics).
+_PERMUTATIONS = (
+    (0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1), (2, 1, 0),
+)
 
 
 def _variable_complements(fanins) -> int:
@@ -43,13 +49,15 @@ def _gate_fanins(mig: Mig, signal: int) -> Optional[Tuple[int, int, int]]:
     Complemented gate signals are not matched structurally: pushing the
     complement through first is exactly the job of ``Omega.I``, which the
     rewriting scripts schedule explicitly.
+
+    This is the hottest probe of the rewriting engine (every candidate
+    pass application of the optimiser calls it per node), so the signal
+    decoding is inlined and the fanin table is read directly: the stored
+    entry is ``None`` for exactly the non-gates (constant and PIs).
     """
-    if is_complemented(signal):
+    if signal & 1:
         return None
-    node = node_of(signal)
-    if not mig.is_gate(node):
-        return None
-    return mig.fanins(node)
+    return mig._fanins[signal >> 1]
 
 
 # ----------------------------------------------------------------------
@@ -72,18 +80,30 @@ def try_distributivity_rl(
     new-graph signal to its residual fanout estimate; when ``None`` the
     rule only fires on guaranteed hash hits.
     """
-    for first, second, z in permutations((a, b, c)):
+    # Position-permutation order matches permutations((a, b, c)) exactly
+    # (results are order-sensitive); gate fanins are probed once per
+    # operand instead of once per pair.
+    operands = (a, b, c)
+    fans = (
+        _gate_fanins(mig, a),
+        _gate_fanins(mig, b),
+        _gate_fanins(mig, c),
+    )
+    for i, j, k in _PERMUTATIONS:
+        first, second, z = operands[i], operands[j], operands[k]
         if first > second:
             continue  # each unordered pair once
-        fi1 = _gate_fanins(mig, first)
-        fi2 = _gate_fanins(mig, second)
+        fi1 = fans[i]
+        fi2 = fans[j]
         if fi1 is None or fi2 is None:
             continue
-        shared = set(fi1) & set(fi2)
+        # Stored fanin triples are sorted and duplicate-free, so the
+        # membership scan yields the shared signals already ascending
+        # (what sorted(set & set)[:2] produced before).
+        shared = [s for s in fi1 if s in fi2]
         if len(shared) < 2:
             continue
-        shared_pair = sorted(shared)[:2]
-        x, y = shared_pair
+        x, y = shared[0], shared[1]
         rest1 = [s for s in fi1 if s not in (x, y)]
         rest2 = [s for s in fi2 if s not in (x, y)]
         if len(rest1) != 1 or len(rest2) != 1:
@@ -208,8 +228,13 @@ def propagate_inverters(
     the bit lines directly, either polarity, so a "complemented" constant
     edge costs nothing and must not trigger the rewrite.
     """
-    count = sum(1 for s in (a, b, c) if s > 1 and s & 1)
+    # Inlined complement arithmetic: this runs twice per node per script
+    # cycle (both inverter phases), so helper-call overhead is visible.
+    count = (
+        (1 if a > 1 and a & 1 else 0)
+        + (1 if b > 1 and b & 1 else 0)
+        + (1 if c > 1 and c & 1 else 0)
+    )
     if count == 3 or (count == 2 and handle_two):
-        inner = mig.add_maj(complement(a), complement(b), complement(c))
-        return complement(inner)
+        return mig.add_maj(a ^ 1, b ^ 1, c ^ 1) ^ 1
     return None

@@ -238,3 +238,42 @@ class TestCacheCommands:
         assert root.is_dir()
         assert main(["cache", "stats"]) == 0
         assert str(root) in capsys.readouterr().out
+
+
+class TestOptimizerOption:
+    def test_opt_list(self, capsys):
+        assert main(["opt", "list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("script", "greedy", "budget", "write_cost",
+                      "node_count", "cycle:endurance"):
+            assert token in out
+
+    def test_list_shows_optimizers(self, capsys):
+        main(["list"])
+        assert "optimizers" in capsys.readouterr().out
+
+    def test_optsweep(self, capsys):
+        assert main([
+            "optsweep", "ctrl", "--preset", "tiny", "--no-verify",
+            "--opts", "script", "greedy",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OPTIMIZER SWEEP" in out
+        assert "greedy:write_cost" in out
+
+    def test_bench_accepts_opt(self, capsys):
+        assert main([
+            "bench", "ctrl", "--preset", "tiny", "--opt", "greedy",
+        ]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_table1_accepts_opt(self, capsys):
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "ctrl",
+            "--no-verify", "--opt", "greedy:node_count",
+        ]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_invalid_opt_spec_rejected(self):
+        with pytest.raises(ValueError):
+            main(["bench", "ctrl", "--preset", "tiny", "--opt", "warp"])

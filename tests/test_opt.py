@@ -1,0 +1,611 @@
+"""Tests for the cost-guided rewriting optimizer layer (repro.opt)."""
+
+import pytest
+
+from repro.arch import Architecture, CostModel, get_architecture
+from repro.mig import kernel
+from repro.mig.simulate import equivalent, truth_tables
+from repro.opt import (
+    DEFAULT_EFFORT,
+    Objective,
+    Optimizer,
+    OptimizerSpec,
+    RewritePass,
+    atomic_passes,
+    available_objectives,
+    available_passes,
+    available_strategies,
+    candidate_passes,
+    estimated_write_cost,
+    get_objective,
+    get_pass,
+    get_strategy,
+    opt_from_env,
+    register_objective,
+    register_pass,
+    register_strategy,
+    resolve_optimizer,
+    rewrite,
+)
+from repro.opt.engine import OPT_ENV_VAR
+from repro.synth.registry import build_benchmark
+from .conftest import make_random_mig
+
+ENDURANCE = get_architecture("endurance")
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    kernel.set_backend(None)
+
+
+class TestPassRegistry:
+    def test_builtin_passes_registered(self):
+        names = available_passes()
+        for expected in (
+            "M", "D_rl", "A", "Psi_C", "I_rl_1_3", "I_rl", "P",
+            "cycle:dac16", "cycle:endurance",
+        ):
+            assert expected in names
+
+    def test_metadata(self):
+        assert get_pass("M").kind == "atomic"
+        assert get_pass("cycle:endurance").kind == "cycle"
+        assert all(p.preserves_equivalence for p in candidate_passes())
+        assert get_pass("P").description
+
+    def test_atomic_subset(self):
+        atomics = {p.name for p in atomic_passes()}
+        assert "cycle:dac16" not in atomics
+        assert "M" in atomics and "P" in atomics
+
+    def test_unknown_pass_lists_known(self):
+        with pytest.raises(ValueError, match="unknown rewrite pass"):
+            get_pass("nope")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_pass(RewritePass(name="M", fn=lambda m: m))
+        # overwrite=True replaces (restore the original right away)
+        original = get_pass("M")
+        register_pass(original, overwrite=True)
+
+
+class TestPassEquivalence:
+    """Every registered pass preserves the function at every output —
+    the metadata's `preserves_equivalence` claim, sweep-tested on
+    randomized MIGs across both simulation backends."""
+
+    SEEDS = (3, 11, 29)
+
+    def _backends(self):
+        return kernel.available_backends()
+
+    @pytest.mark.parametrize("name", [
+        "M", "D_rl", "A", "Psi_C", "I_rl_1_3", "I_rl", "P",
+        "cycle:dac16", "cycle:endurance",
+    ])
+    def test_pass_preserves_truth_tables(self, name):
+        rewrite_pass = get_pass(name)
+        for backend in self._backends():
+            with kernel.backend_scope(backend):
+                for seed in self.SEEDS:
+                    mig = make_random_mig(
+                        num_pis=6, num_gates=45, seed=seed
+                    )
+                    result = rewrite_pass.apply(mig)
+                    assert truth_tables(result) == truth_tables(mig), (
+                        f"pass {name} broke seed {seed} on {backend}"
+                    )
+
+    @pytest.mark.parametrize("spec", ["greedy", "budget", "greedy:depth"])
+    def test_strategies_preserve_equivalence(self, spec):
+        optimizer = Optimizer(spec, ENDURANCE)
+        for backend in self._backends():
+            with kernel.backend_scope(backend):
+                mig = make_random_mig(num_pis=6, num_gates=40, seed=17)
+                result = optimizer.run(mig, "endurance", effort=2)
+                assert equivalent(mig, result)
+
+
+class TestObjectives:
+    def test_builtins_registered(self):
+        for name in ("node_count", "depth", "write_cost"):
+            assert name in available_objectives()
+
+    def test_node_count_and_depth(self, tiny_adder):
+        assert get_objective("node_count").score(
+            tiny_adder, ENDURANCE
+        ) == tiny_adder.num_live_gates()
+        assert get_objective("depth").score(
+            tiny_adder, ENDURANCE
+        ) == tiny_adder.depth()
+
+    def test_write_cost_prices_through_the_cost_model(self):
+        from repro.mig.graph import Mig
+
+        mig = Mig("qz")
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        # three plain PI fanins: a Q violation (nothing intrinsically
+        # inverted) and a Z violation (nothing overwritable) at once
+        mig.add_po(mig.add_maj(a, b, c), "f")
+        base = estimated_write_cost(mig, ENDURANCE)
+        pricey_q = Architecture(
+            name="pricey-inverts", cost=CostModel(q_invert_instructions=9)
+        )
+        pricey_z = Architecture(
+            name="pricey-copies", cost=CostModel(z_copy_instructions=9)
+        )
+        assert estimated_write_cost(mig, pricey_q) > base
+        assert estimated_write_cost(mig, pricey_z) > base
+
+    def test_write_cost_constant_semantics_match_the_machine(self):
+        """Constants follow the compiler's rules: either polarity of a
+        constant edge is violation-free and serves as the free Q, and a
+        constant destination is the cheaper z_const repair."""
+        from repro.mig.graph import Mig
+        from repro.mig.signal import CONST0, CONST1, complement
+
+        cost = ENDURANCE.cost
+        # AND gate MAJ(a, b, 0): the constant is the free Q (not a
+        # q_invert violation); the destination still needs a copy.
+        mig = Mig("and")
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_maj(a, b, CONST0), "f")
+        assert estimated_write_cost(mig, ENDURANCE) == (
+            1 + cost.z_copy_instructions
+        )
+        # OR gate MAJ(a, b, 1): the complemented-constant edge is NOT a
+        # complement violation — same bill as the AND.
+        mig = Mig("or")
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_maj(a, b, CONST1), "f")
+        assert estimated_write_cost(mig, ENDURANCE) == (
+            1 + cost.z_copy_instructions
+        )
+        # One complemented PI fanin: ideal Q, but still no destination.
+        mig = Mig("ideal-q")
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        mig.add_po(mig.add_maj(complement(a), b, c), "f")
+        assert estimated_write_cost(mig, ENDURANCE) == (
+            1 + cost.z_copy_instructions
+        )
+        # Complemented Q *and* a spare constant: the cheaper z_const
+        # repair applies.
+        mig = Mig("const-z")
+        a, b = mig.add_pi("a"), mig.add_pi("b")
+        mig.add_po(mig.add_maj(complement(a), b, CONST0), "f")
+        assert estimated_write_cost(mig, ENDURANCE) == (
+            1 + cost.z_const_instructions
+        )
+
+    def test_write_cost_lower_bounded_by_gates(self, small_random_mig):
+        assert estimated_write_cost(
+            small_random_mig, ENDURANCE
+        ) >= small_random_mig.num_live_gates()
+
+    def test_custom_objective_registration(self, small_random_mig):
+        register_objective(
+            Objective(
+                name="complement_edges",
+                fn=lambda mig, arch: mig.num_complemented_edges(),
+                description="total complemented edges",
+            ),
+            overwrite=True,
+        )
+        optimizer = Optimizer("greedy:complement_edges", ENDURANCE)
+        result = optimizer.run(small_random_mig, "endurance", effort=2)
+        assert equivalent(small_random_mig, result)
+        assert optimizer.score(result) <= small_random_mig.num_complemented_edges()
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_objective(
+                Objective(name="depth", fn=lambda m, a: 0)
+            )
+
+
+class TestSpec:
+    def test_parse_label_round_trip(self):
+        for text in (
+            "script", "greedy", "greedy:node_count",
+            "budget:write_cost@3", "budget:depth@1",
+        ):
+            spec = OptimizerSpec.parse(text)
+            assert OptimizerSpec.parse(spec.label()) == spec
+
+    def test_defaults(self):
+        spec = OptimizerSpec.parse("greedy")
+        assert spec.objective == "write_cost"
+        assert OptimizerSpec().strategy == "script"
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(ValueError):
+            OptimizerSpec.parse("warp-drive")
+        with pytest.raises(ValueError):
+            OptimizerSpec.parse("greedy:not_an_objective")
+        with pytest.raises(ValueError):
+            OptimizerSpec.parse("budget@zero")
+        with pytest.raises(ValueError):
+            OptimizerSpec.parse("budget@0")
+        with pytest.raises(ValueError):
+            OptimizerSpec.parse("")
+
+    def test_script_key_collapses(self):
+        # the script strategy's result is fully determined by the
+        # configuration, so every script spec shares one cache identity
+        assert OptimizerSpec.parse("script").key() == ("script",)
+        assert OptimizerSpec.parse("greedy").key() != ("script",)
+
+    def test_strategy_registry(self):
+        assert available_strategies()[0] == "script"
+        with pytest.raises(ValueError, match="unknown optimizer strategy"):
+            get_strategy("anneal")
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(get_strategy("greedy"))
+
+
+class TestResolutionPrecedence:
+    """flag > $REPRO_OPT > default, mirroring resolve_architecture."""
+
+    def test_default_when_nothing_selected(self, monkeypatch):
+        monkeypatch.delenv(OPT_ENV_VAR, raising=False)
+        assert resolve_optimizer(None).label() == "script"
+        assert opt_from_env() is None
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(OPT_ENV_VAR, "greedy:node_count")
+        assert resolve_optimizer(None).label() == "greedy:node_count"
+        assert opt_from_env() == "greedy:node_count"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(OPT_ENV_VAR, "greedy")
+        assert resolve_optimizer("budget").strategy == "budget"
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(OPT_ENV_VAR, "warp-drive")
+        with pytest.raises(ValueError):
+            resolve_optimizer(None)
+
+    def test_session_explicit_beats_env(self, monkeypatch):
+        from repro.flow import Session
+
+        monkeypatch.setenv(OPT_ENV_VAR, "greedy")
+        assert Session(opt="budget").optimizer.strategy == "budget"
+
+    def test_session_env_resolution(self, monkeypatch):
+        from repro.flow import Session
+
+        monkeypatch.setenv(OPT_ENV_VAR, "greedy:depth")
+        session = Session.from_env()
+        assert session.opt == "greedy:depth"
+        monkeypatch.delenv(OPT_ENV_VAR)
+        assert Session.from_env().opt is None
+
+    def test_session_from_args_flag_beats_env(self, monkeypatch):
+        import argparse
+
+        from repro.flow import Session
+
+        monkeypatch.setenv(OPT_ENV_VAR, "greedy")
+        parser = argparse.ArgumentParser()
+        Session.add_arguments(parser)
+        session = Session.from_args(parser.parse_args(["--opt", "budget"]))
+        assert session.optimizer.strategy == "budget"
+        # absent flag: the ambient env selection applies at use time
+        session = Session.from_args(parser.parse_args([]))
+        assert session.optimizer.strategy == "greedy"
+
+    def test_session_rejects_unknown_opt_eagerly(self):
+        from repro.flow import Session
+
+        with pytest.raises(ValueError):
+            Session(opt="warp-drive")
+
+    def test_spec_round_trip_carries_opt(self):
+        from repro.flow import Session
+
+        spec = Session(opt="budget:node_count@4", preset="tiny").spec()
+        assert spec.opt == "budget:node_count@4"
+        rebuilt = Session.from_spec(spec)
+        assert rebuilt.optimizer == OptimizerSpec(
+            strategy="budget", objective="node_count", lookahead=4
+        )
+
+
+class TestScriptParity:
+    """The script strategy is byte-identical to the legacy pipelines."""
+
+    def _identical(self, a, b):
+        return (
+            a._fanins == b._fanins
+            and a._pis == b._pis
+            and a._pos == b._pos
+        )
+
+    @pytest.mark.parametrize("script", ["none", "dac16", "endurance"])
+    def test_script_strategy_matches_legacy_rewrite(self, script):
+        optimizer = Optimizer("script", ENDURANCE)
+        for seed in (5, 23):
+            mig = make_random_mig(num_pis=6, num_gates=50, seed=seed)
+            assert self._identical(
+                optimizer.run(mig, script, effort=DEFAULT_EFFORT),
+                rewrite(mig, script, effort=DEFAULT_EFFORT),
+            )
+
+    @pytest.mark.parametrize("script", ["dac16", "endurance"])
+    def test_script_strategy_matches_on_benchmarks(self, script):
+        optimizer = Optimizer("script", ENDURANCE)
+        for name in ("ctrl", "int2float"):
+            mig = build_benchmark(name, "tiny")
+            assert self._identical(
+                optimizer.run(mig, script, effort=DEFAULT_EFFORT),
+                rewrite(mig, script, effort=DEFAULT_EFFORT),
+            )
+
+    def test_core_rewriting_shim_warns_and_agrees(self, small_random_mig):
+        from repro.core import rewriting as legacy
+
+        with pytest.deprecated_call():
+            shimmed = legacy.rewrite(small_random_mig, "endurance")
+        assert self._identical(
+            shimmed, rewrite(small_random_mig, "endurance")
+        )
+        with pytest.deprecated_call():
+            legacy.rewrite_dac16(small_random_mig, effort=1)
+        with pytest.deprecated_call():
+            legacy.rewrite_endurance_aware(small_random_mig, effort=1)
+
+    def test_flow_default_optimizer_is_script_parity(self, tmp_path):
+        """An unconfigured Flow compiles exactly like the pre-optimizer
+        harness: its rewrite stage equals the legacy script result."""
+        from repro.flow import Flow, Session
+
+        session = Session(preset="tiny")
+        result = Flow.for_config("ea-full", session=session).source("ctrl").run()
+        assert result.optimizer.label() == "script"
+        legacy = rewrite(result.mig, "endurance", effort=DEFAULT_EFFORT)
+        assert self._identical(result.rewritten, legacy)
+
+
+class TestSearchStrategies:
+    def test_greedy_never_worse_than_input(self, small_random_mig):
+        optimizer = Optimizer("greedy", ENDURANCE)
+        result = optimizer.run(small_random_mig, "endurance", effort=3)
+        assert optimizer.score(result) <= optimizer.score(
+            small_random_mig.cleanup()
+        )
+
+    def test_greedy_deterministic(self, small_random_mig):
+        optimizer = Optimizer("greedy", ENDURANCE)
+        first = optimizer.run(small_random_mig, "endurance", effort=3)
+        second = optimizer.run(small_random_mig, "endurance", effort=3)
+        assert first._fanins == second._fanins
+        assert first._pos == second._pos
+
+    def test_greedy_beats_or_matches_script_on_benchmarks(self):
+        optimizer = Optimizer("greedy", ENDURANCE)
+        for name in ("ctrl", "int2float", "priority"):
+            mig = build_benchmark(name, "tiny")
+            scripted = rewrite(mig, "endurance", effort=DEFAULT_EFFORT)
+            optimized = optimizer.run(
+                mig, "endurance", effort=DEFAULT_EFFORT
+            )
+            assert optimizer.score(optimized) <= optimizer.score(scripted)
+
+    def test_budget_never_worse_than_input(self, small_random_mig):
+        optimizer = Optimizer("budget:write_cost@2", ENDURANCE)
+        result = optimizer.run(small_random_mig, "endurance", effort=2)
+        assert optimizer.score(result) <= optimizer.score(
+            small_random_mig.cleanup()
+        )
+
+    def test_none_script_is_untouched_under_every_strategy(
+        self, small_random_mig
+    ):
+        """Baseline configurations stay baselines in optimizer sweeps."""
+        cleaned = small_random_mig.cleanup()
+        for spec in ("script", "greedy", "budget"):
+            result = Optimizer(spec, ENDURANCE).run(
+                small_random_mig, "none", effort=5
+            )
+            assert result._fanins == cleaned._fanins
+            assert result._pos == cleaned._pos
+
+    def test_architecture_steers_the_search_key(self):
+        """The write-cost objective binds the machine into the cache
+        identity of search results — but not of script results."""
+        blocked = get_architecture("blocked")
+        greedy_a = Optimizer("greedy", ENDURANCE)
+        greedy_b = Optimizer("greedy", blocked)
+        assert greedy_a.rewrite_key("endurance", 5) != (
+            greedy_b.rewrite_key("endurance", 5)
+        )
+        assert greedy_a.key() == greedy_b.key()  # compile key adds arch anyway
+        script_a = Optimizer("script", ENDURANCE)
+        script_b = Optimizer("script", blocked)
+        assert script_a.rewrite_key("endurance", 5) == (
+            script_b.rewrite_key("endurance", 5)
+        )
+        # arch-oblivious objectives share across machines too
+        depth_a = Optimizer("greedy:depth", ENDURANCE)
+        depth_b = Optimizer("greedy:depth", blocked)
+        assert depth_a.rewrite_key("endurance", 5) == (
+            depth_b.rewrite_key("endurance", 5)
+        )
+
+
+class TestCacheKeying:
+    def test_rewritten_keyed_by_optimizer(self):
+        from repro.analysis.runner import ExperimentCache
+
+        cache = ExperimentCache()
+        mig = build_benchmark("ctrl", "tiny")
+        scripted = cache.rewritten(mig, "endurance", DEFAULT_EFFORT)
+        greedy = cache.rewritten(
+            mig, "endurance", DEFAULT_EFFORT,
+            optimizer=Optimizer("greedy", ENDURANCE),
+        )
+        assert scripted is not greedy
+        # and a re-request of either is a pure memory hit
+        assert cache.rewritten(mig, "endurance", DEFAULT_EFFORT) is scripted
+        assert cache.rewritten(
+            mig, "endurance", DEFAULT_EFFORT,
+            optimizer=Optimizer("greedy", ENDURANCE),
+        ) is greedy
+
+    def test_compile_keyed_by_optimizer(self):
+        from repro.analysis.runner import ExperimentCache
+        from repro.core.manager import PRESETS
+
+        cache = ExperimentCache()
+        mig = build_benchmark("ctrl", "tiny")
+        cache.compile(mig, PRESETS["ea-full"])
+        assert cache.misses == 1
+        cache.compile(mig, PRESETS["ea-full"], optimizer="greedy")
+        assert cache.misses == 2  # distinct cache line
+        cache.compile(mig, PRESETS["ea-full"], optimizer="greedy")
+        assert cache.hits == 1
+
+    def test_has_respects_optimizer(self):
+        from repro.analysis.runner import ExperimentCache
+        from repro.core.manager import PRESETS
+
+        cache = ExperimentCache()
+        mig = build_benchmark("ctrl", "tiny")
+        cache.compile(mig, PRESETS["ea-full"])
+        assert cache.has(mig, PRESETS["ea-full"])
+        assert not cache.has(mig, PRESETS["ea-full"], optimizer="greedy")
+
+    def test_disk_cache_keyed_by_optimizer(self, tmp_path):
+        from repro.flow import Flow, Session
+
+        session = Session(cache_dir=tmp_path, preset="tiny")
+        scripted = (
+            Flow.for_config("ea-full", session=session).source("ctrl").run()
+        )
+        optimized = (
+            Flow.for_config("ea-full", session=session)
+            .optimize("greedy")
+            .source("ctrl")
+            .run()
+        )
+        # a fresh session on the same root serves each spec its own MIG
+        warm = Session(cache_dir=tmp_path, preset="tiny")
+        warm_scripted = (
+            Flow.for_config("ea-full", session=warm).source("ctrl").run()
+        )
+        warm_optimized = (
+            Flow.for_config("ea-full", session=warm)
+            .optimize("greedy")
+            .source("ctrl")
+            .run()
+        )
+        assert warm_scripted.stages["rewrite"].cached
+        assert warm_optimized.stages["rewrite"].cached
+        assert (
+            warm_scripted.rewritten._fanins == scripted.rewritten._fanins
+        )
+        assert (
+            warm_optimized.rewritten._fanins == optimized.rewritten._fanins
+        )
+
+    def test_flow_override_beats_session(self):
+        from repro.flow import Flow, Session
+
+        session = Session(preset="tiny", opt="greedy")
+        result = (
+            Flow.for_config("ea-full", session=session)
+            .optimize("script")
+            .source("ctrl")
+            .run()
+        )
+        assert result.optimizer.label() == "script"
+
+
+class TestMatrixIntegration:
+    def test_run_matrix_explicit_opt_beats_session(self):
+        from repro.flow import Session
+        from repro.analysis.runner import run_matrix
+
+        session = Session(preset="tiny", opt="greedy")
+        explicit = run_matrix(
+            ["ctrl"], ["ea-full"], preset="tiny", session=session,
+            opt="script",
+        )
+        ambient = run_matrix(
+            ["ctrl"], ["ea-full"], preset="tiny",
+        )
+        assert (
+            explicit[0].results["ea-full"].program.instructions
+            == ambient[0].results["ea-full"].program.instructions
+        )
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial_under_greedy(self):
+        from repro.flow import Session
+
+        names = ["ctrl", "int2float", "priority"]
+        serial = Session(preset="tiny", opt="greedy").run_matrix(
+            names, ["naive", "ea-full"]
+        )
+        fanned = Session(preset="tiny", opt="greedy").run_matrix(
+            names, ["naive", "ea-full"], parallel=2
+        )
+        for a, b in zip(serial, fanned):
+            for label in ("naive", "ea-full"):
+                assert (
+                    a.results[label].program.instructions
+                    == b.results[label].program.instructions
+                )
+
+    def test_optimizer_sweep_points(self):
+        from repro.analysis.scenarios import optimizer_sweep
+        from repro.flow import Session
+
+        session = Session(preset="tiny")
+        points = optimizer_sweep(
+            "ctrl", opts=("script", "greedy"), configs=("ea-full",),
+            session=session,
+        )
+        assert [p.opt for p in points] == ["script", "greedy:write_cost"]
+        by_opt = {p.opt: p for p in points}
+        assert (
+            by_opt["greedy:write_cost"].objective
+            <= by_opt["script"].objective
+        )
+
+    def test_objective_study_rows(self):
+        from repro.analysis.scenarios import optimizer_objective_study
+        from repro.flow import Session
+
+        session = Session(preset="tiny")
+        rows = optimizer_objective_study(
+            ["ctrl", "int2float"], session=session
+        )
+        assert [r.benchmark for r in rows] == ["ctrl", "int2float"]
+        for row in rows:
+            assert row.optimized <= row.script <= row.raw
+            assert row.improved == (row.optimized < row.script)
+
+    def test_render_optimizer_sweep_and_study(self):
+        from repro.analysis.report import (
+            render_objective_study,
+            render_optimizer_sweep,
+        )
+        from repro.analysis.scenarios import (
+            optimizer_objective_study,
+            optimizer_sweep,
+        )
+        from repro.flow import Session
+
+        session = Session(preset="tiny")
+        sweep = render_optimizer_sweep(
+            optimizer_sweep("ctrl", opts=("script", "greedy"), session=session)
+        )
+        assert "script" in sweep and "greedy:write_cost" in sweep
+        study = render_objective_study(
+            optimizer_objective_study(["ctrl"], session=session)
+        )
+        assert "strictly improved on" in study

@@ -9,6 +9,7 @@ change, deliberately.
 import repro
 import repro.arch
 import repro.flow
+import repro.opt
 
 #: The blessed root namespace.  Additions are appended deliberately;
 #: removals are breaking changes and need a deprecation cycle.
@@ -20,6 +21,8 @@ ROOT_API = [
     "Flow",
     "FlowResult",
     "Mig",
+    "Optimizer",
+    "OptimizerSpec",
     "PRESETS",
     "PlimController",
     "Program",
@@ -27,12 +30,16 @@ ROOT_API = [
     "Session",
     "WriteTrafficStats",
     "available_architectures",
+    "available_objectives",
+    "available_strategies",
     "build_benchmark",
     "compile_with_management",
     "equivalent",
     "full_management",
     "get_architecture",
     "register_architecture",
+    "register_objective",
+    "resolve_optimizer",
     "simulate",
     "truth_tables",
     "verify_program",
@@ -52,6 +59,41 @@ ARCH_API = [
     "get_architecture",
     "register_architecture",
     "resolve_architecture",
+]
+
+#: The blessed repro.opt namespace (the cost-guided optimizer layer).
+OPT_API = [
+    "ALGORITHM1_STEPS",
+    "ALGORITHM2_STEPS",
+    "DEFAULT_EFFORT",
+    "DEFAULT_LOOKAHEAD",
+    "DEFAULT_OBJECTIVE",
+    "DEFAULT_OPTIMIZER",
+    "OPT_ENV_VAR",
+    "Objective",
+    "OptLike",
+    "Optimizer",
+    "OptimizerSpec",
+    "RewritePass",
+    "SCRIPTS",
+    "Strategy",
+    "atomic_passes",
+    "available_objectives",
+    "available_passes",
+    "available_strategies",
+    "candidate_passes",
+    "estimated_write_cost",
+    "get_objective",
+    "get_pass",
+    "get_strategy",
+    "opt_from_env",
+    "register_objective",
+    "register_pass",
+    "register_strategy",
+    "resolve_optimizer",
+    "rewrite",
+    "rewrite_dac16",
+    "rewrite_endurance_aware",
 ]
 
 #: The blessed repro.flow namespace.
@@ -99,6 +141,28 @@ class TestArchNamespace:
         for name in ("dac16", "endurance", "blocked"):
             assert name in repro.arch.available_architectures()
         assert repro.arch.DEFAULT_ARCHITECTURE == "endurance"
+
+
+class TestOptNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.opt.__all__) == sorted(OPT_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.opt.__all__:
+            assert getattr(repro.opt, name) is not None
+
+    def test_opt_types_exported_at_root(self):
+        assert repro.OptimizerSpec is repro.opt.OptimizerSpec
+        assert repro.resolve_optimizer is repro.opt.resolve_optimizer
+
+    def test_builtin_registries_stable(self):
+        """The shipped strategies/objectives (and defaults) are API."""
+        for name in ("script", "greedy", "budget"):
+            assert name in repro.opt.available_strategies()
+        for name in ("node_count", "depth", "write_cost"):
+            assert name in repro.opt.available_objectives()
+        assert repro.opt.DEFAULT_OPTIMIZER == "script"
+        assert repro.opt.DEFAULT_OBJECTIVE == "write_cost"
 
 
 class TestFlowNamespace:

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.rewriting import (
+from repro.opt import (
     ALGORITHM1_STEPS,
     ALGORITHM2_STEPS,
     rewrite,

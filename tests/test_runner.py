@@ -260,3 +260,51 @@ class TestDuplicateLabels:
             build_adder(width=3), [PRESETS["naive"], PRESETS["naive"]]
         )
         assert set(ev.results) == {"naive"}
+
+
+class TestWorkerCounterAggregation:
+    """run_matrix(parallel=N) folds each worker's cache counters into
+    the shared cache, so BENCH_suite.json reports the fan-out's cache
+    behaviour instead of only the parent process's view."""
+
+    @pytest.mark.slow
+    def test_parallel_aggregates_worker_counters(self, tmp_path):
+        from repro.flow import Session
+
+        session = Session(cache_dir=tmp_path, preset="tiny")
+        session.run_matrix(
+            ["adder", "ctrl", "int2float"], ["naive", "dac16"], parallel=2
+        )
+        counters = session.cache.worker_counters
+        assert counters["workers"] == 3  # one per dispatched benchmark
+        # each worker compiled its two configurations locally...
+        assert counters["misses"] == 6
+        assert counters["hits"] == 0
+        # ...and persisted them through the shared disk root
+        assert counters["disk_misses"] > 0
+
+    @pytest.mark.slow
+    def test_warm_rerun_reports_worker_disk_hits(self, tmp_path):
+        from repro.flow import Session
+
+        cold = Session(cache_dir=tmp_path, preset="tiny")
+        cold.run_matrix(["adder", "ctrl"], ["naive"], parallel=2)
+        # The verification upgrade makes the persisted (uncertified)
+        # entries count as missing, so workers are dispatched — and find
+        # their builds and compilations already on the shared root.
+        warm = Session(cache_dir=tmp_path, preset="tiny")
+        warm.run_matrix(
+            ["adder", "ctrl"], ["naive"], parallel=2,
+            verify=True, verify_patterns=16,
+        )
+        counters = warm.cache.worker_counters
+        assert counters["workers"] == 2
+        assert counters["disk_hits"] > 0  # served from the shared root
+
+    def test_serial_runs_leave_worker_counters_zero(self):
+        from repro.analysis.runner import ExperimentCache
+
+        cache = ExperimentCache()
+        run_matrix(["adder"], ["naive"], preset="tiny", cache=cache)
+        assert cache.worker_counters["workers"] == 0
+        assert all(v == 0 for v in cache.worker_counters.values())

@@ -175,3 +175,114 @@ class TestWriteCapInteraction:
         rotations = sum(array.write_counts()) - executions * sum(counts)
         assert rotations > 0
         assert max(array.write_counts()) <= 4 * executions + rotations
+
+
+class TestPerBlockRotation:
+    """Start-Gap on word-addressed machines rotates each line
+    independently (the blocked-architecture ROADMAP lever)."""
+
+    def _blocked(self):
+        from repro.arch import get_architecture
+
+        return get_architecture("blocked")
+
+    def test_one_spare_per_line(self):
+        arch = self._blocked()
+        block = arch.geometry.block_size
+        array = StartGapArray.for_architecture(arch, 20)
+        lines = -(-20 // block)
+        assert array.num_regions == lines
+        assert array.physical.num_cells == 20 + lines
+        # every line's gap starts at its own spare, behind its cells
+        assert len(array.gaps()) == lines
+        assert len(set(array.gaps())) == lines
+
+    def test_crossbar_stays_single_region(self):
+        from repro.arch import get_architecture
+
+        array = StartGapArray.for_architecture(
+            get_architecture("endurance"), 8
+        )
+        assert array.num_regions == 1
+        assert array.physical.num_cells == 9  # one spare, as before
+        assert array.gap == 8  # scalar gap still exposed
+
+    def test_scalar_gap_refused_on_blocked_arrays(self):
+        array = StartGapArray.for_architecture(self._blocked(), 20)
+        with pytest.raises(AttributeError):
+            array.gap
+
+    def test_rotation_confined_to_the_written_line(self):
+        arch = self._blocked()
+        array = StartGapArray(20, gap_interval=4, arch=arch)
+        before = array.gaps()
+        for _ in range(25):  # > 6 rotations of line 0, none elsewhere
+            array.write(2, 1)
+        after = array.gaps()
+        assert after[0] != before[0]
+        assert after[1:] == before[1:]
+        assert array.region_revolutions()[1:] == [0] * (array.num_regions - 1)
+
+    def test_values_never_leave_their_line(self):
+        arch = self._blocked()
+        block = arch.geometry.block_size
+        array = StartGapArray(16, gap_interval=1, arch=arch)
+        for step in range(40):
+            array.write(3, step & 1)
+            array.write(11, step & 1)
+            for logical in (3, 11):
+                line = logical // block
+                rotor_base = array.physical_address(logical)
+                # the line's physical segment is [line*(block+1), +block+1)
+                assert line * (block + 1) <= rotor_base < (line + 1) * (block + 1)
+
+    def test_interval_comes_from_the_architecture(self):
+        from repro.arch import Architecture, Geometry
+
+        machine = Architecture(
+            name="tight-lines",
+            geometry=Geometry(block_size=4, gap_interval=3),
+        )
+        array = StartGapArray.for_architecture(machine, 8)
+        start = array.gaps()[0]
+        array.write(0, 1)
+        array.write(1, 1)
+        assert array.gaps()[0] == start  # interval not reached yet
+        array.write(2, 1)  # third write into line 0 rotates it
+        assert array.gaps()[0] != start
+        assert array.gaps()[1] == array._rotors[1].base + 4
+
+    def test_reads_stay_correct_across_line_rotations(self):
+        arch = self._blocked()
+        array = StartGapArray(20, gap_interval=1, arch=arch)
+        values = {}
+        for logical in range(20):
+            array.preload(logical, logical & 1)
+            values[logical] = logical & 1
+        for step in range(60):
+            logical = (step * 7) % 20
+            values[logical] = (step >> 1) & 1
+            array.write(logical, values[logical])
+            for check in (0, 7, 13, 19):
+                assert array.read(check) == values[check]
+
+    def test_startgap_x_blocked_end_to_end(self):
+        """A program compiled FOR the blocked machine runs correctly on
+        a per-line rotating array built FROM the same machine."""
+        arch = self._blocked()
+        mig = build_adder(width=3)
+        program = compile_pipeline(mig, PRESETS["ea-full"], arch=arch).program
+        words = [(i * 29 + 5) & 0xFF for i in range(mig.num_pis)]
+        plain = RramArray(program.num_cells)
+        expected = PlimController(plain).run(program, words, mask=0xFF)
+
+        array = run_with_start_gap(
+            program, words, executions=8, gap_interval=4, arch=arch
+        )
+        assert array.num_regions == -(-program.num_cells // arch.geometry.block_size)
+        outputs = PlimController(array).run(program, words, mask=0xFF)
+        assert outputs == expected
+        # rotation really happened in at least one line
+        assert any(r > 0 or g != rot.base + rot.size
+                   for r, g, rot in zip(array.region_revolutions(),
+                                        array.gaps(), array._rotors))
