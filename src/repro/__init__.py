@@ -30,6 +30,12 @@ The package provides:
   architecture-aware estimated write cost), and search strategies
   (``script``, ``greedy``, ``budget``) selected per run via ``--opt`` /
   ``$REPRO_OPT``;
+* :mod:`repro.source` — the circuit-source layer: one
+  :class:`~repro.source.Source` abstraction spanning registry
+  benchmarks, imported netlists (``.mig``/``.blif``/``.aag``), Python
+  functions compiled by :func:`~repro.synth.mig_function`, and bare
+  graphs — each with a stable content fingerprint keying the caches,
+  selected per run via ``--source`` / ``$REPRO_SOURCE``;
 * :mod:`repro.analysis` — table/figure harnesses regenerating the paper's
   experimental evaluation;
 * :mod:`repro.flow` — the Session + pass-pipeline API every harness entry
@@ -67,6 +73,13 @@ from .plim.memory import RramArray
 from .plim.controller import PlimController
 from .plim.verify import verify_program
 from .synth.registry import BENCHMARKS, build_benchmark
+from .synth.frontend import mig_function
+from .source import (
+    Source,
+    available_sources,
+    register_source,
+    resolve_source,
+)
 from .flow import Flow, FlowResult, Session
 
 __version__ = "1.1.0"
@@ -86,18 +99,23 @@ __all__ = [
     "Program",
     "RramArray",
     "Session",
+    "Source",
     "WriteTrafficStats",
     "available_architectures",
     "available_objectives",
+    "available_sources",
     "available_strategies",
     "build_benchmark",
     "compile_with_management",
     "equivalent",
     "full_management",
     "get_architecture",
+    "mig_function",
     "register_architecture",
     "register_objective",
+    "register_source",
     "resolve_optimizer",
+    "resolve_source",
     "simulate",
     "truth_tables",
     "verify_program",

@@ -5,13 +5,20 @@ Subcommands regenerate each experiment of the paper:
 * ``table1`` / ``table2`` / ``table3`` — the three evaluation tables;
 * ``headline`` — the abstract's aggregate numbers;
 * ``fig1`` / ``fig2`` — the motivating write-imbalance scenarios;
-* ``bench NAME`` — one benchmark under all configurations;
+* ``bench NAME_OR_PATH`` — one circuit under all configurations;
 * ``arch list`` — the registered PLiM machine models;
-* ``archsweep NAME`` — one benchmark across machine models;
+* ``archsweep NAME_OR_PATH`` — one circuit across machine models;
 * ``opt list`` — the registered optimizer strategies/objectives/passes;
-* ``optsweep NAME`` — one benchmark across rewriting optimizers;
+* ``optsweep NAME_OR_PATH`` — one circuit across rewriting optimizers;
+* ``source list`` — the registered circuit sources;
+* ``sourcesweep NAME_OR_PATH...`` — one pipeline across sources;
 * ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
 * ``list`` — available benchmarks and presets.
+
+Wherever a command takes a circuit, it accepts either a registry
+benchmark name or a netlist path (``.mig``/``.blif``/``.aag``/
+``.aiger``) — imported files run the same cached pipeline, keyed by
+content fingerprint.
 
 Every subcommand routes through one :class:`repro.flow.Session` built
 from its arguments: ``--backend`` selects the simulation kernel,
@@ -44,6 +51,7 @@ from ..opt import (
     get_strategy,
 )
 from ..flow import Flow, Session, resolve_cache_dir
+from ..source import available_sources, get_source, resolve_source
 from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER
 from . import report, scenarios
 from .diskcache import DEFAULT_ROOT, DiskCache
@@ -56,8 +64,11 @@ def _add_suite_options(parser: argparse.ArgumentParser) -> None:
         "--benchmarks",
         nargs="*",
         default=None,
-        metavar="NAME",
-        help="subset of benchmarks (default: all 18)",
+        metavar="NAME_OR_PATH",
+        help=(
+            "subset of benchmarks, or netlist paths (.mig/.blif/.aag) "
+            "(default: all 18)"
+        ),
     )
     parser.add_argument(
         "--effort", type=int, default=5, help="rewriting cycles (paper: 5)"
@@ -146,11 +157,27 @@ def cmd_fig2(args) -> int:
     return 0
 
 
+def _cli_source(args, session):
+    """Positional NAME_OR_PATH > ``--source`` > ``$REPRO_SOURCE``."""
+    name = getattr(args, "name", None)
+    if name is not None:
+        return resolve_source(name)
+    return session.default_source
+
+
 def cmd_bench(args) -> int:
     session = Session.from_args(args)
+    source = _cli_source(args, session)
+    if source is None:
+        print(
+            "bench: no source given; pass NAME_OR_PATH, --source, or "
+            "set $REPRO_SOURCE",
+            file=sys.stderr,
+        )
+        return 2
     with session.activated():
-        mig = session.cache.benchmark_mig(args.name, session.preset)
-    print(f"{args.name}: {mig.num_pis} PIs, {mig.num_pos} POs, "
+        mig = session.cache.source_mig(source, session.preset)
+    print(f"{source.name}: {mig.num_pis} PIs, {mig.num_pos} POs, "
           f"{mig.num_live_gates()} gates")
     configs = list(PRESETS.values())
     if args.wmax is not None:
@@ -158,7 +185,7 @@ def cmd_bench(args) -> int:
     for cfg in configs:
         result = (
             Flow.for_config(cfg, session=session)
-            .source(args.name)
+            .source(source)
             .run()
             .compilation
         )
@@ -213,6 +240,40 @@ def cmd_archsweep(args) -> int:
             title=(
                 f"ARCHITECTURE SWEEP - {args.name} "
                 f"({session.preset} preset)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_source_list(args) -> int:
+    print("circuit sources (select with a name/path, --source, or "
+          "$REPRO_SOURCE):")
+    for name in available_sources():
+        source = get_source(name)
+        print(f"   {name:14s} [{source.kind}]")
+    print("\nnetlist paths (.mig/.blif/.aag) work everywhere a name "
+          "does; register custom\nsources via "
+          "repro.source.register_source, or compile Python functions "
+          "with\n@repro.synth.frontend.mig_function")
+    return 0
+
+
+def cmd_sourcesweep(args) -> int:
+    session = Session.from_args(args)
+    points = scenarios.source_sweep(
+        args.sources,
+        configs=args.configs,
+        session=session,
+        verify=not args.no_verify,
+    )
+    print(
+        report.render_source_sweep(
+            points,
+            title=(
+                f"SOURCE SWEEP - {len(args.sources)} sources "
+                f"({session.preset} preset, {session.architecture.name} "
+                "machine)"
             ),
         )
     )
@@ -308,6 +369,8 @@ def cmd_list(args) -> int:
     print("architectures :", ", ".join(available_architectures()))
     print("optimizers    :", ", ".join(available_strategies()),
           "(see 'repro opt list')")
+    print("sources       : registry names above, or netlist paths "
+          "(.mig/.blif/.aag; see 'repro source list')")
     return 0
 
 
@@ -339,12 +402,50 @@ def build_parser() -> argparse.ArgumentParser:
     Session.add_arguments(p, preset=False, parallel=False, cache=False)
     p.set_defaults(func=cmd_fig2)
 
-    p = sub.add_parser("bench", help="one benchmark, all configurations")
-    p.add_argument("name", choices=BENCHMARK_ORDER)
-    Session.add_arguments(p, parallel=False)
+    p = sub.add_parser("bench", help="one circuit, all configurations")
+    p.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help=(
+            "registry benchmark or netlist path (.mig/.blif/.aag); "
+            "default: --source / $REPRO_SOURCE"
+        ),
+    )
+    Session.add_arguments(p, parallel=False, source=True)
     p.add_argument("--wmax", type=int, default=None,
                    help="additionally run full management at this cap")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("source", help="inspect the circuit-source registry")
+    source_sub = p.add_subparsers(dest="source_command", required=True)
+    ps = source_sub.add_parser("list", help="registered sources")
+    ps.set_defaults(func=cmd_source_list)
+
+    p = sub.add_parser(
+        "sourcesweep", help="one pipeline across circuit sources"
+    )
+    p.add_argument(
+        "sources",
+        nargs="+",
+        metavar="NAME_OR_PATH",
+        help="sources to sweep (registry names and/or netlist paths)",
+    )
+    Session.add_arguments(p, parallel=False)
+    p.add_argument(
+        "--configs",
+        nargs="*",
+        default=["naive", "ea-full"],
+        metavar="CONFIG",
+        help="endurance configurations per source",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip program-vs-MIG co-simulation (faster)",
+    )
+    p.set_defaults(func=cmd_sourcesweep)
 
     p = sub.add_parser("arch", help="inspect the PLiM machine-model registry")
     arch_sub = p.add_subparsers(dest="arch_command", required=True)
@@ -352,9 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
     pa.set_defaults(func=cmd_arch_list)
 
     p = sub.add_parser(
-        "archsweep", help="one benchmark across PLiM machine models"
+        "archsweep", help="one circuit across PLiM machine models"
     )
-    p.add_argument("name", choices=BENCHMARK_ORDER)
+    p.add_argument("name", metavar="NAME_OR_PATH")
     # The architecture dimension is swept, so no --arch session knob here.
     Session.add_arguments(p, parallel=False, arch=False)
     p.add_argument(
@@ -389,9 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
     po.set_defaults(func=cmd_opt_list)
 
     p = sub.add_parser(
-        "optsweep", help="one benchmark across rewriting optimizers"
+        "optsweep", help="one circuit across rewriting optimizers"
     )
-    p.add_argument("name", choices=BENCHMARK_ORDER)
+    p.add_argument("name", metavar="NAME_OR_PATH")
     # The optimizer dimension is swept, so no --opt session knob here.
     Session.add_arguments(p, parallel=False, opt=False)
     p.add_argument(
@@ -438,7 +539,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        # Bad source names/paths, unparsable netlists, unknown presets:
+        # user input, not harness bugs — render without a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -268,6 +268,45 @@ def render_optimizer_sweep(points, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_source_sweep(points, title: str = "") -> str:
+    """Fixed-width table of a source sweep.
+
+    *points* are :class:`~repro.analysis.scenarios.SourceSweepPoint`
+    instances: per (source, configuration) pair the circuit's shape
+    (PIs/POs/gates) next to the measured compilation, so registry
+    benchmarks, imported netlists, and frontend circuits line up in one
+    table.
+    """
+    lines: List[str] = []
+    lines.append(
+        title or "SOURCE SWEEP - ONE PIPELINE ACROSS CIRCUIT ORIGINS"
+    )
+    header = [
+        "source", "kind", "config", "PI/PO", "gates", "#I", "#R",
+        "min/max", "STDEV",
+    ]
+    widths = [16, 9, 12, 8, 7, 8, 7, 9, 8]
+    lines.append(" | ".join(f"{c:>{w}s}" for c, w in zip(header, widths)))
+    lines.append("-" * len(lines[-1]))
+    for p in points:
+        result = p.result.compilation
+        stats = result.stats
+        mig = p.result.mig
+        row = [
+            p.source,
+            p.kind,
+            p.config,
+            f"{mig.num_pis}/{mig.num_pos}",
+            str(mig.num_live_gates()),
+            str(result.num_instructions),
+            str(result.num_rrams),
+            f"{stats.min_writes}/{stats.max_writes}",
+            f"{stats.stdev:.2f}",
+        ]
+        lines.append(" | ".join(f"{c:>{w}s}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def render_objective_study(rows, title: str = "") -> str:
     """Fixed-width table of a suite-wide objective study.
 

@@ -51,6 +51,7 @@ from ..opt import (
 )
 from ..mig.graph import Mig
 from ..plim.verify import verify_program
+from ..source import Source, SourceLike, get_source, resolve_source
 from ..synth.registry import BENCHMARK_ORDER, build_benchmark
 from .diskcache import DiskCache
 
@@ -166,11 +167,15 @@ class ExperimentCache:
     may be shared by threads; worker *processes* get their own instance.
 
     With a :class:`~repro.analysis.diskcache.DiskCache` attached, built
-    registry benchmarks and compiled results are *read through* to disk
-    and written back, so a warm rerun of the harness in a fresh process
-    — or in a ``run_matrix(parallel=N)`` worker sharing the same root —
-    deserialises instead of recompiling.  Only registry benchmarks have
-    a stable cross-process identity; hand-built MIGs stay session-only.
+    graphs and compiled results are *read through* to disk and written
+    back, so a warm rerun of the harness in a fresh process — or in a
+    ``run_matrix(parallel=N)`` worker sharing the same root —
+    deserialises instead of recompiling.  Registry benchmarks persist
+    under their classic ``(name, preset)`` identity; every other
+    :class:`~repro.source.Source` (and any MIG registered through
+    :meth:`register_external`) persists under its stable content
+    fingerprint, so external circuits hit the disk cache exactly like
+    benchmarks do.
     """
 
     def __init__(self, disk: Optional[DiskCache] = None) -> None:
@@ -256,6 +261,71 @@ class ExperimentCache:
         mig = self._remember_mig(name, preset, mig)
         if built and self.disk is not None:
             self.disk.store(("mig", name, preset), mig)
+        return mig
+
+    def _remember_external(self, identity: Tuple, mig: Mig) -> Mig:
+        with self._lock:
+            mig = self._migs.setdefault(identity, mig)
+            self._bench_keys[mig_key(mig)] = identity
+        return mig
+
+    def register_external(
+        self, mig: Mig, identity: Optional[Tuple] = None
+    ) -> Tuple:
+        """Give a user-supplied MIG a persistent cache identity.
+
+        By default the identity is the graph's stable
+        :meth:`~repro.mig.graph.Mig.content_fingerprint`, so rewrite and
+        compile artefacts derived from it read through to — and persist
+        in — the disk cache across processes, exactly like registry
+        benchmarks.  Returns the identity tuple.
+        """
+        ident = (
+            tuple(identity)
+            if identity is not None
+            else ("graph", mig.content_fingerprint())
+        )
+        self._remember_external(ident, mig)
+        return ident
+
+    def source_mig(self, source: Source, preset: str) -> Mig:
+        """Build (or fetch) any :class:`~repro.source.Source`.
+
+        Registry sources delegate to :meth:`benchmark_mig` (identical
+        keys, identical artefacts); every other kind reads through to
+        the disk cache under the source's content-addressed identity,
+        so imported netlists and frontend circuits deserialise instead
+        of re-elaborating in warm processes.
+        """
+        if source.kind == "registry":
+            return self.benchmark_mig(source.name, preset)
+        identity = tuple(source.identity(preset))
+        with self._lock:
+            mig = self._migs.get(identity)
+        if mig is not None:
+            return mig
+        built = False
+        if self.disk is not None:
+            mig = self.disk.load(("mig", *identity))
+        if mig is None:
+            mig = source.build(preset)
+            built = True
+        mig = self._remember_external(identity, mig)
+        if built and self.disk is not None:
+            self.disk.store(("mig", *identity), mig)
+        return mig
+
+    def cached_source_mig(self, source: Source, preset: str) -> Optional[Mig]:
+        """Fetch an already-built source, or ``None`` (never builds)."""
+        if source.kind == "registry":
+            return self.cached_mig(source.name, preset)
+        identity = tuple(source.identity(preset))
+        with self._lock:
+            mig = self._migs.get(identity)
+        if mig is None and self.disk is not None:
+            mig = self.disk.load(("mig", *identity))
+            if mig is not None:
+                mig = self._remember_external(identity, mig)
         return mig
 
     @staticmethod
@@ -554,7 +624,7 @@ class ExperimentCache:
 
     def adopt(
         self,
-        name: str,
+        name: "str | Tuple",
         preset: str,
         mig: Mig,
         configs: Sequence[EnduranceConfig],
@@ -571,8 +641,11 @@ class ExperimentCache:
         deterministic, so a worker verifying its recompilation certifies
         the identical stored program too.  *arch* and *optimizer* must
         name the machine and optimizer the worker targeted — adopted
-        entries land under their keys.
+        entries land under their keys.  *name* is a registry benchmark
+        name (classic ``(name, preset)`` identity) or a full identity
+        tuple for external sources, in which case *preset* is ignored.
         """
+        identity = name if isinstance(name, tuple) else (name, preset)
         graph_id = mig_key(mig)
         arch = resolve_architecture(arch)
         spec = (
@@ -581,8 +654,8 @@ class ExperimentCache:
             else resolve_optimizer(optimizer)
         )
         with self._lock:
-            self._migs.setdefault((name, preset), mig)
-            self._bench_keys[graph_id] = (name, preset)
+            self._migs.setdefault(identity, mig)
+            self._bench_keys[graph_id] = identity
             for cfg in configs:
                 key = (graph_id, experiment_key(cfg, arch, spec))
                 stored = self._results.get(key)
@@ -721,14 +794,20 @@ def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation, Dict[str, int]]:
     process boundary.  Returns the built MIG alongside the evaluation
     (so the parent can adopt both into a shared cache) and the worker
     cache's hit/miss counters (so ``BENCH_suite.json`` can report the
-    fan-out's cache behaviour, not just the parent's).
+    fan-out's cache behaviour, not just the parent's).  The job entry
+    is a registry benchmark name or a picklable
+    :class:`~repro.source.Source` (external circuits fan out too,
+    persisting under their content fingerprints).
     """
-    name, preset, configs, verify, verify_patterns, spec = args
+    entry, preset, configs, verify, verify_patterns, spec = args
     from ..flow.session import Session  # deferred: flow imports runner
 
     session = Session.from_spec(spec)
     with session.activated():
-        mig = session.cache.benchmark_mig(name, preset)
+        if isinstance(entry, str):
+            mig = session.cache.benchmark_mig(entry, preset)
+        else:
+            mig = session.cache.source_mig(entry, preset)
         evaluation = evaluate_mig_cached(
             mig,
             configs,
@@ -779,7 +858,7 @@ def _worker_spec(
 
 
 def run_matrix(
-    benchmarks: Optional[Iterable[str]] = None,
+    benchmarks: "Optional[Iterable[SourceLike]]" = None,
     configs: Optional[Sequence[ConfigLike]] = None,
     *,
     preset: str = "default",
@@ -798,7 +877,13 @@ def run_matrix(
     Parameters
     ----------
     benchmarks:
-        Registry benchmark names (default: all 18, table order).
+        Circuit sources (default: all 18 registry benchmarks, table
+        order).  Each entry is anything
+        :func:`repro.source.resolve_source` accepts — a registry name,
+        a netlist path, a :class:`~repro.source.Source`, a built
+        :class:`~repro.mig.graph.Mig`, or a decorated frontend
+        function.  External sources persist and fan out under their
+        content fingerprints, exactly like registry benchmarks.
     configs:
         Configuration preset names or explicit :class:`EnduranceConfig`
         objects (default: the five Table I columns).
@@ -836,7 +921,16 @@ def run_matrix(
         which fills *cache*, *parallel*, *preset*, and *session* in one
         go.
     """
-    names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    raw = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    # Normalize every entry: registry benchmarks stay bare name strings
+    # (the classic job shape, byte-identical cache keys), everything
+    # else becomes a picklable Source.
+    entries: List["str | Source"] = []
+    for item in raw:
+        source = item if isinstance(item, Source) else resolve_source(item)
+        entries.append(
+            source.name if source.kind == "registry" else source
+        )
     jobs = resolve_configs(configs, caps, effort)
     if session is not None and cache is None:
         cache = session.cache
@@ -859,14 +953,14 @@ def run_matrix(
     )
     optimizer = Optimizer(opt_spec, machine)
 
-    if parallel is not None and parallel > 1 and len(names) > 1:
+    if parallel is not None and parallel > 1 and len(entries) > 1:
         spec = _worker_spec(
             session, cache, preset, machine.name, opt_spec.label()
         )
         if cache is None:
             work = [
-                (name, preset, jobs, verify, verify_patterns, spec)
-                for name in names
+                (entry, preset, jobs, verify, verify_patterns, spec)
+                for entry in entries
             ]
             with _importable_in_workers(), ProcessPoolExecutor(
                 max_workers=parallel
@@ -878,8 +972,12 @@ def run_matrix(
         # disk root, if any, so they persist what they compile.
         needed = verify_patterns if verify else 0
         work = []
-        for name in names:
-            mig = cache.cached_mig(name, preset)
+        for entry in entries:
+            mig = (
+                cache.cached_mig(entry, preset)
+                if isinstance(entry, str)
+                else cache.cached_source_mig(entry, preset)
+            )
             missing = (
                 jobs
                 if mig is None
@@ -894,7 +992,7 @@ def run_matrix(
             )
             if missing:
                 work.append(
-                    (name, preset, missing, verify, verify_patterns, spec)
+                    (entry, preset, missing, verify, verify_patterns, spec)
                 )
         if work:
             with _importable_in_workers(), ProcessPoolExecutor(
@@ -903,8 +1001,11 @@ def run_matrix(
                 for job, (mig, evaluation, counters) in zip(
                     work, pool.map(_run_benchmark_job, work)
                 ):
+                    entry = job[0]
                     cache.adopt(
-                        job[0],
+                        entry
+                        if isinstance(entry, str)
+                        else tuple(entry.identity(preset)),
                         preset,
                         mig,
                         job[2],
@@ -919,8 +1020,12 @@ def run_matrix(
 
     cache = cache if cache is not None else ExperimentCache()
     evaluations = []
-    for name in names:
-        mig = cache.benchmark_mig(name, preset)
+    for entry in entries:
+        mig = (
+            cache.benchmark_mig(entry, preset)
+            if isinstance(entry, str)
+            else cache.source_mig(entry, preset)
+        )
         evaluations.append(
             evaluate_mig_cached(
                 mig,

@@ -193,10 +193,7 @@ def architecture_sweep(
         machine = resolve_architecture(arch)
         for config in configs:
             flow = Flow.for_config(config, session=session).arch(machine)
-            if isinstance(source, str):
-                flow.source(source)
-            else:
-                flow.source_mig(source)
+            flow.source(source)  # any SourceLike: name, path, Mig, ...
             if verify:
                 flow.verify(verify_patterns)
             try:
@@ -271,10 +268,7 @@ def optimizer_sweep(
         spec = resolve_optimizer(opt)
         for config in configs:
             flow = Flow.for_config(config, session=session).optimize(spec)
-            if isinstance(source, str):
-                flow.source(source)
-            else:
-                flow.source_mig(source)
+            flow.source(source)  # any SourceLike: name, path, Mig, ...
             if verify:
                 flow.verify(verify_patterns)
             result = flow.run()
@@ -286,6 +280,68 @@ def optimizer_sweep(
                     objective=Optimizer(spec, machine).score(
                         result.rewritten
                     ),
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class SourceSweepPoint:
+    """One (source, configuration) measurement of a source sweep.
+
+    ``source`` is the display name, ``kind`` the origin
+    (``registry``/``file``/``frontend``/``graph``), ``result`` the full
+    :class:`repro.flow.FlowResult`.
+    """
+
+    source: str
+    kind: str
+    config: str
+    result: object
+
+
+def source_sweep(
+    sources: Sequence,
+    configs: Sequence = ("naive", "ea-full"),
+    *,
+    session=None,
+    verify: bool = False,
+    verify_patterns: int = 64,
+) -> List[SourceSweepPoint]:
+    """Compile every source under every configuration pair.
+
+    The source dimension of the design space: circuits from *anywhere*
+    — registry benchmarks, imported BLIF/AIGER netlists, frontend
+    functions, hand-built graphs — run the identical pipeline under
+    each endurance configuration, all through one session, so the
+    write-traffic characteristics of hand-picked benchmarks can be
+    compared directly against circuits nobody hand-picked.  Each entry
+    of *sources* is anything :func:`repro.source.resolve_source`
+    accepts.
+
+    The CLI ``sourcesweep`` subcommand and the frontend example render
+    these points via
+    :func:`repro.analysis.report.render_source_sweep`.
+    """
+    from ..flow import Flow, Session  # deferred: flow imports analysis
+    from ..source import resolve_source
+
+    if session is None:
+        session = Session()
+    points: List[SourceSweepPoint] = []
+    for entry in sources:
+        resolved = resolve_source(entry)
+        for config in configs:
+            flow = Flow.for_config(config, session=session).source(resolved)
+            if verify:
+                flow.verify(verify_patterns)
+            result = flow.run()
+            points.append(
+                SourceSweepPoint(
+                    source=resolved.name,
+                    kind=resolved.kind,
+                    config=result.compilation.config.name,
+                    result=result,
                 )
             )
     return points

@@ -47,6 +47,7 @@ from ..opt import (
 )
 from ..mig.graph import Mig
 from ..plim.isa import Program
+from ..source import MigSource, Source, SourceLike, resolve_source
 from ..analysis.runner import mig_key
 from .session import Session
 
@@ -136,8 +137,8 @@ class Flow:
 
     def __init__(self, session: Optional[Session] = None) -> None:
         self.session = session if session is not None else Session()
-        self._benchmark: Optional[Tuple[str, str]] = None
-        self._mig: Optional[Mig] = None
+        self._source: Optional[Source] = None
+        self._source_preset: Optional[str] = None
         self._config: Optional[EnduranceConfig] = None
         self._rewrite: Optional[Tuple[str, int]] = None
         self._verify_patterns: Optional[int] = None
@@ -158,17 +159,35 @@ class Flow:
         """A flow whose rewrite/compile stages follow *config*."""
         return cls(session).compile(config)
 
-    def source(self, benchmark: str, preset: Optional[str] = None) -> "Flow":
-        """Take a registry benchmark (built through the session cache)."""
-        self._benchmark = (benchmark, preset or self.session.preset)
-        self._mig = None
+    def source(
+        self, source: SourceLike, preset: Optional[str] = None
+    ) -> "Flow":
+        """Declare where the circuit under evaluation comes from.
+
+        *source* is anything :func:`repro.source.resolve_source`
+        accepts: a registry benchmark name (today's path, built through
+        the session cache exactly as before), a netlist path
+        (``.mig``/``.blif``/``.aag``), an explicit
+        :class:`~repro.source.Source`, a built
+        :class:`~repro.mig.graph.Mig`, or a
+        :func:`~repro.synth.frontend.mig_function` decorated function.
+        External circuits persist — and fan out — under their stable
+        content fingerprints, so they hit both cache tiers like
+        registry benchmarks do.  *preset* only affects registry
+        sources (defaults to the session's).
+        """
+        self._source = resolve_source(source)
+        self._source_preset = preset
         return self
 
     def source_mig(self, mig: Mig) -> "Flow":
-        """Take an explicit, already-built MIG."""
-        self._mig = mig
-        self._benchmark = None
-        return self
+        """Take an explicit, already-built MIG.
+
+        Equivalent to ``source(mig)``: the graph is keyed by its
+        content fingerprint, so downstream artefacts persist in the
+        disk cache and repeat runs hit every stage.
+        """
+        return self.source(MigSource(mig))
 
     def rewrite(self, script: str, *, effort: int = DEFAULT_EFFORT) -> "Flow":
         """Override the rewriting stage (defaults to the config's script)."""
@@ -238,11 +257,18 @@ class Flow:
 
     def run(self) -> FlowResult:
         """Execute the declared pipeline and return its artefacts."""
-        if self._benchmark is None and self._mig is None:
+        source = (
+            self._source
+            if self._source is not None
+            else self.session.default_source
+        )
+        if source is None:
             raise ValueError(
                 "flow has no source; declare .source(benchmark) or "
-                ".source_mig(mig) before running"
+                ".source_mig(mig) before running (or set "
+                "Session(source=...)/$REPRO_SOURCE)"
             )
+        preset = self._source_preset or self.session.preset
         config = self._effective_config()
         cache = self.session.cache
         machine = (
@@ -256,11 +282,7 @@ class Flow:
             else self.session.optimizer
         )
         optimizer = Optimizer(opt_spec, machine)
-        label = (
-            f"{self._benchmark[0]}@{self._benchmark[1]}"
-            if self._benchmark is not None
-            else self._mig.name
-        ) + f"/{config.name}"
+        label = f"{source.label(preset)}/{config.name}"
         if machine.name != DEFAULT_ARCHITECTURE:
             label += f"#{machine.name}"
         if opt_spec.strategy != "script":
@@ -283,19 +305,15 @@ class Flow:
             return value
 
         with self.session.activated():
-            # source: build (or fetch) the graph under evaluation
-            if self._benchmark is not None:
-                name, preset = self._benchmark
-                mig = stage(
-                    "source",
-                    name,
-                    lambda: cache.benchmark_mig(name, preset),
-                    lambda: cache.cached_mig(name, preset) is not None,
-                )
-            else:
-                mig = stage(
-                    "source", self._mig.name, lambda: self._mig, lambda: True
-                )
+            # source: build (or fetch) the graph under evaluation —
+            # registry benchmarks through their classic (name, preset)
+            # keys, external sources under their content fingerprints
+            mig = stage(
+                "source",
+                source.name,
+                lambda: cache.source_mig(source, preset),
+                lambda: cache.cached_source_mig(source, preset) is not None,
+            )
             bench_name = mig.name
             graph_id = mig_key(mig)
 

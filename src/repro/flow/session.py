@@ -5,7 +5,9 @@ simulation-kernel backend to use (``$REPRO_SIM_BACKEND``), whether and
 where to persist experiment artefacts (``$REPRO_CACHE_DIR`` /
 ``--cache-dir``), which PLiM machine model to target (``$REPRO_ARCH`` /
 ``--arch``, see :mod:`repro.arch`), which rewriting optimizer to run
-(``$REPRO_OPT`` / ``--opt``, see :mod:`repro.opt`), how many worker
+(``$REPRO_OPT`` / ``--opt``, see :mod:`repro.opt`), which circuit
+source to evaluate by default (``$REPRO_SOURCE`` / ``--source``, see
+:mod:`repro.source`), how many worker
 processes to fan out over, and which benchmark width preset to build.  Before this module
 each entry point
 (CLI subcommands, table runners, benchmark conftest, examples) re-derived
@@ -58,6 +60,12 @@ from ..mig.kernel import (
     get_kernel,
     resolve_backend,
 )
+from ..source import (
+    Source,
+    SourceLike,
+    resolve_source,
+    source_from_env,
+)
 from ..analysis.diskcache import DiskCache, resolve_cache_dir
 from ..analysis.runner import (
     BenchmarkEvaluation,
@@ -96,6 +104,11 @@ class SessionSpec:
     preset: str = "default"
     arch: Optional[str] = None
     opt: Optional[str] = None
+    #: Default circuit source as a resolvable string (registry name or
+    #: netlist path); ``None`` defers to the worker's ambient
+    #: ``$REPRO_SOURCE``.  Non-string sources (bare graphs, frontend
+    #: functions) are not spec-representable and ship as ``None``.
+    source: Optional[str] = None
 
 
 class Session:
@@ -121,12 +134,30 @@ class Session:
         cache: Optional[ExperimentCache] = None,
         arch: "str | Architecture | None" = None,
         opt: "str | OptimizerSpec | None" = None,
+        source: SourceLike = None,
     ) -> None:
         if backend is not None:
             resolve_backend(backend)  # fail fast on unknown/unavailable
         self.backend = backend
         self.parallel = parallel
         self.preset = preset
+        # Default circuit source: resolve an explicit one now (fail fast
+        # on unknown names / missing files); None defers to ambient
+        # $REPRO_SOURCE at use time.  Flows that declare their own
+        # source ignore this knob.
+        self._source = resolve_source(source) if source is not None else None
+        # The spec-shippable string form: only string selections (names,
+        # paths) can be resolved again in a worker process.  Registry
+        # sources round-trip by name either way.
+        if isinstance(source, str):
+            self._source_spec: Optional[str] = source
+        elif self._source is not None and self._source.kind == "registry":
+            self._source_spec = self._source.name
+        else:
+            self._source_spec = None
+        self.source = (
+            self._source.name if self._source is not None else None
+        )
         # Resolve an explicit architecture now (fail fast on unknown
         # names); None defers to ambient $REPRO_ARCH/default at use time.
         self._architecture = (
@@ -176,6 +207,7 @@ class Session:
             preset=preset or "default",
             arch=arch_from_env(),
             opt=opt_from_env(),
+            source=source_from_env(),
         )
 
     @classmethod
@@ -193,6 +225,7 @@ class Session:
             preset=getattr(args, "preset", None) or preset or "default",
             arch=getattr(args, "arch", None),
             opt=getattr(args, "opt", None),
+            source=getattr(args, "source", None),
         )
 
     @staticmethod
@@ -205,6 +238,7 @@ class Session:
         backend: bool = True,
         arch: bool = True,
         opt: bool = True,
+        source: bool = False,
     ):
         """Install the session options on an ``argparse`` parser.
 
@@ -237,6 +271,17 @@ class Session:
                 help=(
                     "target PLiM machine model (default: $REPRO_ARCH if "
                     "set, else the paper's 'endurance' machine)"
+                ),
+            )
+        if source:
+            parser.add_argument(
+                "--source",
+                default=None,
+                metavar="NAME_OR_PATH",
+                help=(
+                    "circuit source: a registry benchmark name or a "
+                    "netlist path (.mig/.blif/.aag) (default: "
+                    "$REPRO_SOURCE if set; see 'repro source list')"
                 ),
             )
         if opt:
@@ -281,6 +326,7 @@ class Session:
             preset=self.preset,
             arch=self.arch,
             opt=self.opt,
+            source=self._source_spec,
         )
 
     @classmethod
@@ -291,6 +337,7 @@ class Session:
             preset=spec.preset,
             arch=getattr(spec, "arch", None),
             opt=getattr(spec, "opt", None),
+            source=getattr(spec, "source", None),
         )
 
     # -- backend -------------------------------------------------------
@@ -327,6 +374,20 @@ class Session:
         if self._optimizer is not None:
             return self._optimizer
         return resolve_optimizer(None)
+
+    @property
+    def default_source(self) -> Optional[Source]:
+        """The default circuit source this session resolves to, if any.
+
+        An explicit ``Session(source=...)`` wins; otherwise the ambient
+        ``$REPRO_SOURCE`` selection applies at access time, mirroring
+        :attr:`architecture`.  Unlike the other knobs there is no final
+        default — ``None`` means flows must declare their own source.
+        """
+        if self._source is not None:
+            return self._source
+        env = source_from_env()
+        return resolve_source(env) if env is not None else None
 
     @property
     def disk(self) -> Optional[DiskCache]:
@@ -473,5 +534,5 @@ class Session:
         return (
             f"Session(backend={self.backend!r}, cache_dir={self.cache_dir!r}, "
             f"parallel={self.parallel!r}, preset={self.preset!r}, "
-            f"arch={self.arch!r}, opt={self.opt!r})"
+            f"arch={self.arch!r}, opt={self.opt!r}, source={self.source!r})"
         )

@@ -30,9 +30,15 @@ from .views import FanoutView
 from .dot import to_dot, write_dot
 from .io import (
     MigParseError,
+    NETLIST_READERS,
     dumps_mig,
+    loads_aiger,
+    loads_blif,
     loads_mig,
+    read_aiger,
+    read_blif,
     read_mig,
+    read_netlist,
     read_program,
     write_mig,
     write_program,
@@ -44,10 +50,16 @@ __all__ = [
     "FanoutView",
     "Mig",
     "MigParseError",
+    "NETLIST_READERS",
     "PASSES",
     "dumps_mig",
+    "loads_aiger",
+    "loads_blif",
     "loads_mig",
+    "read_aiger",
+    "read_blif",
     "read_mig",
+    "read_netlist",
     "read_program",
     "write_mig",
     "write_program",

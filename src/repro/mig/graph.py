@@ -476,6 +476,38 @@ class Mig:
             self._derived["digest"] = cached
         return cached
 
+    def content_fingerprint(self) -> str:
+        """Stable content-addressed identity of this graph (SHA-256 hex).
+
+        Unlike :meth:`structural_digest` this digest is identical across
+        processes and interpreter runs, so it can key persistent caches:
+        two structurally equal graphs (same PIs/POs with names, same
+        fanin lists, same hashing mode) share a fingerprint wherever they
+        were built.  This is how user-supplied MIGs — file imports,
+        frontend-compiled functions, hand-built graphs — gain the stable
+        cross-process identity registry benchmarks get from their
+        ``(name, preset)`` pair.
+        """
+        import hashlib  # deferred: graph stays dependency-light
+
+        cached = self._derived.get("content_fingerprint")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(self.name.encode())
+            digest.update(b"\0strash%d" % int(self.use_strash))
+            for name in self._pi_names:
+                digest.update(b"\0i" + name.encode())
+            for node, fi in enumerate(self._fanins):
+                if fi is not None:
+                    digest.update(b"\0n%d=%d,%d,%d" % (node, *fi))
+            for idx, s in enumerate(self._pos):
+                digest.update(
+                    b"\0o%d=" % s + self._po_names[idx].encode()
+                )
+            cached = digest.hexdigest()
+            self._derived["content_fingerprint"] = cached
+        return cached
+
     def fanout_view(self):
         """Memoized :class:`repro.mig.views.FanoutView` of this graph.
 

@@ -126,6 +126,10 @@ def loads_mig(text: str) -> Mig:
         elif kind == "input":
             if len(parts) != 2:
                 raise MigParseError(f"line {line_no}: bad input declaration")
+            if parts[1] in names:
+                raise MigParseError(
+                    f"line {line_no}: duplicate name {parts[1]!r}"
+                )
             names[parts[1]] = mig.add_pi(parts[1])
         elif kind == "node":
             # node NAME = <a b c>
@@ -140,6 +144,10 @@ def loads_mig(text: str) -> Mig:
                 raise MigParseError(
                     f"line {line_no}: expected 'node NAME = <a b c>'"
                 ) from None
+            if name in names:
+                raise MigParseError(
+                    f"line {line_no}: duplicate name {name!r}"
+                )
             sig = mig.add_maj(*(resolve(op, line_no) for op in ops))
             names[name] = sig
         elif kind == "output":
@@ -156,6 +164,316 @@ def loads_mig(text: str) -> Mig:
             raise MigParseError(f"line {line_no}: unknown directive {kind!r}")
     if not seen_header:
         raise MigParseError("missing 'mig NAME' header")
+    return mig
+
+
+# ----------------------------------------------------------------------
+# BLIF netlists
+# ----------------------------------------------------------------------
+
+def read_blif(source: PathOrFile) -> Mig:
+    """Parse a (combinational, single-clause) BLIF netlist into a MIG."""
+    handle, owned = _open(source, "r")
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    return loads_blif(text)
+
+
+def loads_blif(text: str) -> Mig:
+    """Parse BLIF text from a string.
+
+    Supports ``.model``/``.inputs``/``.outputs``/``.names`` with PLA
+    cover rows (on-set or off-set planes) and ``\\`` line continuations.
+    Each ``.names`` body becomes sum-of-products over the existing MIG
+    builders.  Latches, subcircuits, and multi-model files raise
+    :class:`MigParseError`; tables may appear in any order.
+    """
+    # Fold continuations, strip comments, keep original line numbers.
+    lines = []
+    pending, pending_no = "", 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        body = raw.split("#", 1)[0].rstrip()
+        if not pending:
+            pending_no = line_no
+        if body.endswith("\\"):
+            pending += body[:-1] + " "
+            continue
+        merged = (pending + body).strip()
+        pending = ""
+        if merged:
+            lines.append((pending_no, merged))
+    if pending.strip():
+        lines.append((pending_no, pending.strip()))
+
+    model = ""
+    inputs: list = []
+    outputs: list = []
+    # output name -> (line_no, input names, cover rows)
+    tables: Dict[str, tuple] = {}
+    current: tuple = None
+    seen_model = False
+
+    for line_no, line in lines:
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            current = None
+            if directive == ".model":
+                if seen_model:
+                    raise MigParseError(
+                        f"line {line_no}: multiple .model sections"
+                    )
+                seen_model = True
+                model = parts[1] if len(parts) > 1 else ""
+            elif directive == ".inputs":
+                inputs.extend(parts[1:])
+            elif directive == ".outputs":
+                outputs.extend(parts[1:])
+            elif directive == ".names":
+                if len(parts) < 2:
+                    raise MigParseError(f"line {line_no}: empty .names")
+                out = parts[-1]
+                if out in tables or out in inputs:
+                    raise MigParseError(
+                        f"line {line_no}: duplicate definition of {out!r}"
+                    )
+                current = (line_no, parts[1:-1], [])
+                tables[out] = current
+            elif directive == ".end":
+                current = None
+            else:
+                raise MigParseError(
+                    f"line {line_no}: unsupported directive {directive!r}"
+                )
+        else:
+            if current is None:
+                raise MigParseError(
+                    f"line {line_no}: cover row outside .names"
+                )
+            row = line.split()
+            n_ins = len(current[1])
+            if n_ins == 0:
+                pattern, bit = "", row[0]
+            elif len(row) == 2:
+                pattern, bit = row
+            else:
+                raise MigParseError(f"line {line_no}: bad cover row")
+            if len(pattern) != n_ins or bit not in ("0", "1") or any(
+                ch not in "01-" for ch in pattern
+            ):
+                raise MigParseError(f"line {line_no}: bad cover row")
+            current[2].append((pattern, bit))
+
+    if not seen_model:
+        raise MigParseError("missing .model header")
+
+    mig = Mig(model)
+    signals: Dict[str, int] = {}
+    for name in inputs:
+        if name in signals:
+            raise MigParseError(f"duplicate input {name!r}")
+        signals[name] = mig.add_pi(name)
+
+    def elaborate(name: str, stack: tuple) -> int:
+        if name in signals:
+            return signals[name]
+        if name not in tables:
+            raise MigParseError(f"undefined signal {name!r}")
+        if name in stack:
+            raise MigParseError(f"combinational loop through {name!r}")
+        line_no, ins, rows = tables[name]
+        operands = [elaborate(i, stack + (name,)) for i in ins]
+        planes = {bit for _, bit in rows}
+        if len(planes) > 1:
+            raise MigParseError(
+                f"line {line_no}: mixed on-set/off-set rows for {name!r}"
+            )
+        terms = []
+        for pattern, _ in rows:
+            literals = []
+            for ch, sig in zip(pattern, operands):
+                if ch == "1":
+                    literals.append(sig)
+                elif ch == "0":
+                    literals.append(complement(sig))
+            term = CONST1
+            for lit in literals:
+                term = mig.add_and(term, lit)
+            terms.append(term)
+        plane = CONST0
+        for term in terms:
+            plane = mig.add_or(plane, term)
+        if planes == {"0"}:
+            plane = complement(plane)
+        signals[name] = plane
+        return plane
+
+    for name in outputs:
+        mig.add_po(elaborate(name, ()), name)
+    return mig
+
+
+# ----------------------------------------------------------------------
+# ASCII AIGER netlists
+# ----------------------------------------------------------------------
+
+def read_aiger(source: PathOrFile) -> Mig:
+    """Parse an ASCII AIGER (``aag``) netlist into a MIG."""
+    handle, owned = _open(source, "r")
+    try:
+        text = handle.read()
+    finally:
+        if owned:
+            handle.close()
+    return loads_aiger(text)
+
+
+def loads_aiger(text: str, name: str = "") -> Mig:
+    """Parse ASCII AIGER text from a string.
+
+    Combinational circuits only — a non-zero latch count raises
+    :class:`MigParseError`.  The optional symbol table supplies PI/PO
+    names; the comment section (after ``c``) is ignored.
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("aag "):
+        raise MigParseError("missing 'aag M I L O A' header")
+    try:
+        m, i, latches, o, a = (int(t) for t in lines[0].split()[1:6])
+    except (ValueError, IndexError):
+        raise MigParseError("malformed 'aag M I L O A' header") from None
+    if latches:
+        raise MigParseError(
+            f"sequential AIGER not supported ({latches} latches)"
+        )
+    body = lines[1:]
+    if len(body) < i + o + a:
+        raise MigParseError("truncated AIGER body")
+
+    def literal(token: str, line_no: int) -> int:
+        try:
+            lit = int(token)
+        except ValueError:
+            raise MigParseError(
+                f"line {line_no}: bad literal {token!r}"
+            ) from None
+        if lit < 0 or lit // 2 > m:
+            raise MigParseError(
+                f"line {line_no}: literal {lit} exceeds maxvar {m}"
+            )
+        return lit
+
+    mig = Mig(name)
+    # aiger variable index -> mig signal of the positive literal
+    var_sig: Dict[int, int] = {0: CONST0}
+    pi_vars = []
+    for idx in range(i):
+        lit = literal(body[idx].split()[0], idx + 2)
+        if lit & 1 or lit == 0 or lit // 2 in var_sig:
+            raise MigParseError(f"line {idx + 2}: bad input literal {lit}")
+        var_sig[lit // 2] = mig.add_pi(f"i{idx}")
+        pi_vars.append(lit // 2)
+
+    out_lits = []
+    for idx in range(o):
+        out_lits.append(literal(body[i + idx].split()[0], i + idx + 2))
+
+    # And-gate definitions may reference later gates in non-reindexed
+    # files; iterate until the worklist stops shrinking.
+    gates = []
+    for idx in range(a):
+        line_no = i + o + idx + 2
+        parts = body[i + o + idx].split()
+        if len(parts) != 3:
+            raise MigParseError(f"line {line_no}: bad and-gate line")
+        lhs, rhs0, rhs1 = (literal(t, line_no) for t in parts)
+        if lhs & 1 or lhs // 2 in var_sig:
+            raise MigParseError(
+                f"line {line_no}: bad and-gate output literal {lhs}"
+            )
+        var_sig[lhs // 2] = None
+        gates.append((lhs // 2, rhs0, rhs1))
+
+    def resolve(lit: int) -> int:
+        sig = var_sig.get(lit // 2)
+        if sig is None:
+            return None
+        return complement(sig) if lit & 1 else sig
+
+    remaining = gates
+    while remaining:
+        deferred = []
+        for var, rhs0, rhs1 in remaining:
+            s0, s1 = resolve(rhs0), resolve(rhs1)
+            if s0 is None or s1 is None:
+                deferred.append((var, rhs0, rhs1))
+                continue
+            var_sig[var] = mig.add_and(s0, s1)
+        if len(deferred) == len(remaining):
+            raise MigParseError(
+                "cyclic or undefined and-gate operands: "
+                + ", ".join(str(v * 2) for v, _, _ in deferred[:5])
+            )
+        remaining = deferred
+
+    po_names = {}
+    for line in body[i + o + a:]:
+        parts = line.split()
+        if not parts:
+            continue
+        tag = parts[0]
+        if tag == "c":
+            break
+        if len(parts) == 2 and tag[0] in "io" and tag[1:].isdigit():
+            pos = int(tag[1:])
+            if tag[0] == "i" and pos < len(pi_vars):
+                mig._pi_names[pos] = parts[1]
+            elif tag[0] == "o" and pos < o:
+                po_names[pos] = parts[1]
+
+    for idx, lit in enumerate(out_lits):
+        sig = resolve(lit)
+        if sig is None:
+            raise MigParseError(f"output {idx} references undefined literal")
+        mig.add_po(sig, po_names.get(idx, f"o{idx}"))
+    return mig
+
+
+# ----------------------------------------------------------------------
+# Format dispatch
+# ----------------------------------------------------------------------
+
+NETLIST_READERS = {
+    ".mig": read_mig,
+    ".blif": read_blif,
+    ".aag": read_aiger,
+    ".aiger": read_aiger,
+}
+
+
+def read_netlist(path: str) -> Mig:
+    """Read a circuit file, dispatching on its extension.
+
+    Recognises the native exchange format (``.mig``), BLIF (``.blif``),
+    and ASCII AIGER (``.aag``/``.aiger``).  The parsed graph's name
+    defaults to the file stem when the format carries none.
+    """
+    import os
+
+    ext = os.path.splitext(path)[1].lower()
+    reader = NETLIST_READERS.get(ext)
+    if reader is None:
+        known = ", ".join(sorted(NETLIST_READERS))
+        raise MigParseError(
+            f"unrecognised netlist extension {ext!r} for {path!r}"
+            f" (expected one of: {known})"
+        )
+    mig = reader(path)
+    if not mig.name:
+        mig.name = os.path.splitext(os.path.basename(path))[0]
     return mig
 
 

@@ -1,7 +1,8 @@
-"""Benchmark circuit generators (EPFL-suite stand-ins) and word-level
-building blocks."""
+"""Benchmark circuit generators (EPFL-suite stand-ins), word-level
+building blocks, and the Python-AST frontend."""
 
 from . import arithmetic, blocks, control, cordic
+from .frontend import FrontendError, FrontendFunction, mig_function
 from .registry import (
     BENCHMARKS,
     BENCHMARK_ORDER,
@@ -14,10 +15,13 @@ __all__ = [
     "BENCHMARKS",
     "BENCHMARK_ORDER",
     "BenchmarkSpec",
+    "FrontendError",
+    "FrontendFunction",
     "arithmetic",
     "blocks",
     "build_benchmark",
     "build_suite",
     "control",
     "cordic",
+    "mig_function",
 ]

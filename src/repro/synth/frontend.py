@@ -1,0 +1,456 @@
+"""A Python-AST frontend: decorated functions compiled into MIGs.
+
+The registry benchmarks and netlist importers cover circuits that
+already exist as graphs; this module covers circuits that exist as
+*programs*.  Decorating a small Python function elaborates its body —
+bitvector arithmetic, comparisons, mux/if-expressions — into a MIG
+through the :mod:`repro.synth.blocks` word-level builders, the same
+primitives the registry benchmarks are built from::
+
+    from repro.synth.frontend import mig_function
+
+    @mig_function(width=4)
+    def clamped_diff(a, b):
+        big = a if a >= b else b
+        small = b if a >= b else a
+        return big - small
+
+    mig = clamped_diff.build()        # a Mig, ready for any Flow
+    clamped_diff(9, 3)                # still a plain Python call: 6
+
+The decorated function stays callable, so the compiled circuit can be
+checked against the Python semantics directly (the frontend tests do
+exactly this, exhaustively).  Bit-width discipline follows hardware
+convention, not Python's unbounded integers:
+
+* ``+`` grows one carry bit, ``*`` produces ``wa + wb`` bits;
+* ``-`` and unary ``-`` wrap two's-complement at the operand width —
+  mask with ``& ((1 << w) - 1)`` where Python-identical behaviour on
+  negative intermediates is wanted;
+* ``&``, ``|``, ``^`` zero-extend to the wider operand;
+* ``<< k`` / ``>> k`` shift by a *constant* amount, keeping the width;
+* comparisons are unsigned and yield one bit; ``x if cond else y``
+  becomes a word-level mux; ``and`` / ``or`` / ``not`` operate on
+  single-bit values.
+
+Everything the translator does not understand raises
+:class:`FrontendError` naming the offending source line — the supported
+subset is deliberately small and explicit, in the style of the artiq
+``ASTCompiler``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import inspect
+import textwrap
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..mig.graph import Mig
+from ..mig.signal import CONST0, CONST1, complement
+from . import blocks
+from .elaborate import new_mig
+
+Word = List[int]
+
+
+class FrontendError(ValueError):
+    """Unsupported or malformed construct in a decorated function."""
+
+
+def _error(node: ast.AST, message: str) -> FrontendError:
+    line = getattr(node, "lineno", "?")
+    return FrontendError(f"line {line}: {message}")
+
+
+class _Translator:
+    """One function body -> words of MIG signals."""
+
+    def __init__(self, mig: Mig, env: Dict[str, Word]) -> None:
+        self.mig = mig
+        self.env = env
+
+    # -- statements ----------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> List[Tuple[str, Word]]:
+        """Execute the statement list; returns named output words."""
+        for index, stmt in enumerate(body):
+            if isinstance(stmt, ast.Return):
+                if index != len(body) - 1:
+                    raise _error(stmt, "return must be the last statement")
+                return self._outputs(stmt)
+            self._statement(stmt)
+        raise FrontendError("function never returns a value")
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1 or not isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                raise _error(stmt, "only single-name assignments supported")
+            self.env[stmt.targets[0].id] = self.expr(stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            if not isinstance(stmt.target, ast.Name):
+                raise _error(stmt, "only name targets supported")
+            desugared = ast.BinOp(
+                left=ast.copy_location(
+                    ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt
+                ),
+                op=stmt.op,
+                right=stmt.value,
+            )
+            self.env[stmt.target.id] = self.expr(
+                ast.copy_location(desugared, stmt)
+            )
+        elif isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            pass  # docstring
+        else:
+            raise _error(
+                stmt,
+                f"unsupported statement {type(stmt).__name__}; use "
+                "assignments, if-expressions, and a final return",
+            )
+
+    def _outputs(self, stmt: ast.Return) -> List[Tuple[str, Word]]:
+        if stmt.value is None:
+            raise _error(stmt, "function must return a value")
+        elements = (
+            list(stmt.value.elts)
+            if isinstance(stmt.value, ast.Tuple)
+            else [stmt.value]
+        )
+        outputs: List[Tuple[str, Word]] = []
+        taken = set()
+        for index, element in enumerate(elements):
+            name = (
+                element.id
+                if isinstance(element, ast.Name)
+                else f"out{index}"
+            )
+            if name in taken:
+                name = f"out{index}"
+            taken.add(name)
+            outputs.append((name, self.expr(element)))
+        return outputs
+
+    # -- expressions ---------------------------------------------------
+
+    def expr(self, node: ast.expr) -> Word:
+        if isinstance(node, ast.Name):
+            try:
+                return list(self.env[node.id])
+            except KeyError:
+                raise _error(node, f"unknown name {node.id!r}") from None
+        if isinstance(node, ast.Constant):
+            return self._constant(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._unaryop(node)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.IfExp):
+            return self._ifexp(node)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop(node)
+        raise _error(
+            node, f"unsupported expression {type(node).__name__}"
+        )
+
+    def _constant(self, node: ast.Constant) -> Word:
+        value = node.value
+        if isinstance(value, bool):
+            return [CONST1 if value else CONST0]
+        if not isinstance(value, int) or value < 0:
+            raise _error(
+                node, "only non-negative integer constants supported"
+            )
+        return blocks.constant_word(value, max(1, value.bit_length()))
+
+    def _widened(self, node: ast.expr) -> Tuple[Word, Word]:
+        a = self.expr(node.left)
+        b = self.expr(node.right)
+        width = max(len(a), len(b))
+        return blocks.zero_extend(a, width), blocks.zero_extend(b, width)
+
+    def _binop(self, node: ast.BinOp) -> Word:
+        op = node.op
+        if isinstance(op, (ast.LShift, ast.RShift)):
+            word = self.expr(node.left)
+            amount = node.right
+            if not (
+                isinstance(amount, ast.Constant)
+                and isinstance(amount.value, int)
+            ):
+                raise _error(
+                    node, "shift amounts must be integer constants"
+                )
+            shift = (
+                blocks.shift_left_const
+                if isinstance(op, ast.LShift)
+                else blocks.shift_right_const
+            )
+            return shift(word, amount.value)
+        if isinstance(op, ast.Mult):
+            a, b = self.expr(node.left), self.expr(node.right)
+            return blocks.multiply(self.mig, a, b)
+        a, b = self._widened(node)
+        if isinstance(op, ast.Add):
+            total, carry = blocks.ripple_add(self.mig, a, b)
+            return total + [carry]
+        if isinstance(op, ast.Sub):
+            difference, _ = blocks.ripple_sub(self.mig, a, b)
+            return difference
+        if isinstance(op, ast.BitAnd):
+            return blocks.and_word(self.mig, a, b)
+        if isinstance(op, ast.BitOr):
+            return blocks.or_word(self.mig, a, b)
+        if isinstance(op, ast.BitXor):
+            return blocks.xor_word(self.mig, a, b)
+        raise _error(
+            node, f"unsupported operator {type(op).__name__}"
+        )
+
+    def _unaryop(self, node: ast.UnaryOp) -> Word:
+        operand = self.expr(node.operand)
+        if isinstance(node.op, ast.Invert):
+            return blocks.not_word(operand)
+        if isinstance(node.op, ast.USub):
+            return blocks.negate(self.mig, operand)
+        if isinstance(node.op, ast.Not):
+            return [complement(self._bit(operand, node))]
+        raise _error(
+            node, f"unsupported unary operator {type(node.op).__name__}"
+        )
+
+    def _compare(self, node: ast.Compare) -> Word:
+        if len(node.ops) != 1:
+            raise _error(node, "chained comparisons not supported")
+        a = self.expr(node.left)
+        b = self.expr(node.comparators[0])
+        width = max(len(a), len(b))
+        a = blocks.zero_extend(a, width)
+        b = blocks.zero_extend(b, width)
+        op = node.ops[0]
+        if isinstance(op, ast.Lt):
+            bit = blocks.less_than(self.mig, a, b)
+        elif isinstance(op, ast.GtE):
+            bit = blocks.greater_equal(self.mig, a, b)
+        elif isinstance(op, ast.Gt):
+            bit = blocks.less_than(self.mig, b, a)
+        elif isinstance(op, ast.LtE):
+            bit = blocks.greater_equal(self.mig, b, a)
+        elif isinstance(op, ast.Eq):
+            bit = blocks.equals_word(self.mig, a, b)
+        elif isinstance(op, ast.NotEq):
+            bit = complement(blocks.equals_word(self.mig, a, b))
+        else:
+            raise _error(
+                node, f"unsupported comparison {type(op).__name__}"
+            )
+        return [bit]
+
+    def _ifexp(self, node: ast.IfExp) -> Word:
+        condition = self._bit(self.expr(node.test), node)
+        then = self.expr(node.body)
+        other = self.expr(node.orelse)
+        width = max(len(then), len(other))
+        return blocks.mux_word(
+            self.mig,
+            condition,
+            blocks.zero_extend(then, width),
+            blocks.zero_extend(other, width),
+        )
+
+    def _boolop(self, node: ast.BoolOp) -> Word:
+        combine = (
+            self.mig.add_and
+            if isinstance(node.op, ast.And)
+            else self.mig.add_or
+        )
+        bit = self._bit(self.expr(node.values[0]), node)
+        for value in node.values[1:]:
+            bit = combine(bit, self._bit(self.expr(value), node))
+        return [bit]
+
+    @staticmethod
+    def _bit(word: Word, node: ast.AST) -> int:
+        if len(word) != 1:
+            raise _error(
+                node,
+                f"expected a 1-bit condition, got a {len(word)}-bit word "
+                "(use a comparison)",
+            )
+        return word[0]
+
+
+class FrontendFunction:
+    """A decorated Python function and its compiled-circuit identity.
+
+    Calling the object calls the original Python function unchanged;
+    :meth:`build` compiles it into a :class:`~repro.mig.graph.Mig`, and
+    :attr:`fingerprint` is a stable content hash of the *source* (text,
+    widths, elaboration mode), so the compiled circuit keys into
+    persistent caches before it is ever built.
+
+    Pickling (for ``run_matrix`` worker fan-out) forces a build and
+    ships the compiled graph; the Python callable itself does not cross
+    the process boundary.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        input_widths: Dict[str, int],
+        *,
+        name: Optional[str] = None,
+        elaborated: bool = True,
+    ) -> None:
+        self.fn = fn
+        self.name = name or fn.__name__
+        self.input_widths = dict(input_widths)
+        self.elaborated = elaborated
+        self.source = textwrap.dedent(inspect.getsource(fn))
+        self._built: Optional[Mig] = None
+        self.output_widths: Optional[List[int]] = None
+
+    def __call__(self, *args, **kwargs):
+        if self.fn is None:
+            raise FrontendError(
+                f"{self.name!r} was unpickled without its Python callable; "
+                "only the compiled circuit crosses process boundaries"
+            )
+        return self.fn(*args, **kwargs)
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.source.encode())
+        digest.update(repr(sorted(self.input_widths.items())).encode())
+        digest.update(b"elaborated%d" % int(self.elaborated))
+        return digest.hexdigest()
+
+    def build(self) -> Mig:
+        """Compile the function body into a MIG (memoized)."""
+        if self._built is not None:
+            return self._built
+        tree = ast.parse(self.source)
+        fn_def = tree.body[0]
+        if not isinstance(fn_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise FrontendError(
+                f"{self.name!r}: expected a function definition"
+            )
+        params = [arg.arg for arg in fn_def.args.args]
+        missing = [p for p in params if p not in self.input_widths]
+        if missing:
+            raise FrontendError(
+                f"{self.name!r}: no width declared for parameter(s) "
+                f"{', '.join(missing)}"
+            )
+        extra = [w for w in self.input_widths if w not in params]
+        if extra:
+            raise FrontendError(
+                f"{self.name!r}: widths declared for unknown parameter(s) "
+                f"{', '.join(extra)}"
+            )
+        mig = new_mig(self.name, self.elaborated)
+        env: Dict[str, Word] = {}
+        for param in params:
+            env[param] = [
+                mig.add_pi(f"{param}{i}")
+                for i in range(self.input_widths[param])
+            ]
+        outputs = _Translator(mig, env).run(fn_def.body)
+        self.output_widths = [len(word) for _, word in outputs]
+        for po_name, word in outputs:
+            for i, signal in enumerate(word):
+                mig.add_po(signal, f"{po_name}{i}")
+        self._built = mig
+        return mig
+
+    def reference(self, *args: int):
+        """The Python result masked to the circuit's output widths.
+
+        Outputs wider than the returned Python value truncate exactly
+        like the hardware does (two's complement wrap); booleans map to
+        one bit.  Builds the circuit on first use to learn the widths.
+        """
+        self.build()
+        raw = self(*args)
+        values = raw if isinstance(raw, tuple) else (raw,)
+        if len(values) != len(self.output_widths):
+            raise FrontendError(
+                f"{self.name!r} returned {len(values)} values; circuit "
+                f"has {len(self.output_widths)} outputs"
+            )
+        masked = tuple(
+            int(v) & ((1 << w) - 1)
+            for v, w in zip(values, self.output_widths)
+        )
+        return masked if isinstance(raw, tuple) else masked[0]
+
+    def __getstate__(self):
+        self.build()
+        state = dict(self.__dict__)
+        state["fn"] = None  # callables don't cross process boundaries
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        widths = ", ".join(
+            f"{k}:{v}" for k, v in self.input_widths.items()
+        )
+        return f"FrontendFunction({self.name!r}, {widths})"
+
+
+def mig_function(
+    width: Optional[int] = None,
+    *,
+    name: Optional[str] = None,
+    elaborated: bool = True,
+    **arg_widths: int,
+) -> Callable[[Callable], FrontendFunction]:
+    """Decorator compiling a Python function into a MIG.
+
+    ``@mig_function(width=8)`` gives every parameter eight bits;
+    keyword widths (``@mig_function(a=8, b=4)``) set them per parameter
+    and override the uniform *width*.  ``elaborated`` selects the same
+    AIG-style naive translation the registry benchmarks use (the
+    rewriting stages expect translation-grade graphs); pass ``False``
+    for majority-native construction.
+    """
+
+    def decorate(fn: Callable) -> FrontendFunction:
+        params = list(inspect.signature(fn).parameters)
+        widths: Dict[str, int] = {}
+        for param in params:
+            if param in arg_widths:
+                widths[param] = arg_widths[param]
+            elif width is not None:
+                widths[param] = width
+        for param, w in widths.items():
+            if not isinstance(w, int) or w <= 0:
+                raise FrontendError(
+                    f"{fn.__name__!r}: width of {param!r} must be a "
+                    f"positive integer, got {w!r}"
+                )
+        unknown = set(arg_widths) - set(params)
+        if unknown:
+            raise FrontendError(
+                f"{fn.__name__!r}: widths declared for unknown "
+                f"parameter(s) {', '.join(sorted(unknown))}"
+            )
+        return FrontendFunction(
+            fn, widths, name=name, elaborated=elaborated
+        )
+
+    return decorate
+
+
+__all__ = [
+    "FrontendError",
+    "FrontendFunction",
+    "mig_function",
+]

@@ -18,9 +18,28 @@ class TestParser:
                                      else [cmd, "--preset", "tiny"])
             assert callable(args.func)
 
-    def test_bench_validates_name(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["bench", "nonesuch"])
+    def test_bench_validates_name(self, capsys):
+        # names validate at resolve time now (paths are legal too), so
+        # a typo is a clean diagnostic + exit 2, not an argparse abort
+        assert main(["bench", "nonesuch"]) == 2
+        assert "unknown source 'nonesuch'" in capsys.readouterr().err
+
+    def test_bench_accepts_netlist_path(self):
+        args = build_parser().parse_args(["bench", "circuits/alu.blif"])
+        assert args.name == "circuits/alu.blif"
+
+    def test_bench_name_optional(self):
+        assert build_parser().parse_args(["bench"]).name is None
+
+    def test_source_list_subcommand(self, capsys):
+        assert main(["source", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "registry" in out
+
+    def test_sourcesweep_defaults(self):
+        args = build_parser().parse_args(["sourcesweep", "adder"])
+        assert args.sources == ["adder"]
+        assert args.configs == ["naive", "ea-full"]
 
 
 class TestCommands:
@@ -274,6 +293,8 @@ class TestOptimizerOption:
         ]) == 0
         assert "TABLE I" in capsys.readouterr().out
 
-    def test_invalid_opt_spec_rejected(self):
-        with pytest.raises(ValueError):
-            main(["bench", "ctrl", "--preset", "tiny", "--opt", "warp"])
+    def test_invalid_opt_spec_rejected(self, capsys):
+        assert main(
+            ["bench", "ctrl", "--preset", "tiny", "--opt", "warp"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err

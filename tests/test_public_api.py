@@ -28,18 +28,23 @@ ROOT_API = [
     "Program",
     "RramArray",
     "Session",
+    "Source",
     "WriteTrafficStats",
     "available_architectures",
     "available_objectives",
+    "available_sources",
     "available_strategies",
     "build_benchmark",
     "compile_with_management",
     "equivalent",
     "full_management",
     "get_architecture",
+    "mig_function",
     "register_architecture",
     "register_objective",
+    "register_source",
     "resolve_optimizer",
+    "resolve_source",
     "simulate",
     "truth_tables",
     "verify_program",
@@ -94,6 +99,22 @@ OPT_API = [
     "rewrite",
     "rewrite_dac16",
     "rewrite_endurance_aware",
+]
+
+#: The blessed repro.source namespace (the circuit-source layer).
+SOURCE_API = [
+    "FileSource",
+    "FrontendSource",
+    "MigSource",
+    "RegistrySource",
+    "SOURCE_ENV_VAR",
+    "Source",
+    "SourceLike",
+    "available_sources",
+    "get_source",
+    "register_source",
+    "resolve_source",
+    "source_from_env",
 ]
 
 #: The blessed repro.flow namespace.
@@ -163,6 +184,27 @@ class TestOptNamespace:
             assert name in repro.opt.available_objectives()
         assert repro.opt.DEFAULT_OPTIMIZER == "script"
         assert repro.opt.DEFAULT_OBJECTIVE == "write_cost"
+
+
+class TestSourceNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.source.__all__) == sorted(SOURCE_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.source.__all__:
+            assert getattr(repro.source, name) is not None
+
+    def test_source_kinds_stable(self):
+        kinds = {
+            cls.kind
+            for cls in (
+                repro.source.RegistrySource,
+                repro.source.FileSource,
+                repro.source.FrontendSource,
+                repro.source.MigSource,
+            )
+        }
+        assert kinds == {"registry", "file", "frontend", "graph"}
 
 
 class TestFlowNamespace:
