@@ -38,6 +38,12 @@ The package provides:
   selected per run via ``--source`` / ``$REPRO_SOURCE``;
 * :mod:`repro.analysis` — table/figure harnesses regenerating the paper's
   experimental evaluation;
+* :mod:`repro.resilience` — fault-tolerant experiment execution: the
+  transient/permanent :class:`~repro.resilience.ReproError` taxonomy,
+  deterministic retry (:class:`~repro.resilience.RetryPolicy`),
+  per-stage wall-clock timeouts (``--timeout`` / ``$REPRO_TIMEOUT``),
+  ``run_manifest.json`` provenance sidecars, and the deterministic
+  fault-injection harness (``$REPRO_FAULTS``);
 * :mod:`repro.flow` — the Session + pass-pipeline API every harness entry
   point routes through: :class:`~repro.flow.Session` resolves backend,
   cache, parallelism, and preset once; :class:`~repro.flow.Flow` runs the
@@ -81,8 +87,18 @@ from .source import (
     resolve_source,
 )
 from .flow import Flow, FlowResult, Session
+from .resilience import (
+    PermanentFault,
+    ReproError,
+    RetryPolicy,
+    Timeouts,
+    TransientFault,
+    iter_manifests,
+    parse_faults,
+    verify_manifest,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Architecture",
@@ -95,11 +111,16 @@ __all__ = [
     "Optimizer",
     "OptimizerSpec",
     "PRESETS",
+    "PermanentFault",
     "PlimController",
     "Program",
+    "ReproError",
+    "RetryPolicy",
     "RramArray",
     "Session",
     "Source",
+    "Timeouts",
+    "TransientFault",
     "WriteTrafficStats",
     "available_architectures",
     "available_objectives",
@@ -110,7 +131,9 @@ __all__ = [
     "equivalent",
     "full_management",
     "get_architecture",
+    "iter_manifests",
     "mig_function",
+    "parse_faults",
     "register_architecture",
     "register_objective",
     "register_source",
@@ -118,5 +141,6 @@ __all__ = [
     "resolve_source",
     "simulate",
     "truth_tables",
+    "verify_manifest",
     "verify_program",
 ]

@@ -13,6 +13,8 @@ Subcommands regenerate each experiment of the paper:
 * ``source list`` — the registered circuit sources;
 * ``sourcesweep NAME_OR_PATH...`` — one pipeline across sources;
 * ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
+* ``manifest show`` / ``manifest verify`` — the ``run_manifest.json``
+  provenance sidecars next to cached experiment results;
 * ``list`` — available benchmarks and presets.
 
 Wherever a command takes a circuit, it accepts either a registry
@@ -51,6 +53,7 @@ from ..opt import (
     get_strategy,
 )
 from ..flow import Flow, Session, resolve_cache_dir
+from ..resilience import iter_manifests, verify_manifest
 from ..source import available_sources, get_source, resolve_source
 from ..synth.registry import BENCHMARKS, BENCHMARK_ORDER
 from . import report, scenarios
@@ -357,6 +360,65 @@ def cmd_cache_clear(args) -> int:
     return 0
 
 
+def _manifest_shard(args, cache: DiskCache) -> Optional[str]:
+    """The fingerprint filter for manifest commands (``--all`` = every
+    code-version shard, default = the current one)."""
+    return None if args.all else cache.fingerprint
+
+
+def cmd_manifest_show(args) -> int:
+    cache = _cache_for_maintenance(args)
+    count = 0
+    for path, manifest in iter_manifests(
+        cache.root, fingerprint=_manifest_shard(args, cache)
+    ):
+        count += 1
+        artefact = manifest.get("artefact") or {}
+        events = manifest.get("events") or []
+        kinds = ", ".join(
+            sorted({e.get("kind", "?") for e in events})
+        ) or "-"
+        print(
+            f"{manifest.get('benchmark', '?'):12s} "
+            f"{manifest.get('config', '?'):16s} "
+            f"arch={manifest.get('arch', '?'):12s} "
+            f"opt={manifest.get('opt', '?'):8s} "
+            f"verified={manifest.get('verified_patterns', 0):<5} "
+            f"events=[{kinds}]"
+        )
+        if args.verbose:
+            print(f"    entry : {artefact.get('file')} "
+                  f"({artefact.get('bytes')} bytes, "
+                  f"sha256 {str(artefact.get('sha256'))[:16]}…)")
+            print(f"    shard : {manifest.get('code_fingerprint')}")
+            for event in events:
+                detail = {
+                    k: v for k, v in event.items()
+                    if k not in ("kind", "time", "job")
+                }
+                print(f"    event : {event.get('kind')} {detail}")
+    scope = "all code versions" if args.all else "current code version"
+    print(f"{count} manifest(s) under {cache.root} ({scope})")
+    return 0
+
+
+def cmd_manifest_verify(args) -> int:
+    cache = _cache_for_maintenance(args)
+    count = bad = 0
+    for path, manifest in iter_manifests(
+        cache.root, fingerprint=_manifest_shard(args, cache)
+    ):
+        count += 1
+        problems = verify_manifest(path, manifest or None)
+        if problems:
+            bad += 1
+            print(f"FAIL {path.parent.name}/{path.name}")
+            for problem in problems:
+                print(f"     {problem}")
+    print(f"{count} manifest(s) checked, {bad} failed")
+    return 1 if bad else 0
+
+
 def cmd_list(args) -> int:
     print("benchmarks (name: paper PI/PO, category):")
     for name in BENCHMARK_ORDER:
@@ -532,6 +594,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="clear every code-version shard, not just the current one")
     pc.set_defaults(func=cmd_cache_clear)
 
+    p = sub.add_parser(
+        "manifest",
+        help="inspect/verify run_manifest.json provenance sidecars",
+    )
+    manifest_sub = p.add_subparsers(dest="manifest_command", required=True)
+    for name, fn, doc in [
+        ("show", cmd_manifest_show,
+         "list persisted experiment manifests and their event logs"),
+        ("verify", cmd_manifest_verify,
+         "re-derive every checkable claim (digests, addressing, shard)"),
+    ]:
+        pm = manifest_sub.add_parser(name, help=doc)
+        pm.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)",
+        )
+        pm.add_argument(
+            "--all", action="store_true",
+            help="include every code-version shard, not just the current one",
+        )
+        if name == "show":
+            pm.add_argument(
+                "-v", "--verbose", action="store_true",
+                help="also print artefact digests and full event details",
+            )
+        pm.set_defaults(func=fn)
+
     p = sub.add_parser("list", help="list benchmarks and configurations")
     p.set_defaults(func=cmd_list)
     return parser
@@ -541,6 +630,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C is a request, not a crash: worker pools and cache locks
+        # are already released on the way up (the supervisor terminates
+        # its pool, DiskCache.store unlinks its lock in a finally), so
+        # exit with the conventional 130 and no traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ValueError, OSError) as error:
         # Bad source names/paths, unparsable netlists, unknown presets:
         # user input, not harness bugs — render without a traceback.

@@ -22,7 +22,8 @@ an exclusive per-key lockfile, so exactly one writer serialises and
 persists a given artefact while racing writers (whose payload would be
 identical — stage computation is deterministic) skip the redundant
 write-through instead of piling up temp files and renames on the same
-path.  Stale locks left by crashed writers are broken after a timeout.
+path.  Locks carry their holder's PID: a lock whose writer has died is
+broken immediately, anything else after a staleness timeout.
 
 Layout::
 
@@ -35,12 +36,15 @@ the command line.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pathlib
 import pickle
 import tempfile
 import time
 from typing import Iterable, Optional, Tuple
+
+from ..resilience import faults, manifest as run_manifest
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_ROOT = ".repro_cache"
@@ -64,7 +68,47 @@ LOCK_WAIT_SECONDS = 1.0
 
 _LOCK_POLL_SECONDS = 0.01
 
+#: Uniquifier for stale-lock tombstones (see ``_acquire_lock``).
+_TOMB_COUNTER = itertools.count()
+
 _FINGERPRINT: Optional[str] = None
+
+
+def _lock_holder_dead(lock: pathlib.Path) -> bool:
+    """``True`` if *lock* names a holder PID that no longer exists.
+
+    Locks carry their writer's PID; a pool supervisor recovering from a
+    crashed worker SIGTERMs the siblings, and a sibling killed while
+    holding an entry lock leaks it — its retried job must not wait out
+    :data:`STALE_LOCK_SECONDS` (and then *skip* the store) for a writer
+    that can never release.  Best-effort on purpose: an empty or
+    unparsable lock (a foreign writer, or the instant between create and
+    write) and a reused PID both fall back to the age-based break.
+    """
+    try:
+        pid = int(lock.read_bytes())
+    except (OSError, ValueError):
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False  # e.g. EPERM: alive, just not ours
+    return False
+
+
+def _key_job(key: Tuple) -> Optional[str]:
+    """Best-effort job label of a cache key, for fault targeting.
+
+    Entry keys lead with a kind tag followed by the source identity
+    (``("result", "adder", "default", …)``), so the second element —
+    when it is a string — names the benchmark/source the entry belongs
+    to.  Used only to scope ``$REPRO_FAULTS`` directives.
+    """
+    if len(key) > 1 and isinstance(key[1], str):
+        return key[1]
+    return None
 
 
 def code_fingerprint() -> str:
@@ -115,6 +159,12 @@ class DiskCache:
         name = hashlib.sha256(repr(key).encode()).hexdigest()
         return self.root / self.fingerprint[:16] / f"{name}.pkl"
 
+    def entry_path(self, key: Tuple) -> pathlib.Path:
+        """The content-addressed path *key* persists under (whether or
+        not an entry exists there yet) — how the parallel supervisor
+        locates a retried job's manifests to annotate."""
+        return self._path(key)
+
     # -- read/write ------------------------------------------------------
 
     def load(self, key: Tuple):
@@ -130,6 +180,8 @@ class DiskCache:
         except OSError:
             self.misses += 1
             return None
+        # Chaos hook: an injected corruption must surface as a miss.
+        blob = faults.corrupt_blob(blob, _key_job(key))
         payload = self._decode(blob, key)
         if payload is None:
             self.misses += 1
@@ -166,35 +218,71 @@ class DiskCache:
         :data:`LOCK_WAIT_SECONDS` (entry writes take milliseconds, so
         losers normally proceed on an early poll — this is what lets a
         verification-certificate upgrade land even when a sibling was
-        persisting the unverified entry first); a lock older than
-        :data:`STALE_LOCK_SECONDS` belongs to a crashed writer and is
-        broken.
+        persisting the unverified entry first); a lock whose recorded
+        holder is dead, or older than :data:`STALE_LOCK_SECONDS`,
+        belongs to a crashed writer and is broken.
         """
         lock = path.with_suffix(".lock")
         deadline = time.monotonic() + LOCK_WAIT_SECONDS
         while True:
             try:
                 fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                os.close(fd)
+                try:
+                    # Record the holder so waiters can tell a *dead*
+                    # writer (terminated pool worker — SIGTERM runs no
+                    # Python cleanup, so the lock leaks) from a live
+                    # slow one, and break it without the 60s wait.
+                    os.write(fd, str(os.getpid()).encode())
+                finally:
+                    os.close(fd)
                 return lock
             except FileExistsError:
                 if time.monotonic() >= deadline:
                     return None
                 try:
                     age = time.time() - lock.stat().st_mtime
-                except OSError:
+                except FileNotFoundError:
                     continue  # holder finished between open and stat
-                if age >= STALE_LOCK_SECONDS:
-                    try:
-                        os.unlink(lock)
-                    except OSError:
-                        pass
+                except OSError:
+                    continue
+                if age >= STALE_LOCK_SECONDS or _lock_holder_dead(lock):
+                    self._break_stale_lock(lock)
                     continue
                 if time.monotonic() >= deadline:
                     return None
                 time.sleep(_LOCK_POLL_SECONDS)
 
-    def store(self, key: Tuple, payload, *, replace=None) -> None:
+    @staticmethod
+    def _break_stale_lock(lock: pathlib.Path) -> None:
+        """Break a crashed writer's lock so exactly one breaker wins.
+
+        A bare ``unlink`` here would race: two waiters can both judge
+        the lock stale and both unlink — and the second unlink can
+        destroy a *fresh* lock acquired in between, letting two writers
+        into the critical section at once.  Renaming the lock to a
+        uniquely-named tombstone is atomic and single-winner: only one
+        rename of a given path succeeds, every loser gets
+        ``FileNotFoundError`` (which just means "lost the race — poll
+        again"), and a fresh lock created after the rename is a
+        different inode that no loser can touch.
+        """
+        tombstone = lock.with_name(
+            f"{lock.name}.tomb-{os.getpid()}-{next(_TOMB_COUNTER)}"
+        )
+        try:
+            os.rename(lock, tombstone)
+        except FileNotFoundError:
+            return  # another breaker (or the holder's release) won
+        except OSError:
+            return
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+
+    def store(
+        self, key: Tuple, payload, *, replace=None, manifest=None
+    ) -> None:
         """Persist *payload* under *key* (atomic, best-effort,
         single-writer).
 
@@ -208,30 +296,44 @@ class DiskCache:
         downgrade, regardless of writer interleaving.  A cache must
         never take the experiment down: filesystem and serialisation
         errors are swallowed and the entry is simply not persisted.
+
+        With a *manifest* dict the entry gets a ``run_manifest.json``
+        sidecar (see :mod:`repro.resilience.manifest`), written inside
+        the same lock so it always describes the bytes on disk; a
+        skipped write (replace declined) still folds the manifest's
+        event log into the existing sidecar, so recovery history is
+        never lost to a lost store race.
         """
         path = self._path(key)
+        lock = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             lock = self._acquire_lock(path)
             if lock is None:
                 self.lock_skips += 1
                 return
-        except OSError:
-            return
-        try:
+            faults.store_io_fault(_key_job(key))  # chaos hook
             if replace is not None:
                 try:
                     current = self._decode(path.read_bytes(), key)
                 except OSError:
                     current = None
                 if current is not None and not replace(current):
+                    if manifest is not None:
+                        run_manifest.append_manifest_events(
+                            path, manifest.get("events", [])
+                        )
                     return
             body = pickle.dumps(
                 (repr(key), payload), protocol=pickle.HIGHEST_PROTOCOL
             )
             blob = _MAGIC + hashlib.sha256(body).hexdigest().encode() + body
+            # The temp suffix is deliberately not ".pkl": a writer killed
+            # mid-write (terminated worker, SIGKILL) orphans the temp
+            # file, and an orphan must never be countable or comparable
+            # as a cache entry.
             fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+                dir=path.parent, prefix=".tmp-", suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
@@ -243,15 +345,32 @@ class DiskCache:
                 except OSError:
                     pass
                 raise
+            if manifest is not None:
+                meta = dict(manifest)
+                events = meta.pop("events", [])
+                run_manifest.write_manifest(
+                    path,
+                    run_manifest.build_manifest(
+                        path,
+                        key_repr=repr(key),
+                        blob=blob,
+                        meta=meta,
+                        events=events,
+                    ),
+                )
         except Exception:
             # Unpicklable payloads and filesystem failures degrade to
             # "not persisted", never to a crashed experiment.
             pass
         finally:
-            try:
-                os.unlink(lock)
-            except OSError:
-                pass
+            # The lock is released on *every* exit path — including a
+            # KeyboardInterrupt arriving mid-write — so an interrupted
+            # run never wedges sibling writers for STALE_LOCK_SECONDS.
+            if lock is not None:
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
 
     # -- maintenance -----------------------------------------------------
 

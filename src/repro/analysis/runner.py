@@ -27,7 +27,9 @@ from __future__ import annotations
 import os
 import pathlib
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -50,8 +52,22 @@ from ..opt import (
     rewrite,
 )
 from ..mig.graph import Mig
+from ..mig.kernel import degradation_scope
 from ..plim.verify import verify_program
-from ..source import Source, SourceLike, get_source, resolve_source
+from ..resilience import (
+    DEFAULT_POLICY,
+    RetriesExhaustedError,
+    RetryPolicy,
+    StageTimeoutError,
+    WorkerCrashError,
+    call_with_retry,
+    classify_transient,
+    resolve_timeouts,
+    time_limit,
+)
+from ..resilience import events as res_events
+from ..resilience import faults as res_faults
+from ..source import Source, SourceLike, resolve_source
 from ..synth.registry import BENCHMARK_ORDER, build_benchmark
 from .diskcache import DiskCache
 
@@ -421,6 +437,39 @@ class ExperimentCache:
             self.disk.store(("rewrite", *bench, tail), result)
         return result
 
+    def _manifest_meta(
+        self,
+        bench: Tuple,
+        mig: Mig,
+        config: EnduranceConfig,
+        arch: Architecture,
+        optimizer: Optimizer,
+        verified: int,
+    ) -> Dict:
+        """The ``run_manifest.json`` fields for one persisted result.
+
+        Identity fields name what produced the artefact (source, config,
+        machine, optimizer, certificate width); ``events`` carries this
+        process's resilience log for the job (retries, degradations,
+        injected faults), filtered by job name so sibling benchmarks'
+        events stay out of each other's manifests.
+        """
+        names = {mig.name}
+        if bench and isinstance(bench[0], str):
+            names.add(bench[0])
+        return {
+            "source": [str(part) for part in bench],
+            "benchmark": mig.name,
+            "config": config.name,
+            "config_key": repr(config_key(config)),
+            "arch": arch.name,
+            "opt": optimizer.spec.label(),
+            "verified_patterns": verified,
+            "events": [
+                e for e in res_events.snapshot() if e.get("job") in names
+            ],
+        }
+
     def compile(
         self,
         mig: Mig,
@@ -510,6 +559,9 @@ class ExperimentCache:
                 ("result", *bench, semantic),
                 (result, verified),
                 replace=lambda current: current[1] < certified,
+                manifest=self._manifest_meta(
+                    bench, mig, config, arch, optimizer, verified
+                ),
             )
         return result
 
@@ -572,6 +624,9 @@ class ExperimentCache:
                 ("result", *bench, semantic),
                 (result, patterns),
                 replace=lambda current: current[1] < certified,
+                manifest=self._manifest_meta(
+                    bench, mig, config, arch, optimizer, patterns
+                ),
             )
         return result
 
@@ -667,6 +722,40 @@ class ExperimentCache:
                 elif verified_patterns > stored[1]:
                     self._results[key] = (stored[0], verified_patterns)
 
+    def annotate_manifests(
+        self,
+        identity: Tuple,
+        configs: Sequence[EnduranceConfig],
+        events: Sequence[Dict],
+        *,
+        arch: ArchLike = None,
+        optimizer: "OptLike | Optimizer" = None,
+    ) -> None:
+        """Fold recovery *events* into the persisted manifests of
+        *identity*'s experiments.
+
+        The parallel supervisor's half of the manifest audit log: worker
+        crashes, pool respawns, and retries are observed in the *parent*
+        — after the worker's manifests are already on disk — so they are
+        appended here once the job's results are adopted.  Best-effort
+        like all manifest writes; experiments without a sidecar (no disk
+        cache, store lost its lock) are skipped silently.
+        """
+        if self.disk is None or not events:
+            return
+        from ..resilience.manifest import append_manifest_events
+
+        machine = resolve_architecture(arch)
+        spec = (
+            optimizer.spec
+            if isinstance(optimizer, Optimizer)
+            else resolve_optimizer(optimizer)
+        )
+        for cfg in configs:
+            semantic = experiment_key(cfg, machine, spec)
+            entry = self.disk.entry_path(("result", *identity, semantic))
+            append_manifest_events(entry, list(events))
+
 
 def resolve_configs(
     configs: Optional[Sequence[ConfigLike]] = None,
@@ -718,21 +807,27 @@ def evaluate_mig_cached(
         gates=mig.num_live_gates(),
     )
     labels: Dict[str, Tuple] = {}
-    for cfg in configs:
-        label = result_label(cfg)
-        semantic = config_key(cfg)
-        if labels.setdefault(label, semantic) != semantic:
-            # A silent last-wins overwrite here would also poison the
-            # shared cache through adopt(), which maps labels back to
-            # configurations — refuse loudly instead.
-            raise ValueError(
-                f"distinct configurations share the result label {label!r}; "
-                "rename one of them"
+    # One degradation scope per job: a numpy-kernel failure demotes the
+    # rest of *this* benchmark's compilations to the (bit-identical)
+    # reference kernel and is recorded in its manifests; the next
+    # benchmark tries numpy again.
+    with degradation_scope(mig.name):
+        for cfg in configs:
+            label = result_label(cfg)
+            semantic = config_key(cfg)
+            if labels.setdefault(label, semantic) != semantic:
+                # A silent last-wins overwrite here would also poison the
+                # shared cache through adopt(), which maps labels back to
+                # configurations — refuse loudly instead.
+                raise ValueError(
+                    f"distinct configurations share the result label "
+                    f"{label!r}; rename one of them"
+                )
+            evaluation.results[label] = cache.compile(
+                mig, cfg, key=key, verify=verify,
+                verify_patterns=verify_patterns, arch=arch,
+                optimizer=optimizer,
             )
-        evaluation.results[label] = cache.compile(
-            mig, cfg, key=key, verify=verify, verify_patterns=verify_patterns,
-            arch=arch, optimizer=optimizer,
-        )
     return evaluation
 
 
@@ -784,7 +879,14 @@ def _importable_in_workers():
                     os.environ["PYTHONPATH"] = _ENV_SAVED
 
 
-def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation, Dict[str, int]]:
+def _job_name(entry: "str | Source") -> str:
+    """Display/event name of a matrix job entry."""
+    return entry if isinstance(entry, str) else entry.name
+
+
+def _run_benchmark_job(
+    args,
+) -> Tuple[Mig, BenchmarkEvaluation, Dict[str, int], List[Dict]]:
     """Worker-process entry: evaluate one benchmark in a local session.
 
     The worker reconstructs a :class:`repro.flow.Session` from the
@@ -792,32 +894,44 @@ def _run_benchmark_job(args) -> Tuple[Mig, BenchmarkEvaluation, Dict[str, int]]:
     simulation backend, same machine model and optimizer — so
     cross-cutting concerns resolve identically on both sides of the
     process boundary.  Returns the built MIG alongside the evaluation
-    (so the parent can adopt both into a shared cache) and the worker
+    (so the parent can adopt both into a shared cache), the worker
     cache's hit/miss counters (so ``BENCH_suite.json`` can report the
-    fan-out's cache behaviour, not just the parent's).  The job entry
-    is a registry benchmark name or a picklable
+    fan-out's cache behaviour, not just the parent's), and the job's
+    resilience event log (so the parent can report recoveries it never
+    saw).  The job entry is a registry benchmark name or a picklable
     :class:`~repro.source.Source` (external circuits fan out too,
     persisting under their content fingerprints).
+
+    The job runs under the session's ``job`` wall-clock budget —
+    ``SIGALRM`` works here because pool workers execute jobs on their
+    main thread — and passes the worker-entry fault-injection site
+    first, so an injected crash kills the process before any work.
     """
     entry, preset, configs, verify, verify_patterns, spec = args
     from ..flow.session import Session  # deferred: flow imports runner
 
+    job = _job_name(entry)
     session = Session.from_spec(spec)
-    with session.activated():
-        if isinstance(entry, str):
-            mig = session.cache.benchmark_mig(entry, preset)
-        else:
-            mig = session.cache.source_mig(entry, preset)
-        evaluation = evaluate_mig_cached(
-            mig,
-            configs,
-            cache=session.cache,
-            verify=verify,
-            verify_patterns=verify_patterns,
-            arch=session.architecture,
-            opt=session.optimizer,
-        )
-    return mig, evaluation, session.cache.counters()
+    with res_events.capture() as log:
+        with time_limit(
+            session.timeouts.limit("job"), stage="job", job=job
+        ):
+            res_faults.worker_entry(job)
+            with session.activated():
+                if isinstance(entry, str):
+                    mig = session.cache.benchmark_mig(entry, preset)
+                else:
+                    mig = session.cache.source_mig(entry, preset)
+                evaluation = evaluate_mig_cached(
+                    mig,
+                    configs,
+                    cache=session.cache,
+                    verify=verify,
+                    verify_patterns=verify_patterns,
+                    arch=session.architecture,
+                    opt=session.optimizer,
+                )
+    return mig, evaluation, session.cache.counters(), list(log)
 
 
 def _worker_spec(
@@ -857,6 +971,161 @@ def _worker_spec(
     return SessionSpec(cache_dir=disk_root, preset=preset, arch=arch, opt=opt)
 
 
+def _supervised_pool_map(
+    work: List[Tuple],
+    parallel: int,
+    *,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    job_timeout: Optional[float] = None,
+) -> Tuple[List[Tuple], List[List[Dict]]]:
+    """Run :func:`_run_benchmark_job` over *work*, supervised.
+
+    The supervisor half of ``run_matrix(parallel=N)``'s fault tolerance:
+
+    * **Retry** — a job failing with a *transient* error (see
+      :func:`repro.resilience.classify_transient`) is resubmitted after
+      a deterministic exponential backoff, up to ``policy.attempts``;
+      permanent errors and exhausted budgets propagate.
+    * **Pool respawn** — a dying worker process (``os._exit``, segfault,
+      OOM kill) breaks the whole ``ProcessPoolExecutor``; the supervisor
+      terminates it, spawns a fresh pool, and resubmits *only the jobs
+      that had not finished* — completed results are kept.
+    * **Job deadline** — with a ``job`` budget (*job_timeout*), a job
+      whose worker exceeds it from the parent's clock is abandoned: the
+      (possibly wedged) pool is killed and a permanent
+      :class:`~repro.resilience.StageTimeoutError` raised.  This backs
+      up the worker's own ``SIGALRM`` enforcement, which a hard-wedged C
+      loop in a dying process might never run.
+    * **Interrupt** — on ``KeyboardInterrupt`` (or any other error) the
+      pool is terminated and its pending futures cancelled before the
+      exception propagates, so Ctrl-C never leaks worker processes.
+
+    Returns the per-job payloads in *work* order plus the parent-side
+    recovery events of each job (for the manifests the workers already
+    wrote — the parent is the only witness of crashes and respawns).
+    """
+    results: List[Optional[Tuple]] = [None] * len(work)
+    attempts = [0] * len(work)
+    parent_events: List[List[Dict]] = [[] for _ in work]
+    job_names = [_job_name(item[0]) for item in work]
+    unfinished = set(range(len(work)))
+    pool: Optional[ProcessPoolExecutor] = None
+    futures: Dict = {}
+    deadlines: Dict = {}
+
+    def record(idx: int, kind: str, **detail) -> None:
+        parent_events[idx].append(
+            res_events.record(kind, job=job_names[idx], **detail)
+        )
+
+    def submit(idx: int) -> None:
+        nonlocal pool
+        attempts[idx] += 1
+        while True:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=parallel)
+            try:
+                future = pool.submit(_run_benchmark_job, work[idx])
+                break
+            except BrokenProcessPool:
+                # The pool died between submissions (a just-resubmitted
+                # job crashed during a sibling's backoff sleep).  Its
+                # in-flight futures already carry BrokenProcessPool and
+                # surface through the main loop; just respawn for this
+                # submission.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+        futures[future] = idx
+        if job_timeout:
+            deadlines[future] = time.monotonic() + job_timeout
+
+    def kill_pool() -> None:
+        """Terminate every worker and drop the pool (broken or not)."""
+        nonlocal pool
+        if pool is not None:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        futures.clear()
+        deadlines.clear()
+
+    def check_retryable(idx: int, error: BaseException) -> None:
+        """Record the retry of a transient job failure, or give up loudly."""
+        if not classify_transient(error):
+            raise error
+        if attempts[idx] >= policy.attempts:
+            raise RetriesExhaustedError(job_names[idx], attempts[idx], error)
+        record(idx, "retry", attempt=attempts[idx], error=repr(error))
+
+    try:
+        for idx in sorted(unfinished):
+            submit(idx)
+        while unfinished:
+            timeout = None
+            if deadlines:
+                timeout = max(
+                    0.0, min(deadlines.values()) - time.monotonic()
+                )
+            done, _ = wait(
+                set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                now = time.monotonic()
+                expired = [
+                    futures[f] for f, dl in deadlines.items() if dl <= now
+                ]
+                if expired:
+                    idx = expired[0]
+                    record(idx, "job_timeout", seconds=job_timeout)
+                    raise StageTimeoutError(
+                        "job", job_timeout, job_names[idx]
+                    )
+                continue
+            crashed: List[int] = []
+            retries: List[int] = []
+            for future in done:
+                idx = futures.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    crashed.append(idx)
+                    continue
+                except BaseException as error:
+                    check_retryable(idx, error)
+                    retries.append(idx)
+                    continue
+                results[idx] = payload
+                unfinished.discard(idx)
+            if crashed:
+                # One dead worker poisons the whole pool: every future
+                # still in flight will fail the same way.  Respawn once
+                # and resubmit only the jobs that had not finished.
+                resubmit = sorted(crashed + list(futures.values()))
+                kill_pool()
+                res_events.record(
+                    "pool_respawn", jobs=[job_names[i] for i in resubmit]
+                )
+                for idx in resubmit:
+                    check_retryable(
+                        idx, WorkerCrashError(job_names[idx], attempts[idx])
+                    )
+                retries.extend(resubmit)
+            for idx in sorted(set(retries)):
+                time.sleep(policy.delay(attempts[idx], key=(job_names[idx],)))
+                submit(idx)
+    except BaseException:
+        kill_pool()
+        raise
+    if pool is not None:
+        pool.shutdown(wait=True)
+    return list(results), parent_events
+
+
 def run_matrix(
     benchmarks: "Optional[Iterable[SourceLike]]" = None,
     configs: Optional[Sequence[ConfigLike]] = None,
@@ -871,6 +1140,7 @@ def run_matrix(
     session=None,
     arch: ArchLike = None,
     opt: OptLike = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[BenchmarkEvaluation]:
     """Evaluate a benchmarks x configurations matrix.
 
@@ -920,6 +1190,16 @@ def run_matrix(
         from.  Prefer calling :meth:`repro.flow.Session.run_matrix`,
         which fills *cache*, *parallel*, *preset*, and *session* in one
         go.
+    retry:
+        The :class:`repro.resilience.RetryPolicy` supervising every
+        job: transient failures (worker crashes, injected faults,
+        I/O errors classified by
+        :func:`repro.resilience.classify_transient`) are retried with
+        deterministic exponential backoff; permanent failures and
+        exhausted budgets propagate.  Defaults to
+        :data:`repro.resilience.DEFAULT_POLICY` (three attempts).  The
+        session's ``job`` timeout budget is enforced per job in both
+        the serial and parallel paths.
     """
     raw = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
     # Normalize every entry: registry benchmarks stay bare name strings
@@ -952,6 +1232,16 @@ def run_matrix(
         else resolve_optimizer(None)
     )
     optimizer = Optimizer(opt_spec, machine)
+    policy = retry if retry is not None else DEFAULT_POLICY
+    timeouts = (
+        session.timeouts if session is not None else resolve_timeouts(None)
+    )
+    job_timeout = timeouts.limit("job")
+    # Touch the fault plan before any pool exists: an active
+    # $REPRO_FAULTS spec exports its fire ledger into the environment
+    # here, so workers spawned below share the parent's fault budget (a
+    # retried job must not re-fire a spent count=1 crash).
+    res_faults.active_plan()
 
     if parallel is not None and parallel > 1 and len(entries) > 1:
         spec = _worker_spec(
@@ -962,10 +1252,11 @@ def run_matrix(
                 (entry, preset, jobs, verify, verify_patterns, spec)
                 for entry in entries
             ]
-            with _importable_in_workers(), ProcessPoolExecutor(
-                max_workers=parallel
-            ) as pool:
-                return [ev for _, ev, _ in pool.map(_run_benchmark_job, work)]
+            with _importable_in_workers():
+                payloads, _ = _supervised_pool_map(
+                    work, parallel, policy=policy, job_timeout=job_timeout
+                )
+            return [payload[1] for payload in payloads]
         # Cooperative mode: dispatch only the pairs the cache is missing
         # (an entry without a wide-enough verification certificate counts
         # as missing when this run verifies).  Workers share the cache's
@@ -995,46 +1286,74 @@ def run_matrix(
                     (entry, preset, missing, verify, verify_patterns, spec)
                 )
         if work:
-            with _importable_in_workers(), ProcessPoolExecutor(
-                max_workers=parallel
-            ) as pool:
-                for job, (mig, evaluation, counters) in zip(
-                    work, pool.map(_run_benchmark_job, work)
-                ):
-                    entry = job[0]
-                    cache.adopt(
-                        entry
-                        if isinstance(entry, str)
-                        else tuple(entry.identity(preset)),
-                        preset,
-                        mig,
-                        job[2],
-                        evaluation,
-                        verified_patterns=verify_patterns if verify else 0,
-                        arch=machine,
-                        optimizer=optimizer,
-                    )
-                    cache.absorb_worker_counters(counters)
+            with _importable_in_workers():
+                payloads, recoveries = _supervised_pool_map(
+                    work, parallel, policy=policy, job_timeout=job_timeout
+                )
+            for job, payload, recovery in zip(work, payloads, recoveries):
+                mig, evaluation, counters, _worker_log = payload
+                entry = job[0]
+                identity = (
+                    (entry, preset)
+                    if isinstance(entry, str)
+                    else tuple(entry.identity(preset))
+                )
+                cache.adopt(
+                    identity,
+                    preset,
+                    mig,
+                    job[2],
+                    evaluation,
+                    verified_patterns=verify_patterns if verify else 0,
+                    arch=machine,
+                    optimizer=optimizer,
+                )
+                cache.absorb_worker_counters(counters)
+                # Worker-side events are already in the manifests the
+                # worker wrote; crashes/respawns/retries are only
+                # observable in the parent and are appended here.
+                cache.annotate_manifests(
+                    identity, job[2], recovery,
+                    arch=machine, optimizer=optimizer,
+                )
         # Fall through: assemble every evaluation from the now-warm cache
         # (pure hits), which also keeps matrix order.
 
     cache = cache if cache is not None else ExperimentCache()
     evaluations = []
     for entry in entries:
+        job_name = _job_name(entry)
         mig = (
             cache.benchmark_mig(entry, preset)
             if isinstance(entry, str)
             else cache.source_mig(entry, preset)
         )
+
+        def attempt(mig=mig, job_name=job_name):
+            # Serial jobs run under the same job budget and injection
+            # site as pool workers (minus the process-killing faults),
+            # so the retry taxonomy behaves identically in both paths.
+            with time_limit(job_timeout, stage="job", job=job_name):
+                res_faults.serial_entry(job_name)
+                return evaluate_mig_cached(
+                    mig,
+                    jobs,
+                    cache=cache,
+                    verify=verify,
+                    verify_patterns=verify_patterns,
+                    arch=machine,
+                    opt=optimizer,
+                )
+
         evaluations.append(
-            evaluate_mig_cached(
-                mig,
-                jobs,
-                cache=cache,
-                verify=verify,
-                verify_patterns=verify_patterns,
-                arch=machine,
-                opt=optimizer,
+            call_with_retry(
+                attempt,
+                policy=policy,
+                key=(job_name,),
+                job=job_name,
+                on_retry=lambda n, error, job_name=job_name: res_events.record(
+                    "retry", job=job_name, attempt=n, error=repr(error)
+                ),
             )
         )
     return evaluations

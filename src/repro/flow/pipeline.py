@@ -47,6 +47,7 @@ from ..opt import (
 )
 from ..mig.graph import Mig
 from ..plim.isa import Program
+from ..resilience import time_limit
 from ..source import MigSource, Source, SourceLike, resolve_source
 from ..analysis.runner import mig_key
 from .session import Session
@@ -289,6 +290,8 @@ class Flow:
             label += f"!{opt_spec.label()}"
         stages: Dict[str, StageArtifact] = {}
 
+        timeouts = self.session.timeouts
+
         def stage(name: str, benchmark: Optional[str], work, cached_probe):
             event = StageEvent(
                 stage=name, flow=label, benchmark=benchmark, config=config.name
@@ -296,7 +299,14 @@ class Flow:
             self._emit_start(event)
             start = time.perf_counter()
             cached = bool(cached_probe())
-            value = work()
+            # Enforce the session's per-stage wall-clock budget
+            # (Session(timeouts=...) / --timeout / $REPRO_TIMEOUT); a
+            # blown budget raises StageTimeoutError instead of wedging
+            # the flow.
+            with time_limit(
+                timeouts.limit(name), stage=name, job=benchmark or ""
+            ):
+                value = work()
             seconds = time.perf_counter() - start
             stages[name] = StageArtifact(
                 stage=name, value=value, cached=cached, seconds=seconds

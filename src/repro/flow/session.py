@@ -42,7 +42,6 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from ..arch import (
-    ARCH_ENV_VAR,
     Architecture,
     arch_from_env,
     available_architectures,
@@ -60,6 +59,7 @@ from ..mig.kernel import (
     get_kernel,
     resolve_backend,
 )
+from ..resilience import Timeouts, resolve_timeouts
 from ..source import (
     Source,
     SourceLike,
@@ -109,6 +109,10 @@ class SessionSpec:
     #: ``$REPRO_SOURCE``.  Non-string sources (bare graphs, frontend
     #: functions) are not spec-representable and ship as ``None``.
     source: Optional[str] = None
+    #: Per-stage wall-clock budgets as a canonical spec string (see
+    #: :meth:`repro.resilience.Timeouts.spec`); ``None`` defers to the
+    #: worker's ambient ``$REPRO_TIMEOUT``.
+    timeouts: Optional[str] = None
 
 
 class Session:
@@ -135,12 +139,16 @@ class Session:
         arch: "str | Architecture | None" = None,
         opt: "str | OptimizerSpec | None" = None,
         source: SourceLike = None,
+        timeouts: "str | float | Timeouts | None" = None,
     ) -> None:
         if backend is not None:
             resolve_backend(backend)  # fail fast on unknown/unavailable
         self.backend = backend
         self.parallel = parallel
         self.preset = preset
+        # Per-stage wall-clock budgets: explicit > $REPRO_TIMEOUT > none
+        # (fails fast on a malformed spec, like the other knobs).
+        self.timeouts = resolve_timeouts(timeouts)
         # Default circuit source: resolve an explicit one now (fail fast
         # on unknown names / missing files); None defers to ambient
         # $REPRO_SOURCE at use time.  Flows that declare their own
@@ -226,6 +234,7 @@ class Session:
             arch=getattr(args, "arch", None),
             opt=getattr(args, "opt", None),
             source=getattr(args, "source", None),
+            timeouts=getattr(args, "timeout", None),
         )
 
     @staticmethod
@@ -239,6 +248,7 @@ class Session:
         arch: bool = True,
         opt: bool = True,
         source: bool = False,
+        timeout: bool = True,
     ):
         """Install the session options on an ``argparse`` parser.
 
@@ -296,6 +306,18 @@ class Session:
                     "scripts; see 'repro opt list')"
                 ),
             )
+        if timeout:
+            parser.add_argument(
+                "--timeout",
+                default=None,
+                metavar="SPEC",
+                help=(
+                    "per-stage wall-clock budget in seconds, "
+                    "[STAGE=]SECONDS[,...] — e.g. '30' or "
+                    "'compile=120,verify=30,job=600' (default: "
+                    "$REPRO_TIMEOUT if set, else unlimited)"
+                ),
+            )
         if parallel:
             parser.add_argument(
                 "--parallel",
@@ -327,6 +349,7 @@ class Session:
             arch=self.arch,
             opt=self.opt,
             source=self._source_spec,
+            timeouts=self.timeouts.spec(),
         )
 
     @classmethod
@@ -338,6 +361,7 @@ class Session:
             arch=getattr(spec, "arch", None),
             opt=getattr(spec, "opt", None),
             source=getattr(spec, "source", None),
+            timeouts=getattr(spec, "timeouts", None),
         )
 
     # -- backend -------------------------------------------------------

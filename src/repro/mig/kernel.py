@@ -29,6 +29,17 @@ environment variable (``bigint``, ``numpy``, or ``auto``), then
 auto-detection (numpy when importable, bigint otherwise).  Requesting
 ``numpy`` without numpy installed fails loudly rather than silently
 degrading.
+
+Degradation
+-----------
+Selection failures are loud, but *runtime* failures inside the numpy
+engine degrade gracefully: both kernels are bit-identical, so a numpy
+fault mid-job is recoverable by recomputing on the reference engine.
+Every numpy dispatch is guarded — on failure the call falls back to
+:class:`BigintKernel` semantics, a ``kernel_degraded`` event is recorded
+(:mod:`repro.resilience.events`, surfaced in run manifests), and inside
+a :func:`degradation_scope` the demotion is *sticky* for the rest of the
+job, so a faulting engine is not re-tried gate-by-gate.
 """
 
 from __future__ import annotations
@@ -38,6 +49,9 @@ import threading
 from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple
 
+from ..resilience import events as _res_events
+from ..resilience import faults as _res_faults
+from ..resilience.errors import StageTimeoutError
 from .graph import Mig
 
 #: Environment variable naming the simulation backend.
@@ -95,6 +109,68 @@ class BigintKernel:
         self, mig: Mig, pi_values: Sequence[int], mask: int
     ) -> List[int]:
         return _bigint_simulate(mig, pi_values, mask)
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation (numpy -> bigint)
+# ----------------------------------------------------------------------
+
+#: Per-thread stack of degradation frames; a frame marks a job boundary
+#: within which a numpy failure demotes every later dispatch.
+_DEGRADE = threading.local()
+
+
+@contextmanager
+def degradation_scope(job: Optional[str] = None):
+    """Mark a job boundary for sticky numpy-kernel demotion.
+
+    Inside the scope, the first runtime failure of the numpy engine
+    demotes *this thread's* remaining dispatches to the bigint reference
+    engine (recorded as a ``kernel_degraded`` event tagged with *job*);
+    the demotion ends with the scope, so the next job tries numpy again.
+    Outside any scope failures still fall back, but per call.  The job
+    runner enters one scope per (benchmark, configurations) job — in
+    worker processes and the serial path alike.  Yields the frame dict
+    (``{"job": ..., "demoted": bool}``) so tests can observe demotion.
+    """
+    stack = getattr(_DEGRADE, "stack", None)
+    if stack is None:
+        stack = _DEGRADE.stack = []
+    frame = {"job": job, "demoted": False}
+    stack.append(frame)
+    try:
+        yield frame
+    finally:
+        stack.pop()
+
+
+def _degrade_frame() -> Optional[dict]:
+    stack = getattr(_DEGRADE, "stack", None)
+    return stack[-1] if stack else None
+
+
+def _degrade_job() -> Optional[str]:
+    frame = _degrade_frame()
+    return frame["job"] if frame else None
+
+
+def _demoted() -> bool:
+    frame = _degrade_frame()
+    return bool(frame and frame["demoted"])
+
+
+def _demote(error: BaseException) -> None:
+    """Record a numpy failure and make the demotion scope-sticky."""
+    frame = _degrade_frame()
+    if frame is not None:
+        frame["demoted"] = True
+    _res_events.record(
+        "kernel_degraded",
+        job=frame["job"] if frame else None,
+        backend="numpy",
+        fallback="bigint",
+        error=repr(error),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -281,8 +357,22 @@ class NumpyKernel:
         self, mig: Mig, pi_values: Sequence[int], mask: int
     ) -> List[int]:
         width = mask.bit_length()
-        if width < _NUMPY_MIN_WIDTH:
+        if width < _NUMPY_MIN_WIDTH or _demoted():
             return _bigint_simulate(mig, pi_values, mask)
+        try:
+            _res_faults.kernel_fault(_degrade_job())  # chaos hook
+            return self._numpy_simulate(mig, pi_values, mask, width)
+        except StageTimeoutError:
+            raise  # a blown stage budget is not an engine failure
+        except Exception as error:
+            # Both engines are bit-identical, so recomputing on the
+            # reference kernel preserves the artefact exactly.
+            _demote(error)
+            return _bigint_simulate(mig, pi_values, mask)
+
+    def _numpy_simulate(
+        self, mig: Mig, pi_values: Sequence[int], mask: int, width: int
+    ) -> List[int]:
         plan = _numpy_plan(mig)
         num_lanes = (width + 63) >> 6
         with plan._lock:
@@ -313,10 +403,25 @@ class NumpyKernel:
         no Python bigints are built on the input side at all.  Low and
         middle variables do not depend on the window base and are filled
         once per width.  Returns ``None`` when the window is too narrow
-        for this kernel (the caller falls back to the generic path).
+        for this kernel (the caller falls back to the generic path) —
+        and when the engine is demoted or fails, for the same reason:
+        the generic path re-dispatches through :meth:`simulate`, which
+        lands on the reference engine.
         """
-        if width < _NUMPY_MIN_WIDTH:
+        if width < _NUMPY_MIN_WIDTH or _demoted():
             return None
+        try:
+            _res_faults.kernel_fault(_degrade_job())  # chaos hook
+            return self._numpy_exhaustive_window(mig, base, width)
+        except StageTimeoutError:
+            raise
+        except Exception as error:
+            _demote(error)
+            return None
+
+    def _numpy_exhaustive_window(
+        self, mig: Mig, base: int, width: int
+    ) -> List[int]:
         plan = _numpy_plan(mig)
         with plan._lock:
             _, vals, _, tmp, full = self._window_rows(plan, base, width)
@@ -346,11 +451,23 @@ class NumpyKernel:
         order, so crossed ``equivalent(a, b)`` / ``equivalent(b, a)``
         callers cannot deadlock): the value matrices are shared state.
         """
-        np = _np
         num_patterns = 1 << a.num_pis
         width = min(num_patterns, 1 << chunk_bits)
-        if width < _NUMPY_MIN_WIDTH:
+        if width < _NUMPY_MIN_WIDTH or _demoted():
             return None
+        try:
+            _res_faults.kernel_fault(_degrade_job())  # chaos hook
+            return self._numpy_exhaustive_equivalent(a, b, num_patterns, width)
+        except StageTimeoutError:
+            raise
+        except Exception as error:
+            _demote(error)
+            return None
+
+    def _numpy_exhaustive_equivalent(
+        self, a: Mig, b: Mig, num_patterns: int, width: int
+    ) -> bool:
+        np = _np
         plan_a, plan_b = _numpy_plan(a), _numpy_plan(b)
         if plan_a is plan_b:
             locks = [plan_a._lock]

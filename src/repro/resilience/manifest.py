@@ -1,0 +1,229 @@
+"""Run manifests: auditable provenance for persisted experiment artefacts.
+
+A cached artefact with no provenance is a liability: nobody can say
+which code produced it, whether it was verified, or what faults its run
+survived.  Every persisted *experiment result* therefore gets a
+``run_manifest.json`` sidecar next to its disk-cache entry::
+
+    <root>/<fingerprint>/<sha256(key)>.pkl
+    <root>/<fingerprint>/<sha256(key)>.manifest.json
+
+holding the code fingerprint, the source identity, the semantic
+configuration/architecture/optimizer keys, the SHA-256 of the artefact
+bytes, the verification-certificate width, and the retry/degradation
+event log of the run that produced it.  ``repro manifest show`` renders
+them; ``repro manifest verify`` re-derives every checkable claim
+(artefact digest, key addressing, shard fingerprint) and fails loudly on
+drift — the trust anchor the shared-cache/compile-farm direction builds
+on.
+
+Manifests are written by :meth:`repro.analysis.diskcache.DiskCache.store`
+*inside* the entry's writer lock, so the sidecar always describes the
+bytes actually on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Manifest format version; bump on breaking layout changes.
+MANIFEST_SCHEMA = 1
+
+#: Sidecar suffix next to the ``.pkl`` entry.
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+def manifest_path(entry_path: "str | os.PathLike[str]") -> pathlib.Path:
+    """The sidecar path for a cache entry path."""
+    entry = pathlib.Path(entry_path)
+    return entry.with_name(entry.stem + MANIFEST_SUFFIX)
+
+
+def build_manifest(
+    entry_path: pathlib.Path,
+    *,
+    key_repr: str,
+    blob: Optional[bytes] = None,
+    meta: Optional[Dict] = None,
+    events: Optional[List[Dict]] = None,
+) -> Dict:
+    """Assemble a manifest for the entry at *entry_path*.
+
+    *blob* is the entry's current on-disk content (read from disk when
+    not supplied) — the artefact digest always describes real bytes,
+    not what a writer hoped it wrote.  *meta* carries the experiment
+    identity fields (source, config, arch, opt, verified_patterns);
+    *events* the retry/degradation log of the producing run.
+    """
+    if blob is None:
+        blob = pathlib.Path(entry_path).read_bytes()
+    manifest: Dict = {
+        "schema": MANIFEST_SCHEMA,
+        "key": key_repr,
+        "code_fingerprint": pathlib.Path(entry_path).parent.name,
+        "artefact": {
+            "file": pathlib.Path(entry_path).name,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "bytes": len(blob),
+        },
+        "written_at": time.time(),
+        "writer_pid": os.getpid(),
+        "events": list(events or ()),
+    }
+    if meta:
+        manifest.update(meta)
+    return manifest
+
+
+def load_manifest(path: "str | os.PathLike[str]") -> Optional[Dict]:
+    """Load a manifest (sidecar or entry path); ``None`` if absent/torn."""
+    path = pathlib.Path(path)
+    if path.suffix == ".pkl":
+        path = manifest_path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def write_manifest(
+    entry_path: "str | os.PathLike[str]", manifest: Dict
+) -> bool:
+    """Atomically write the sidecar, merging the existing event log.
+
+    Events already recorded by earlier writers of this entry are
+    preserved (a certificate upgrade must not erase the original run's
+    retry history).  Returns ``False`` on filesystem failure — manifests
+    are provenance, not control flow, and must never take a run down.
+    """
+    path = manifest_path(entry_path)
+    existing = load_manifest(path)
+    if existing is not None:
+        manifest = dict(manifest)
+        manifest["events"] = merge_events(
+            existing.get("events", []), manifest.get("events", [])
+        )
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=1, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        return False
+    return True
+
+
+def merge_events(existing: List[Dict], new: List[Dict]) -> List[Dict]:
+    """Union of two event logs, existing first, exact duplicates dropped."""
+    merged = list(existing)
+    for event in new:
+        if event not in merged:
+            merged.append(event)
+    return merged
+
+
+def append_manifest_events(
+    entry_path: "str | os.PathLike[str]", events: List[Dict]
+) -> bool:
+    """Fold *events* into an existing sidecar (no-op without one).
+
+    This is how the parallel supervisor attaches *parent-side* recovery
+    events — worker crashes, pool respawns, retries — to the manifests
+    of the experiments the retried worker produced.
+    """
+    if not events:
+        return True
+    existing = load_manifest(entry_path)
+    if existing is None:
+        return False
+    existing["events"] = merge_events(existing.get("events", []), events)
+    return write_manifest(entry_path, existing)
+
+
+def iter_manifests(
+    root: "str | os.PathLike[str]",
+    fingerprint: Optional[str] = None,
+) -> Iterator[Tuple[pathlib.Path, Dict]]:
+    """Yield ``(sidecar_path, manifest)`` under a cache root.
+
+    *fingerprint* (full or 16-hex prefix) restricts to one code-version
+    shard; default is every shard.  Unreadable sidecars yield
+    ``(path, {})`` so verification can flag them instead of skipping.
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return
+    for shard in sorted(p for p in root.iterdir() if p.is_dir()):
+        if fingerprint is not None and shard.name != fingerprint[:16]:
+            continue
+        for path in sorted(shard.glob(f"*{MANIFEST_SUFFIX}")):
+            yield path, (load_manifest(path) or {})
+
+
+def verify_manifest(
+    sidecar: "str | os.PathLike[str]", manifest: Optional[Dict] = None
+) -> List[str]:
+    """Re-derive every checkable claim; returns the problems found.
+
+    An empty list means the manifest validates: the sidecar parses, the
+    artefact exists with the recorded SHA-256 and size, the entry
+    filename matches the recorded key (content addressing holds), and
+    the shard directory matches the recorded code fingerprint.
+    """
+    sidecar = pathlib.Path(sidecar)
+    problems: List[str] = []
+    if manifest is None:
+        manifest = load_manifest(sidecar)
+    if not manifest:
+        return ["manifest unreadable or not valid JSON"]
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        problems.append(
+            f"unknown schema {manifest.get('schema')!r} "
+            f"(expected {MANIFEST_SCHEMA})"
+        )
+    artefact = manifest.get("artefact") or {}
+    entry = sidecar.parent / str(artefact.get("file", ""))
+    try:
+        blob = entry.read_bytes()
+    except OSError:
+        return problems + [f"artefact {artefact.get('file')!r} missing"]
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != artefact.get("sha256"):
+        problems.append(
+            f"artefact digest mismatch: manifest says "
+            f"{str(artefact.get('sha256'))[:16]}…, file is {digest[:16]}…"
+        )
+    if len(blob) != artefact.get("bytes"):
+        problems.append(
+            f"artefact size mismatch: manifest says "
+            f"{artefact.get('bytes')}, file is {len(blob)}"
+        )
+    key_repr = manifest.get("key")
+    if key_repr is not None:
+        addressed = hashlib.sha256(str(key_repr).encode()).hexdigest()
+        if entry.stem != addressed:
+            problems.append("entry filename does not address the stored key")
+    shard = manifest.get("code_fingerprint")
+    if shard is not None and sidecar.parent.name != str(shard)[:16]:
+        problems.append(
+            f"shard mismatch: manifest written for code version "
+            f"{str(shard)[:16]}, lives in {sidecar.parent.name}"
+        )
+    return problems

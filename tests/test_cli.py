@@ -298,3 +298,74 @@ class TestOptimizerOption:
             ["bench", "ctrl", "--preset", "tiny", "--opt", "warp"]
         ) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestManifestCommands:
+    def _seed_cache(self, tmp_path):
+        from repro.analysis.diskcache import DiskCache
+
+        disk = DiskCache(tmp_path)
+        key = ("result", "adder", "tiny", "cfg")
+        disk.store(
+            key,
+            {"answer": 42},
+            manifest={
+                "benchmark": "adder",
+                "config": "naive",
+                "arch": "endurance",
+                "opt": "script",
+                "verified_patterns": 64,
+                "events": [{"kind": "retry", "job": "adder", "attempt": 1}],
+            },
+        )
+        return disk.entry_path(key)
+
+    def test_manifest_show(self, tmp_path, capsys):
+        self._seed_cache(tmp_path)
+        assert main(["manifest", "show", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "naive" in out
+        assert "events=[retry]" in out
+        assert "1 manifest(s)" in out
+
+    def test_manifest_show_verbose(self, tmp_path, capsys):
+        self._seed_cache(tmp_path)
+        assert main([
+            "manifest", "show", "--cache-dir", str(tmp_path), "-v",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sha256" in out
+        assert "event : retry" in out
+
+    def test_manifest_verify_clean(self, tmp_path, capsys):
+        self._seed_cache(tmp_path)
+        assert main(["manifest", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_manifest_verify_flags_tampering(self, tmp_path, capsys):
+        entry = self._seed_cache(tmp_path)
+        entry.write_bytes(entry.read_bytes() + b"tampered")
+        assert main(["manifest", "verify", "--cache-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "digest mismatch" in out
+        assert "1 failed" in out
+
+    def test_manifest_empty_cache(self, tmp_path, capsys):
+        assert main(["manifest", "show", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 manifest(s)" in capsys.readouterr().out
+
+
+class TestInterruptHandling:
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        """Ctrl-C is a request, not a crash: conventional exit status,
+        a one-line notice on stderr, and no traceback."""
+        import repro.analysis.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_list", interrupted)
+        assert main(["list"]) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err

@@ -1,7 +1,6 @@
 """Tests for the persistent experiment cache (repro.analysis.diskcache)."""
 
 import os
-import pickle
 
 import pytest
 
@@ -138,6 +137,78 @@ class TestSingleWriterLock:
         assert cache.load(("k",)) == "v"
         assert not lock.exists()
         assert cache.lock_skips == 0
+
+    def test_dead_holder_lock_is_broken_immediately(self, tmp_path):
+        """A lock leaked by a SIGTERM'd pool worker (no Python cleanup
+        runs) names a dead PID — it must be broken on the first poll,
+        not honoured for STALE_LOCK_SECONDS and then *skipped*."""
+        import subprocess
+        import sys
+        import time
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()  # reaped: the PID is guaranteed dead
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.write_text(str(proc.pid))
+        start = time.monotonic()
+        cache.store(("k",), "v")
+        assert time.monotonic() - start < 1.0  # no LOCK_WAIT timeout
+        assert cache.load(("k",)) == "v"
+        assert cache.lock_skips == 0
+
+    def test_live_holder_lock_is_honoured(self, tmp_path, monkeypatch):
+        from repro.analysis import diskcache as module
+
+        monkeypatch.setattr(module, "LOCK_WAIT_SECONDS", 0.05)
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.write_text(str(os.getpid()))  # this very process: alive
+        cache.store(("k",), "v")
+        assert not path.exists()
+        assert cache.lock_skips == 1
+
+    def test_stale_break_leaves_no_tombstone(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.touch()
+        DiskCache._break_stale_lock(lock)
+        assert not lock.exists()
+        assert not list(path.parent.glob("*.tomb-*"))
+
+    def test_losing_breaker_is_a_noop(self, tmp_path, monkeypatch):
+        """Two waiters can both judge a lock stale; only the winning
+        rename may remove it.  The loser's ``FileNotFoundError`` must be
+        swallowed without touching anything — in particular not a fresh
+        lock a third writer acquired at the same path in between."""
+        cache = DiskCache(tmp_path)
+        path = cache._path(("k",))
+        path.parent.mkdir(parents=True)
+        lock = path.with_suffix(".lock")
+        lock.touch()
+        DiskCache._break_stale_lock(lock)  # the winner
+        lock.touch()  # a *fresh* writer took the now-free slot
+        before = lock.stat().st_ino
+
+        # the loser: its rename of the original (already-renamed) inode
+        # fails — simulate losing the race on the rename itself
+        original_rename = os.rename
+
+        def lost_race(src, dst):
+            if str(src) == str(lock):
+                raise FileNotFoundError(src)
+            return original_rename(src, dst)
+
+        monkeypatch.setattr(os, "rename", lost_race)
+        DiskCache._break_stale_lock(lock)
+        assert lock.exists()  # the fresh writer's lock survived
+        assert lock.stat().st_ino == before
 
     def test_lockfiles_do_not_count_as_entries(self, tmp_path):
         cache = DiskCache(tmp_path)

@@ -10,6 +10,7 @@ import repro
 import repro.arch
 import repro.flow
 import repro.opt
+import repro.resilience
 
 #: The blessed root namespace.  Additions are appended deliberately;
 #: removals are breaking changes and need a deprecation cycle.
@@ -24,11 +25,16 @@ ROOT_API = [
     "Optimizer",
     "OptimizerSpec",
     "PRESETS",
+    "PermanentFault",
     "PlimController",
     "Program",
+    "ReproError",
+    "RetryPolicy",
     "RramArray",
     "Session",
     "Source",
+    "Timeouts",
+    "TransientFault",
     "WriteTrafficStats",
     "available_architectures",
     "available_objectives",
@@ -39,7 +45,9 @@ ROOT_API = [
     "equivalent",
     "full_management",
     "get_architecture",
+    "iter_manifests",
     "mig_function",
+    "parse_faults",
     "register_architecture",
     "register_objective",
     "register_source",
@@ -47,6 +55,7 @@ ROOT_API = [
     "resolve_source",
     "simulate",
     "truth_tables",
+    "verify_manifest",
     "verify_program",
 ]
 
@@ -115,6 +124,41 @@ SOURCE_API = [
     "register_source",
     "resolve_source",
     "source_from_env",
+]
+
+#: The blessed repro.resilience namespace (the reliability substrate).
+RESILIENCE_API = [
+    "DEFAULT_POLICY",
+    "FAULTS_ENV_VAR",
+    "FaultDirective",
+    "FaultInjected",
+    "FaultPlan",
+    "KernelDegradedError",
+    "MANIFEST_SCHEMA",
+    "PermanentFault",
+    "ReproError",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "StageTimeoutError",
+    "TIMEOUT_ENV_VAR",
+    "Timeouts",
+    "TransientFault",
+    "WorkerCrashError",
+    "active_plan",
+    "append_manifest_events",
+    "call_with_retry",
+    "classify_transient",
+    "events",
+    "inject",
+    "iter_manifests",
+    "load_manifest",
+    "manifest_path",
+    "parse_faults",
+    "resolve_timeouts",
+    "time_limit",
+    "timeouts_from_env",
+    "verify_manifest",
+    "write_manifest",
 ]
 
 #: The blessed repro.flow namespace.
@@ -205,6 +249,41 @@ class TestSourceNamespace:
             )
         }
         assert kinds == {"registry", "file", "frontend", "graph"}
+
+
+class TestResilienceNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.resilience.__all__) == sorted(RESILIENCE_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.resilience.__all__:
+            assert getattr(repro.resilience, name) is not None
+
+    def test_resilience_types_exported_at_root(self):
+        assert repro.RetryPolicy is repro.resilience.RetryPolicy
+        assert repro.Timeouts is repro.resilience.Timeouts
+        assert repro.verify_manifest is repro.resilience.verify_manifest
+
+    def test_fault_points_stable(self):
+        """The injection-point vocabulary is API for $REPRO_FAULTS."""
+        from repro.resilience import faults
+
+        assert faults.POINTS == (
+            "worker_crash",
+            "worker_hang",
+            "job_fail",
+            "cache_corrupt",
+            "cache_io",
+            "kernel_fail",
+        )
+
+    def test_error_taxonomy(self):
+        """Transience is carried on the error type, permanently."""
+        assert repro.resilience.TransientFault("x").transient
+        assert not repro.resilience.PermanentFault("x").transient
+        assert issubclass(
+            repro.resilience.WorkerCrashError, repro.resilience.ReproError
+        )
 
 
 class TestFlowNamespace:
