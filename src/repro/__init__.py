@@ -48,7 +48,12 @@ The package provides:
   point routes through: :class:`~repro.flow.Session` resolves backend,
   cache, parallelism, and preset once; :class:`~repro.flow.Flow` runs the
   source → rewrite → compile → verify pipeline with per-stage caching and
-  observer hooks.
+  observer hooks;
+* :mod:`repro.serve` — compilation-as-a-service: a dependency-free REST
+  front (``repro serve`` / :func:`~repro.serve.create_server`) that
+  queues (source, config, arch, opt) jobs behind one warm Session,
+  coalesces duplicate in-flight submissions, streams per-stage events,
+  and serves artefacts with verifiable provenance manifests.
 """
 
 from .mig import Mig, equivalent, simulate, truth_tables
@@ -87,6 +92,7 @@ from .source import (
     resolve_source,
 )
 from .flow import Flow, FlowResult, Session
+from .serve import ReproServer, create_server
 from .resilience import (
     PermanentFault,
     ReproError,
@@ -98,7 +104,7 @@ from .resilience import (
     verify_manifest,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Architecture",
@@ -115,6 +121,7 @@ __all__ = [
     "PlimController",
     "Program",
     "ReproError",
+    "ReproServer",
     "RetryPolicy",
     "RramArray",
     "Session",
@@ -128,6 +135,7 @@ __all__ = [
     "available_strategies",
     "build_benchmark",
     "compile_with_management",
+    "create_server",
     "equivalent",
     "full_management",
     "get_architecture",

@@ -12,15 +12,19 @@ Subcommands regenerate each experiment of the paper:
 * ``optsweep NAME_OR_PATH`` — one circuit across rewriting optimizers;
 * ``source list`` — the registered circuit sources;
 * ``sourcesweep NAME_OR_PATH...`` — one pipeline across sources;
-* ``cache stats`` / ``cache clear`` — the on-disk experiment cache;
+* ``cache stats`` / ``cache clear`` — the on-disk experiment cache
+  (``stats --json`` for machine-readable ops scraping);
 * ``manifest show`` / ``manifest verify`` — the ``run_manifest.json``
-  provenance sidecars next to cached experiment results;
+  provenance sidecars next to cached experiment results
+  (``verify --json`` for machine-readable results);
+* ``serve`` — the compilation-as-a-service HTTP front
+  (:mod:`repro.serve`);
 * ``list`` — available benchmarks and presets.
 
 Wherever a command takes a circuit, it accepts either a registry
 benchmark name or a netlist path (``.mig``/``.blif``/``.aag``/
-``.aiger``) — imported files run the same cached pipeline, keyed by
-content fingerprint.
+``.aiger``/``.aig``) — imported files run the same cached pipeline,
+keyed by content fingerprint.
 
 Every subcommand routes through one :class:`repro.flow.Session` built
 from its arguments: ``--backend`` selects the simulation kernel,
@@ -34,6 +38,7 @@ out over worker processes, and ``--preset`` picks the benchmark widths.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -338,6 +343,9 @@ def _cache_for_maintenance(args) -> DiskCache:
 
 def cmd_cache_stats(args) -> int:
     stats = _cache_for_maintenance(args).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, default=str))
+        return 0
     print(f"cache root   : {stats['root']}")
     print(f"code version : {stats['fingerprint']}")
     print(f"entries      : {stats['entries']} ({stats['bytes']} bytes)")
@@ -404,19 +412,62 @@ def cmd_manifest_show(args) -> int:
 
 def cmd_manifest_verify(args) -> int:
     cache = _cache_for_maintenance(args)
-    count = bad = 0
+    count = 0
+    failures = []
     for path, manifest in iter_manifests(
         cache.root, fingerprint=_manifest_shard(args, cache)
     ):
         count += 1
         problems = verify_manifest(path, manifest or None)
         if problems:
-            bad += 1
-            print(f"FAIL {path.parent.name}/{path.name}")
-            for problem in problems:
-                print(f"     {problem}")
-    print(f"{count} manifest(s) checked, {bad} failed")
-    return 1 if bad else 0
+            failures.append((path, problems))
+    if args.json:
+        print(json.dumps({
+            "root": str(cache.root),
+            "checked": count,
+            "failed": len(failures),
+            "failures": [
+                {"path": str(path), "problems": problems}
+                for path, problems in failures
+            ],
+        }, indent=2))
+        return 1 if failures else 0
+    for path, problems in failures:
+        print(f"FAIL {path.parent.name}/{path.name}")
+        for problem in problems:
+            print(f"     {problem}")
+    print(f"{count} manifest(s) checked, {len(failures)} failed")
+    return 1 if failures else 0
+
+
+def cmd_serve(args) -> int:
+    from ..resilience import resolve_retry
+    from ..serve import create_server
+
+    session = Session.from_args(args)
+    server = create_server(
+        args.host,
+        args.port,
+        session=session,
+        workers=args.workers,
+        isolate=not args.no_isolate,
+        retry=resolve_retry(args.retries),
+        allow_frontend=args.allow_frontend,
+        allow_shutdown=args.allow_shutdown,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    mode = "inline threads" if args.no_isolate else "worker processes"
+    print(f"repro.serve listening on http://{host}:{port}")
+    print(f"  executors : {args.workers} ({mode})")
+    print(f"  cache     : {session.cache_dir or 'in-memory only'}")
+    print('  submit    : POST /jobs {"source": "adder", "config": "ea-full"}')
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
 
 
 def cmd_list(args) -> int:
@@ -586,6 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
     pc = cache_sub.add_parser("stats", help="entry/byte counts per code version")
     pc.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)")
+    pc.add_argument("--json", action="store_true",
+                    help="machine-readable output (the /stats disk payload)")
     pc.set_defaults(func=cmd_cache_stats)
     pc = cache_sub.add_parser("clear", help="delete cached artefacts")
     pc.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -619,7 +672,49 @@ def build_parser() -> argparse.ArgumentParser:
                 "-v", "--verbose", action="store_true",
                 help="also print artefact digests and full event details",
             )
+        else:
+            pm.add_argument(
+                "--json", action="store_true",
+                help="machine-readable verification report",
+            )
         pm.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "serve",
+        help="compilation-as-a-service HTTP front (repro.serve)",
+    )
+    Session.add_arguments(p, parallel=False)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (0 = ephemeral; default: 8321)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="job executors (default: 2)")
+    p.add_argument(
+        "--no-isolate", action="store_true",
+        help=(
+            "run jobs inline on executor threads instead of supervised "
+            "worker processes (faster startup, no crash isolation)"
+        ),
+    )
+    p.add_argument(
+        "--retries", default=None, metavar="N",
+        help="retry attempt budget per job (default: $REPRO_RETRIES or 3)",
+    )
+    p.add_argument(
+        "--allow-frontend", action="store_true",
+        help=(
+            "accept inline Python @mig_function sources "
+            "(executes submitted code; loopback-trusted clients only)"
+        ),
+    )
+    p.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="enable POST /shutdown for clean remote stops",
+    )
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log every request to stderr")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("list", help="list benchmarks and configurations")
     p.set_defaults(func=cmd_list)

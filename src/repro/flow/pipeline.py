@@ -160,6 +160,40 @@ class Flow:
         """A flow whose rewrite/compile stages follow *config*."""
         return cls(session).compile(config)
 
+    @classmethod
+    def for_job(
+        cls,
+        source: SourceLike,
+        config: Union[str, EnduranceConfig],
+        *,
+        preset: Optional[str] = None,
+        arch: "str | Architecture | None" = None,
+        opt: "str | OptimizerSpec | None" = None,
+        verify: Optional[int] = None,
+        session: Optional[Session] = None,
+    ) -> "Flow":
+        """The job-shaped entry: one call declaring a whole pipeline.
+
+        Everything a self-contained compilation job specifies — source,
+        configuration, machine model, optimizer, verification width —
+        in one declaration, so job-oriented callers (the
+        :mod:`repro.serve` queue, scripts replaying a service job
+        serially) build identical flows from identical parameters::
+
+            result = Flow.for_job(
+                "adder", "ea-full", arch="blocked", verify=64,
+                session=session,
+            ).run()
+        """
+        flow = cls(session).source(source, preset).compile(config)
+        if arch is not None:
+            flow.arch(arch)
+        if opt is not None:
+            flow.optimize(opt)
+        if verify is not None:
+            flow.verify(verify)
+        return flow
+
     def source(
         self, source: SourceLike, preset: Optional[str] = None
     ) -> "Flow":

@@ -31,15 +31,22 @@ from .dot import to_dot, write_dot
 from .io import (
     MigParseError,
     NETLIST_READERS,
+    dumps_aiger,
+    dumps_aiger_binary,
     dumps_mig,
+    dumps_program,
     loads_aiger,
+    loads_aiger_binary,
     loads_blif,
     loads_mig,
     read_aiger,
+    read_aiger_binary,
     read_blif,
     read_mig,
     read_netlist,
     read_program,
+    write_aiger,
+    write_aiger_binary,
     write_mig,
     write_program,
 )
@@ -52,15 +59,22 @@ __all__ = [
     "MigParseError",
     "NETLIST_READERS",
     "PASSES",
+    "dumps_aiger",
+    "dumps_aiger_binary",
     "dumps_mig",
+    "dumps_program",
     "loads_aiger",
+    "loads_aiger_binary",
     "loads_blif",
     "loads_mig",
     "read_aiger",
+    "read_aiger_binary",
     "read_blif",
     "read_mig",
     "read_netlist",
     "read_program",
+    "write_aiger",
+    "write_aiger_binary",
     "write_mig",
     "write_program",
     "apply_complement",

@@ -22,13 +22,14 @@ equally simple listing of ``RM3 p q z`` lines with ``@addr`` operands.
 from __future__ import annotations
 
 import io as _io
-from typing import Dict, TextIO, Union
+from typing import BinaryIO, Dict, List, TextIO, Tuple, Union
 
 from ..plim.isa import OP_CONST0, OP_CONST1, Program
 from .graph import Mig
 from .signal import CONST0, CONST1, complement, is_complemented, node_of
 
 PathOrFile = Union[str, TextIO]
+PathOrBytes = Union[str, BinaryIO]
 
 
 def _open(target: PathOrFile, mode: str):
@@ -443,6 +444,261 @@ def loads_aiger(text: str, name: str = "") -> Mig:
 
 
 # ----------------------------------------------------------------------
+# AIGER export (ASCII and binary) and binary import
+# ----------------------------------------------------------------------
+
+def _mig_to_aig(mig: Mig) -> Tuple[int, List[Tuple[int, int]], List[int]]:
+    """Decompose *mig* into an and-inverter gate list.
+
+    MAJ nodes expand as ``maj(a,b,c) = ab + ac + bc`` with ORs expressed
+    through De Morgan inverters.  Structural hashing and constant folding
+    keep the expansion compact.  Returns ``(num_inputs, gates, outputs)``
+    where ``gates[k] = (rhs0, rhs1)`` (``rhs0 >= rhs1``) defines AIGER
+    literal ``2 * (num_inputs + k + 1)`` and ``outputs`` are literals.
+    """
+    node_lit: Dict[int, int] = {}
+    for idx, node in enumerate(mig.pis()):
+        node_lit[node] = 2 * (idx + 1)
+    num_inputs = mig.num_pis
+    gates: List[Tuple[int, int]] = []
+    cache: Dict[Tuple[int, int], int] = {}
+
+    def aig_and(x: int, y: int) -> int:
+        lo, hi = (x, y) if x <= y else (y, x)
+        if lo == 0:
+            return 0
+        if lo == 1:
+            return hi
+        if lo == hi:
+            return lo
+        if lo ^ 1 == hi:
+            return 0
+        key = (hi, lo)
+        lit = cache.get(key)
+        if lit is None:
+            lit = 2 * (num_inputs + len(gates) + 1)
+            gates.append(key)
+            cache[key] = lit
+        return lit
+
+    def aig_or(x: int, y: int) -> int:
+        return aig_and(x ^ 1, y ^ 1) ^ 1
+
+    def sig_lit(signal: int) -> int:
+        if signal == CONST0:
+            return 0
+        if signal == CONST1:
+            return 1
+        lit = node_lit[node_of(signal)]
+        return lit ^ 1 if is_complemented(signal) else lit
+
+    live = mig.live_mask()
+    for node in mig.gates():
+        if not live[node]:
+            continue
+        a, b, c = (sig_lit(s) for s in mig.fanins(node))
+        node_lit[node] = aig_or(
+            aig_and(a, b), aig_or(aig_and(a, c), aig_and(b, c))
+        )
+    outputs = [sig_lit(s) for s in mig.pos()]
+    return num_inputs, gates, outputs
+
+
+def _aiger_symbols(mig: Mig) -> List[str]:
+    lines = []
+    for idx in range(mig.num_pis):
+        lines.append(f"i{idx} {mig.pi_name(idx)}")
+    for idx in range(mig.num_pos):
+        lines.append(f"o{idx} {mig.po_name(idx)}")
+    return lines
+
+
+def dumps_aiger(mig: Mig) -> str:
+    """Serialise *mig* as an ASCII AIGER (``aag``) netlist.
+
+    The MIG is decomposed into and-inverter gates first (see
+    :func:`dumps_aiger_binary` for the compact binary flavour), so the
+    result round-trips through :func:`loads_aiger` to an equivalent
+    circuit, not an identical graph.
+    """
+    num_inputs, gates, outputs = _mig_to_aig(mig)
+    maxvar = num_inputs + len(gates)
+    lines = [f"aag {maxvar} {num_inputs} 0 {len(outputs)} {len(gates)}"]
+    lines.extend(str(2 * (idx + 1)) for idx in range(num_inputs))
+    lines.extend(str(lit) for lit in outputs)
+    for k, (rhs0, rhs1) in enumerate(gates):
+        lines.append(f"{2 * (num_inputs + k + 1)} {rhs0} {rhs1}")
+    lines.extend(_aiger_symbols(mig))
+    return "\n".join(lines) + "\n"
+
+
+def write_aiger(mig: Mig, target: PathOrFile) -> None:
+    """:func:`dumps_aiger` to a path or text file object."""
+    handle, owned = _open(target, "w")
+    try:
+        handle.write(dumps_aiger(mig))
+    finally:
+        if owned:
+            handle.close()
+
+
+def _encode_delta(value: int) -> bytes:
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def dumps_aiger_binary(mig: Mig) -> bytes:
+    """Serialise *mig* as a binary AIGER (``aig``) netlist.
+
+    Same and-inverter decomposition as :func:`dumps_aiger`; gates are
+    stored as the standard 7-bit variable-length delta pairs
+    ``(lhs - rhs0, rhs0 - rhs1)`` in ascending variable order, inputs
+    are implicit literals ``2..2I``.
+    """
+    num_inputs, gates, outputs = _mig_to_aig(mig)
+    maxvar = num_inputs + len(gates)
+    chunks = [
+        f"aig {maxvar} {num_inputs} 0 {len(outputs)} {len(gates)}\n".encode(
+            "ascii"
+        )
+    ]
+    chunks.extend(f"{lit}\n".encode("ascii") for lit in outputs)
+    for k, (rhs0, rhs1) in enumerate(gates):
+        lhs = 2 * (num_inputs + k + 1)
+        chunks.append(_encode_delta(lhs - rhs0))
+        chunks.append(_encode_delta(rhs0 - rhs1))
+    symbols = _aiger_symbols(mig)
+    if symbols:
+        chunks.append(("\n".join(symbols) + "\n").encode("ascii"))
+    return b"".join(chunks)
+
+
+def write_aiger_binary(mig: Mig, target: PathOrBytes) -> None:
+    """:func:`dumps_aiger_binary` to a path or binary file object."""
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            handle.write(dumps_aiger_binary(mig))
+    else:
+        target.write(dumps_aiger_binary(mig))
+
+
+def loads_aiger_binary(data: bytes, name: str = "") -> Mig:
+    """Parse binary AIGER (``aig``) bytes into a MIG.
+
+    Combinational circuits only, mirroring :func:`loads_aiger`.  Inputs
+    are the implicit literals ``2..2I``; gate definitions are the binary
+    delta pairs, so operands always precede their gate.
+    """
+    if isinstance(data, str):
+        raise MigParseError("binary AIGER input must be bytes, not str")
+    data = bytes(data)
+
+    def ascii_line(pos: int, what: str) -> Tuple[str, int]:
+        end = data.find(b"\n", pos)
+        if end < 0:
+            raise MigParseError(f"truncated AIGER {what}")
+        return data[pos:end].decode("ascii", errors="replace"), end + 1
+
+    header, pos = ascii_line(0, "header")
+    if not header.startswith("aig "):
+        raise MigParseError("missing 'aig M I L O A' header")
+    try:
+        m, i, latches, o, a = (int(t) for t in header.split()[1:6])
+    except (ValueError, IndexError):
+        raise MigParseError("malformed 'aig M I L O A' header") from None
+    if latches:
+        raise MigParseError(
+            f"sequential AIGER not supported ({latches} latches)"
+        )
+    if m < i + a:
+        raise MigParseError(f"maxvar {m} below {i} inputs + {a} gates")
+
+    out_lits = []
+    for idx in range(o):
+        token, pos = ascii_line(pos, "outputs")
+        try:
+            lit = int(token)
+        except ValueError:
+            raise MigParseError(f"bad output literal {token!r}") from None
+        if lit < 0 or lit // 2 > m:
+            raise MigParseError(f"output literal {lit} exceeds maxvar {m}")
+        out_lits.append(lit)
+
+    def decode_delta() -> int:
+        nonlocal pos
+        value, shift = 0, 0
+        while True:
+            if pos >= len(data):
+                raise MigParseError("truncated AIGER gate section")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    mig = Mig(name)
+    # aiger variable index -> mig signal of the positive literal
+    var_sig: Dict[int, int] = {0: CONST0}
+    for idx in range(i):
+        var_sig[idx + 1] = mig.add_pi(f"i{idx}")
+
+    def resolve(lit: int, what: str) -> int:
+        sig = var_sig.get(lit // 2)
+        if sig is None:
+            raise MigParseError(f"{what} references undefined literal {lit}")
+        return complement(sig) if lit & 1 else sig
+
+    for k in range(a):
+        lhs = 2 * (i + k + 1)
+        delta0 = decode_delta()
+        delta1 = decode_delta()
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        if delta0 == 0 or rhs0 < 0 or rhs1 < 0:
+            raise MigParseError(
+                f"gate {lhs}: invalid deltas ({delta0}, {delta1})"
+            )
+        var_sig[lhs // 2] = mig.add_and(
+            resolve(rhs0, f"gate {lhs}"), resolve(rhs1, f"gate {lhs}")
+        )
+
+    po_names = {}
+    if pos < len(data):
+        for line in data[pos:].decode("ascii", errors="replace").splitlines():
+            parts = line.split()
+            if not parts:
+                continue
+            tag = parts[0]
+            if tag == "c":
+                break
+            if len(parts) == 2 and tag[0] in "io" and tag[1:].isdigit():
+                idx = int(tag[1:])
+                if tag[0] == "i" and idx < i:
+                    mig._pi_names[idx] = parts[1]
+                elif tag[0] == "o" and idx < o:
+                    po_names[idx] = parts[1]
+
+    for idx, lit in enumerate(out_lits):
+        mig.add_po(resolve(lit, f"output {idx}"), po_names.get(idx, f"o{idx}"))
+    return mig
+
+
+def read_aiger_binary(source: PathOrBytes) -> Mig:
+    """Parse a binary AIGER (``aig``) netlist file into a MIG."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            data = handle.read()
+    else:
+        data = source.read()
+    return loads_aiger_binary(data)
+
+
+# ----------------------------------------------------------------------
 # Format dispatch
 # ----------------------------------------------------------------------
 
@@ -451,6 +707,7 @@ NETLIST_READERS = {
     ".blif": read_blif,
     ".aag": read_aiger,
     ".aiger": read_aiger,
+    ".aig": read_aiger_binary,
 }
 
 
@@ -458,8 +715,9 @@ def read_netlist(path: str) -> Mig:
     """Read a circuit file, dispatching on its extension.
 
     Recognises the native exchange format (``.mig``), BLIF (``.blif``),
-    and ASCII AIGER (``.aag``/``.aiger``).  The parsed graph's name
-    defaults to the file stem when the format carries none.
+    ASCII AIGER (``.aag``/``.aiger``), and binary AIGER (``.aig``).  The
+    parsed graph's name defaults to the file stem when the format
+    carries none.
     """
     import os
 
@@ -500,6 +758,13 @@ def write_program(program: Program, target: PathOrFile) -> None:
     finally:
         if owned:
             handle.close()
+
+
+def dumps_program(program: Program) -> str:
+    """:func:`write_program` into a string."""
+    buffer = _io.StringIO()
+    write_program(program, buffer)
+    return buffer.getvalue()
 
 
 def _op_str(op: int) -> str:

@@ -45,7 +45,13 @@ from .manifest import (
     verify_manifest,
     write_manifest,
 )
-from .retry import DEFAULT_POLICY, RetryPolicy, call_with_retry
+from .retry import (
+    DEFAULT_POLICY,
+    RETRY_ENV_VAR,
+    RetryPolicy,
+    call_with_retry,
+    resolve_retry,
+)
 from .timeouts import (
     TIMEOUT_ENV_VAR,
     Timeouts,
@@ -63,6 +69,7 @@ __all__ = [
     "KernelDegradedError",
     "MANIFEST_SCHEMA",
     "PermanentFault",
+    "RETRY_ENV_VAR",
     "ReproError",
     "RetriesExhaustedError",
     "RetryPolicy",
@@ -81,6 +88,7 @@ __all__ = [
     "load_manifest",
     "manifest_path",
     "parse_faults",
+    "resolve_retry",
     "resolve_timeouts",
     "time_limit",
     "timeouts_from_env",

@@ -258,6 +258,21 @@ class TestCacheCommands:
         assert main(["cache", "stats"]) == 0
         assert str(root) in capsys.readouterr().out
 
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        root = str(tmp_path / "cache")
+        assert main([
+            "table1", "--preset", "tiny", "--benchmarks", "dec",
+            "--no-verify", "--cache-dir", root,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json", "--cache-dir", root]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["root"] == root
+        assert stats["entries"] > 0
+        assert stats["shards"] and "fingerprint" in stats["shards"][0]
+
 
 class TestOptimizerOption:
     def test_opt_list(self, capsys):
@@ -353,6 +368,92 @@ class TestManifestCommands:
     def test_manifest_empty_cache(self, tmp_path, capsys):
         assert main(["manifest", "show", "--cache-dir", str(tmp_path)]) == 0
         assert "0 manifest(s)" in capsys.readouterr().out
+
+    def test_manifest_verify_json_clean(self, tmp_path, capsys):
+        import json
+
+        self._seed_cache(tmp_path)
+        assert main([
+            "manifest", "verify", "--json", "--cache-dir", str(tmp_path),
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["root"] == str(tmp_path)
+        assert report["checked"] == 1
+        assert report["failed"] == 0
+        assert report["failures"] == []
+
+    def test_manifest_verify_json_flags_tampering(self, tmp_path, capsys):
+        import json
+
+        entry = self._seed_cache(tmp_path)
+        entry.write_bytes(entry.read_bytes() + b"tampered")
+        assert main([
+            "manifest", "verify", "--json", "--cache-dir", str(tmp_path),
+        ]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["failed"] == 1
+        assert report["failures"][0]["path"].endswith(".manifest.json")
+        assert any(
+            "digest mismatch" in problem
+            for problem in report["failures"][0]["problems"]
+        )
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.workers == 2
+        assert not args.no_isolate
+        assert not args.allow_frontend
+        assert not args.allow_shutdown
+        assert args.retries is None
+
+    def test_parser_accepts_session_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "4", "--no-isolate",
+            "--preset", "tiny", "--arch", "blocked", "--retries", "5",
+            "--allow-frontend", "--allow-shutdown",
+        ])
+        assert args.port == 0 and args.workers == 4
+        assert args.no_isolate and args.allow_frontend
+        assert args.preset == "tiny" and args.arch == "blocked"
+        assert args.retries == "5"
+
+    def test_bad_retry_budget_exits_2(self, capsys):
+        assert main(["serve", "--port", "0", "--retries", "zero"]) == 2
+        assert "invalid retry budget" in capsys.readouterr().err
+
+    def test_serve_starts_and_shuts_down(self, tmp_path, capsys):
+        """`repro serve` end-to-end in-process: bind an ephemeral port,
+        serve one health check, stop via /shutdown."""
+        import json
+        import threading
+        import urllib.request
+
+        from repro.serve import create_server
+
+        server = create_server(
+            "127.0.0.1", 0, isolate=False, allow_shutdown=True,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                server.url + "/healthz", timeout=10
+            ) as response:
+                assert json.load(response) == {"status": "ok"}
+            request = urllib.request.Request(
+                server.url + "/shutdown", data=b"", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 200
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            server.close()
+            thread.join(timeout=5)
 
 
 class TestInterruptHandling:

@@ -8,6 +8,7 @@ simulation backends.
 import pickle
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.mig import kernel
 from repro.mig.simulate import simulate_one
@@ -317,3 +318,107 @@ class TestErrors:
 
         with pytest.raises(FrontendError, match=r"line \d+"):
             located.build()
+
+
+FUZZ_WIDTH = 3
+
+
+def exact_expr_strategy():
+    """Expressions whose circuit value equals the plain Python value.
+
+    Restricted to operations that are exact on non-negative inputs (no
+    width-truncating operator inside a wider context): ``+``/``*`` widen,
+    ``&``/``|``/``^`` are bitwise over equal widths, ``>> k`` is Python
+    ``// 2**k``, comparisons and muxes see exact operands.
+    """
+    atoms = st.sampled_from(
+        ["a", "b", "0", "1", "5", str((1 << FUZZ_WIDTH) - 1)]
+    )
+
+    def extend(children):
+        binop = st.tuples(
+            children,
+            st.sampled_from(["+", "*", "&", "|", "^"]),
+            children,
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        shift = st.tuples(
+            children, st.integers(0, 2)
+        ).map(lambda t: f"({t[0]} >> {t[1]})")
+        compare = st.tuples(
+            children,
+            st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+            children,
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        mux = st.tuples(compare, children, children).map(
+            lambda t: f"({t[1]} if {t[0]} else {t[2]})"
+        )
+        return binop | shift | mux
+
+    return st.recursive(atoms, extend, max_leaves=6)
+
+
+def bitwise_expr_strategy():
+    # ~ is sound in a pure-bitwise context: Python's infinite-width
+    # two's complement agrees bit-by-bit after the output mask.
+    return st.recursive(
+        st.sampled_from(["a", "b", "5"]),
+        lambda children: st.tuples(
+            children,
+            st.sampled_from(["&", "|", "^"]),
+            children,
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        | children.map(lambda e: f"(~{e})"),
+        max_leaves=6,
+    )
+
+
+class TestGeneratedFrontends:
+    """Hypothesis-driven fuzzing of the AST frontend.
+
+    Random expression *source text* is built from an exact-valued
+    grammar, compiled through the same exec-plus-``linecache`` path a
+    served inline frontend takes, and checked exhaustively against
+    ``reference`` over both 3-bit inputs.
+    """
+
+    @staticmethod
+    def build_frontend(expr: str, width: int) -> FrontendFunction:
+        import hashlib
+        import linecache
+
+        source = (
+            f"@mig_function(width={width})\n"
+            f"def fuzzed(a, b):\n"
+            f"    return {expr}\n"
+        )
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+        filename = f"<fuzz:{digest}>"
+        code = compile(source, filename, "exec")
+        linecache.cache[filename] = (
+            len(source), None, source.splitlines(True), filename
+        )
+        namespace = {"mig_function": mig_function}
+        exec(code, namespace)
+        return namespace["fuzzed"]
+
+    def check(self, expr: str) -> None:
+        fuzzed = self.build_frontend(expr, FUZZ_WIDTH)
+        for a in range(1 << FUZZ_WIDTH):
+            for b in range(1 << FUZZ_WIDTH):
+                assert circuit_eval(fuzzed, a, b) == \
+                    fuzzed.reference(a, b), f"{expr} at a={a} b={b}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(expr=exact_expr_strategy())
+    def test_exact_expressions_match_python(self, expr):
+        self.check(expr)
+
+    @settings(max_examples=15, deadline=None)
+    @given(parts=st.lists(exact_expr_strategy(), min_size=2, max_size=3))
+    def test_tuple_outputs_match_python(self, parts):
+        self.check(", ".join(parts))
+
+    @settings(max_examples=15, deadline=None)
+    @given(expr=bitwise_expr_strategy())
+    def test_bitwise_with_inversion_matches_python(self, expr):
+        self.check(expr)

@@ -11,6 +11,7 @@ import repro.arch
 import repro.flow
 import repro.opt
 import repro.resilience
+import repro.serve
 
 #: The blessed root namespace.  Additions are appended deliberately;
 #: removals are breaking changes and need a deprecation cycle.
@@ -29,6 +30,7 @@ ROOT_API = [
     "PlimController",
     "Program",
     "ReproError",
+    "ReproServer",
     "RetryPolicy",
     "RramArray",
     "Session",
@@ -42,6 +44,7 @@ ROOT_API = [
     "available_strategies",
     "build_benchmark",
     "compile_with_management",
+    "create_server",
     "equivalent",
     "full_management",
     "get_architecture",
@@ -136,6 +139,7 @@ RESILIENCE_API = [
     "KernelDegradedError",
     "MANIFEST_SCHEMA",
     "PermanentFault",
+    "RETRY_ENV_VAR",
     "ReproError",
     "RetriesExhaustedError",
     "RetryPolicy",
@@ -154,11 +158,29 @@ RESILIENCE_API = [
     "load_manifest",
     "manifest_path",
     "parse_faults",
+    "resolve_retry",
     "resolve_timeouts",
     "time_limit",
     "timeouts_from_env",
     "verify_manifest",
     "write_manifest",
+]
+
+#: The blessed repro.serve namespace (compilation-as-a-service).
+SERVE_API = [
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobStore",
+    "ReproServer",
+    "Response",
+    "SchemaError",
+    "create_server",
+    "handle",
+    "job_payload",
+    "parse_job",
+    "stats_payload",
+    "summarize_compilation",
 ]
 
 #: The blessed repro.flow namespace.
@@ -284,6 +306,24 @@ class TestResilienceNamespace:
         assert issubclass(
             repro.resilience.WorkerCrashError, repro.resilience.ReproError
         )
+
+
+class TestServeNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.serve.__all__) == sorted(SERVE_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.serve.__all__:
+            assert getattr(repro.serve, name) is not None
+
+    def test_serve_types_exported_at_root(self):
+        assert repro.ReproServer is repro.serve.ReproServer
+        assert repro.create_server is repro.serve.create_server
+
+    def test_env_var_names_stable(self):
+        """Environment knobs are API for scripts and CI jobs."""
+        assert repro.resilience.RETRY_ENV_VAR == "REPRO_RETRIES"
+        assert repro.resilience.TIMEOUT_ENV_VAR == "REPRO_TIMEOUT"
 
 
 class TestFlowNamespace:

@@ -183,6 +183,51 @@ class TestRetryPolicy:
         assert not excinfo.value.transient  # budget spent => permanent
 
 
+class TestResolveRetry:
+    def test_default_policy_without_flag_or_env(self, monkeypatch):
+        from repro.resilience import DEFAULT_POLICY, resolve_retry
+
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
+        assert resolve_retry() is DEFAULT_POLICY
+        assert resolve_retry(None) is DEFAULT_POLICY
+
+    def test_flag_overrides_attempt_budget(self):
+        from repro.resilience import DEFAULT_POLICY, resolve_retry
+
+        policy = resolve_retry(5)
+        assert policy.attempts == 5
+        assert policy.base == DEFAULT_POLICY.base  # backoff shape kept
+        assert resolve_retry("7").attempts == 7
+
+    def test_env_var_used_when_no_flag(self, monkeypatch):
+        from repro.resilience import resolve_retry
+
+        monkeypatch.setenv("REPRO_RETRIES", "4")
+        assert resolve_retry().attempts == 4
+
+    def test_flag_beats_env(self, monkeypatch):
+        from repro.resilience import resolve_retry
+
+        monkeypatch.setenv("REPRO_RETRIES", "9")
+        assert resolve_retry(2).attempts == 2
+
+    def test_default_budget_returns_shared_policy(self, monkeypatch):
+        from repro.resilience import DEFAULT_POLICY, resolve_retry
+
+        assert resolve_retry(DEFAULT_POLICY.attempts) is DEFAULT_POLICY
+
+    def test_malformed_and_non_positive_rejected(self, monkeypatch):
+        from repro.resilience import resolve_retry
+
+        with pytest.raises(ValueError, match="invalid retry budget"):
+            resolve_retry("lots")
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_retry(0)
+        monkeypatch.setenv("REPRO_RETRIES", "nope")
+        with pytest.raises(ValueError, match="invalid retry budget"):
+            resolve_retry()
+
+
 class TestTimeouts:
     def test_parse_bare_number_sets_stage_default(self):
         t = Timeouts.parse("30")
