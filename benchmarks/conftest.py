@@ -144,7 +144,28 @@ def write_artifact(name: str, text: str) -> pathlib.Path:
 
 
 def pytest_sessionfinish(session):
-    """Emit ``BENCH_suite.json`` when any benchmark stage actually ran."""
+    """Emit the benchmark JSON artefacts for whatever actually ran.
+
+    ``BENCH_suite.json`` carries the suite/stage story;
+    ``BENCH_kernel.json`` carries the simulation-kernel matrix
+    (per-backend × thread-count timings from ``test_simbackend.py``)
+    plus the same stage timings, so the kernel perf trajectory is
+    recorded even when only the kernel lane ran.
+    """
+    if "kernel" in BENCH_REPORT:
+        write_artifact(
+            "BENCH_kernel.json",
+            json.dumps(
+                {
+                    "preset": PRESET,
+                    "backend": SESSION.kernel.name,
+                    "kernel": BENCH_REPORT["kernel"],
+                    "stages": BENCH_REPORT["stages"],
+                    "suite_seconds": BENCH_REPORT["suite_seconds"],
+                },
+                indent=2,
+            ),
+        )
     if not BENCH_REPORT["suite_seconds"] and "sim_backend" not in BENCH_REPORT:
         return
     disk = SESSION.disk

@@ -1,18 +1,29 @@
-"""Simulation-backend micro-benchmark: bigint vs numpy at 2^18 patterns.
+"""Simulation-backend micro-benchmarks at 2^18 patterns.
 
 Runs the exhaustive hot paths of the harness — full truth tables and an
 exhaustive equivalence check — on the ``multiplier`` benchmark sized to
-18 primary inputs (262 144 patterns), under both simulation kernels,
+18 primary inputs (262 144 patterns), under every simulation kernel,
 asserting bit-identical results and recording the measured wall-clock
-and speedups into ``BENCH_suite.json`` (see ``conftest.BENCH_REPORT``).
+and speedups into ``BENCH_suite.json`` / ``BENCH_kernel.json`` (see
+``conftest.BENCH_REPORT``).
 
-The speedup floor asserted here is deliberately conservative (shared CI
-runners jitter); the JSON artefact carries the exact numbers so the
+Two lanes:
+
+* ``test_numpy_backend_speedup_at_2e18_patterns`` — the historic
+  bigint-vs-numpy comparison with its conservative speedup floor.
+* ``test_kernel_matrix_at_2e18_patterns`` — the backend × thread-count
+  matrix over the per-gate and level-batched numpy kernels, feeding
+  ``BENCH_kernel.json``; the ≥2x threaded-batch-vs-numpy assertion only
+  arms on runners with at least 4 cores (threading cannot win on fewer).
+
+The speedup floors asserted here are deliberately conservative (shared
+CI runners jitter); the JSON artefacts carry the exact numbers so the
 trajectory is tracked per run.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -74,3 +85,62 @@ def test_numpy_backend_speedup_at_2e18_patterns():
     }
     assert tt_big / tt_np >= MIN_SPEEDUP
     assert eq_big / eq_np >= MIN_SPEEDUP
+
+
+#: Threaded batch-vs-numpy floor; only asserted on >= 4 cores.
+MIN_BATCH_SPEEDUP = 2.0
+
+
+@pytest.mark.skipif(
+    not kernel.numpy_available(), reason="numpy backend not installed"
+)
+def test_kernel_matrix_at_2e18_patterns():
+    """Backend x thread-count matrix feeding ``BENCH_kernel.json``."""
+    mig = build_multiplier(MULT_WIDTH)
+    other = mig.clone()
+    cores = os.cpu_count() or 1
+    thread_counts = sorted({1, min(2, cores), min(4, cores)})
+
+    reference = truth_tables(mig, kernel=kernel._BIGINT)
+    matrix = {}
+    try:
+        for name in ("numpy", "numpy-batch"):
+            kernel.set_backend(name)
+            for threads in thread_counts if name == "numpy-batch" else [1]:
+                with kernel.sim_threads_scope(threads):
+                    tables = truth_tables(mig)
+                    assert tables == reference, (name, threads)
+                    assert equivalent(mig, other), (name, threads)
+                    matrix[f"{name}@{threads}"] = {
+                        "backend": name,
+                        "threads": threads,
+                        "truth_tables_seconds": _best_of(
+                            lambda: truth_tables(mig)
+                        ),
+                        "equivalence_seconds": _best_of(
+                            lambda: equivalent(mig, other)
+                        ),
+                    }
+    finally:
+        kernel.set_backend(None)
+
+    baseline = matrix["numpy@1"]["truth_tables_seconds"]
+    for entry in matrix.values():
+        entry["truth_tables_speedup_vs_numpy"] = (
+            baseline / entry["truth_tables_seconds"]
+        )
+    best_batch = min(
+        entry["truth_tables_seconds"]
+        for key, entry in matrix.items()
+        if entry["backend"] == "numpy-batch"
+    )
+    BENCH_REPORT["kernel"] = {
+        "benchmark": f"multiplier(width={MULT_WIDTH})",
+        "patterns": 1 << mig.num_pis,
+        "gates": mig.num_live_gates(),
+        "cpu_count": cores,
+        "matrix": matrix,
+        "batch_best_speedup_vs_numpy": baseline / best_batch,
+    }
+    if cores >= 4:
+        assert baseline / best_batch >= MIN_BATCH_SPEEDUP

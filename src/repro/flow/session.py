@@ -1,7 +1,9 @@
 """The :class:`Session`: one object owning every cross-cutting concern.
 
 The harness resolves the same knobs over and over — which
-simulation-kernel backend to use (``$REPRO_SIM_BACKEND``), whether and
+simulation-kernel backend to use (``$REPRO_SIM_BACKEND``) and how many
+simulation worker threads it may spin up (``$REPRO_SIM_THREADS`` /
+``--sim-threads``), whether and
 where to persist experiment artefacts (``$REPRO_CACHE_DIR`` /
 ``--cache-dir``), which PLiM machine model to target (``$REPRO_ARCH`` /
 ``--arch``, see :mod:`repro.arch`), which rewriting optimizer to run
@@ -38,6 +40,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
@@ -58,6 +61,9 @@ from ..mig.kernel import (
     backend_scope,
     get_kernel,
     resolve_backend,
+    resolve_sim_threads,
+    sim_threads_from_env,
+    sim_threads_scope,
 )
 from ..resilience import Timeouts, resolve_timeouts
 from ..source import (
@@ -79,7 +85,7 @@ from ..analysis.runner import (
 PRESET_CHOICES: List[str] = ["tiny", "default", "paper"]
 
 #: Simulation backends selectable per session (see repro.mig.kernel).
-BACKEND_CHOICES: List[str] = ["auto", "bigint", "numpy"]
+BACKEND_CHOICES: List[str] = ["auto", "bigint", "numpy", "numpy-batch"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,9 @@ class SessionSpec:
     backend: Optional[str] = None
     cache_dir: Optional[str] = None
     preset: str = "default"
+    #: Simulation worker-thread count; ``None`` defers to the worker's
+    #: ambient ``$REPRO_SIM_THREADS``/default resolution.
+    sim_threads: Optional[int] = None
     arch: Optional[str] = None
     opt: Optional[str] = None
     #: Default circuit source as a resolvable string (registry name or
@@ -132,6 +141,7 @@ class Session:
         self,
         *,
         backend: Optional[str] = None,
+        sim_threads: Optional[int] = None,
         cache_dir: "str | os.PathLike[str] | None" = None,
         parallel: Optional[int] = None,
         preset: str = "default",
@@ -144,6 +154,12 @@ class Session:
         if backend is not None:
             resolve_backend(backend)  # fail fast on unknown/unavailable
         self.backend = backend
+        # Simulation worker threads: explicit > $REPRO_SIM_THREADS >
+        # kernel default; validated now so a bad count fails at
+        # construction, like the backend.
+        if sim_threads is not None:
+            sim_threads = resolve_sim_threads(sim_threads)
+        self.sim_threads = sim_threads
         self.parallel = parallel
         self.preset = preset
         # Per-stage wall-clock budgets: explicit > $REPRO_TIMEOUT > none
@@ -210,6 +226,7 @@ class Session:
         backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
         return cls(
             backend=backend,
+            sim_threads=sim_threads_from_env(),
             cache_dir=resolve_cache_dir(),
             parallel=parallel,
             preset=preset or "default",
@@ -228,6 +245,7 @@ class Session:
         """
         return cls(
             backend=getattr(args, "backend", None),
+            sim_threads=getattr(args, "sim_threads", None),
             cache_dir=resolve_cache_dir(getattr(args, "cache_dir", None)),
             parallel=getattr(args, "parallel", None),
             preset=getattr(args, "preset", None) or preset or "default",
@@ -271,6 +289,17 @@ class Session:
                 help=(
                     "simulation-kernel backend (default: $REPRO_SIM_BACKEND "
                     "if set, else auto-detection)"
+                ),
+            )
+            parser.add_argument(
+                "--sim-threads",
+                type=int,
+                default=None,
+                metavar="N",
+                help=(
+                    "simulation worker threads for the numpy-batch kernel "
+                    "(default: $REPRO_SIM_THREADS if set, else "
+                    "min(4, cpu count))"
                 ),
             )
         if arch:
@@ -346,6 +375,7 @@ class Session:
             backend=self.backend,
             cache_dir=self.cache_dir,
             preset=self.preset,
+            sim_threads=self.sim_threads,
             arch=self.arch,
             opt=self.opt,
             source=self._source_spec,
@@ -358,6 +388,7 @@ class Session:
             backend=spec.backend,
             cache_dir=spec.cache_dir,
             preset=spec.preset,
+            sim_threads=getattr(spec, "sim_threads", None),
             arch=getattr(spec, "arch", None),
             opt=getattr(spec, "opt", None),
             source=getattr(spec, "source", None),
@@ -418,15 +449,20 @@ class Session:
         """The attached persistent cache, if any."""
         return self.cache.disk
 
+    @contextmanager
     def activated(self):
-        """Context manager installing this session's backend override.
+        """Context manager installing this session's simulation overrides.
 
-        A ``None`` backend is a no-op scope (ambient selection applies);
-        the previous override is restored on exit, so sessions nest.
-        Flow runs and matrix evaluations enter this scope themselves —
-        call it directly only when driving kernel-level APIs by hand.
+        Enters the backend scope and the simulation-thread scope
+        together; ``None`` knobs are no-op scopes (ambient selection
+        applies), and the previous overrides are restored on exit, so
+        sessions nest.  Flow runs and matrix evaluations enter this
+        scope themselves — call it directly only when driving
+        kernel-level APIs by hand.  Yields the active kernel.
         """
-        return backend_scope(self.backend)
+        with backend_scope(self.backend) as kernel:
+            with sim_threads_scope(self.sim_threads):
+                yield kernel
 
     # -- observers -------------------------------------------------------
 
@@ -556,7 +592,9 @@ class Session:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Session(backend={self.backend!r}, cache_dir={self.cache_dir!r}, "
+            f"Session(backend={self.backend!r}, "
+            f"sim_threads={self.sim_threads!r}, "
+            f"cache_dir={self.cache_dir!r}, "
             f"parallel={self.parallel!r}, preset={self.preset!r}, "
             f"arch={self.arch!r}, opt={self.opt!r}, source={self.source!r})"
         )

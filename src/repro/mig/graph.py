@@ -428,6 +428,23 @@ class Mig:
         """
         return list(self._fanout_counts(include_pos))
 
+    def flat_gate_levels(self) -> Tuple[int, ...]:
+        """Memoized level per flat gate record, aligned with :meth:`flat_gates`.
+
+        ``flat_gate_levels()[i]`` is the level of ``flat_gates()[i]``.
+        Gates sharing a level have no data dependencies between them (a
+        fanin's level is strictly lower), which is what lets level-batched
+        simulation kernels evaluate a whole level as a handful of large
+        array operations; cached in ``_derived`` so it is invalidated by
+        any mutation alongside the flat records themselves.
+        """
+        cached = self._derived.get("flat_gate_levels")
+        if cached is None:
+            level = self._levels()
+            cached = tuple(level[rec[0]] for rec in self.flat_gates())
+            self._derived["flat_gate_levels"] = cached
+        return cached
+
     def _levels(self) -> List[int]:
         """Memoized per-node levels (the shared list — do not mutate)."""
         cached = self._derived.get("levels")

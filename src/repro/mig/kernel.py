@@ -14,40 +14,51 @@ interchangeable:
   arrays (64 patterns per lane) and compiles each graph once into a flat
   program of whole-row numpy operations (4–6 per gate), so wide sweeps
   run at array speed with no per-pattern Python.
+* :class:`NumpyBatchKernel` — the level-batched, multi-threaded engine.
+  Gates are grouped by MIG level (fanins always sit at strictly lower
+  levels, so a whole level is data-independent) and each level executes
+  as a handful of large 2-D ufunc calls over ``(gates_in_level, lanes)``
+  matrices via precomputed gather indices, instead of 4–6 scalar-row
+  ops per gate.  Exhaustive sweeps additionally fan pattern chunks out
+  over a small worker-thread pool (numpy ufuncs release the GIL), sized
+  by ``$REPRO_SIM_THREADS`` / :func:`resolve_sim_threads`.
 
-Both kernels consume the same flat gate records — complement attributes
-pre-folded into XOR masks, so neither pays per-pattern complement
-branches — and both speak Python-int words at the boundary: a kernel's
+All kernels consume the same flat gate records — complement attributes
+pre-folded into XOR masks, so none pays per-pattern complement
+branches — and all speak Python-int words at the boundary: a kernel's
 outputs are bit-identical to the reference engine's, which the
-backend-parity tests assert over random graphs.
+backend-parity tests assert over random graphs and the full registry.
 
 Selection
 ---------
 :func:`get_kernel` resolves the active kernel: an explicit
 :func:`set_backend` override wins, then the ``REPRO_SIM_BACKEND``
-environment variable (``bigint``, ``numpy``, or ``auto``), then
-auto-detection (numpy when importable, bigint otherwise).  Requesting
-``numpy`` without numpy installed fails loudly rather than silently
-degrading.
+environment variable (``bigint``, ``numpy``, ``numpy-batch``, or
+``auto``), then auto-detection (the batch kernel when numpy is
+importable, bigint otherwise).  Requesting a numpy engine without numpy
+installed fails loudly rather than silently degrading.
 
 Degradation
 -----------
 Selection failures are loud, but *runtime* failures inside the numpy
-engine degrade gracefully: both kernels are bit-identical, so a numpy
-fault mid-job is recoverable by recomputing on the reference engine.
-Every numpy dispatch is guarded — on failure the call falls back to
-:class:`BigintKernel` semantics, a ``kernel_degraded`` event is recorded
-(:mod:`repro.resilience.events`, surfaced in run manifests), and inside
-a :func:`degradation_scope` the demotion is *sticky* for the rest of the
-job, so a faulting engine is not re-tried gate-by-gate.
+engines degrade gracefully: every kernel is bit-identical, so a fault
+mid-job is recoverable by recomputing one step down the chain
+**numpy-batch → numpy → bigint**.  Every numpy dispatch is guarded — on
+failure the call falls back to the next engine, a ``kernel_degraded``
+event is recorded (:mod:`repro.resilience.events`, surfaced in run
+manifests), and inside a :func:`degradation_scope` the demotion is
+*sticky* per engine for the rest of the job, so a faulting engine is
+not re-tried gate-by-gate.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..resilience import events as _res_events
 from ..resilience import faults as _res_faults
@@ -57,10 +68,170 @@ from .graph import Mig
 #: Environment variable naming the simulation backend.
 BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
 
+#: Environment variable sizing the simulation worker-thread pool.
+THREADS_ENV_VAR = "REPRO_SIM_THREADS"
+
+#: Environment variable pinning the exhaustive chunk width (log2).
+CHUNK_BITS_ENV_VAR = "REPRO_SIM_CHUNK_BITS"
+
 try:  # numpy is optional: the bigint kernel needs nothing beyond CPython
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the without-numpy CI job
     _np = None
+
+
+# ----------------------------------------------------------------------
+# Thread-count resolution (flag > scope > override > env > default)
+# ----------------------------------------------------------------------
+
+#: Default simulation thread count: enough to scale the exhaustive
+#: paths on a multi-core runner without oversubscribing boxes that also
+#: fan out process pools.
+DEFAULT_SIM_THREADS = min(4, os.cpu_count() or 1)
+
+#: Explicit override installed by :func:`set_sim_threads`.
+_THREADS_OVERRIDE: Optional[int] = None
+
+#: Per-thread stack of :func:`sim_threads_scope` entries; beats the
+#: override, mirroring :func:`backend_scope`.
+_THREADS_SCOPE = threading.local()
+
+
+def _validate_threads(value) -> int:
+    try:
+        count = int(value)
+    except (TypeError, ValueError):
+        count = 0
+    if count < 1:
+        raise ValueError(
+            f"invalid simulation thread count {value!r}; "
+            "expected a positive integer"
+        )
+    return count
+
+
+def sim_threads_from_env() -> Optional[int]:
+    """``$REPRO_SIM_THREADS`` as a validated count, or ``None`` if unset."""
+    raw = os.environ.get(THREADS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    return _validate_threads(raw)
+
+
+def resolve_sim_threads(value=None) -> int:
+    """Resolve the simulation worker-thread count.
+
+    An explicit *value* wins (validated, so callers like
+    :class:`repro.flow.Session` fail fast on garbage), then the active
+    :func:`sim_threads_scope`, then a :func:`set_sim_threads` override,
+    then ``$REPRO_SIM_THREADS``, then :data:`DEFAULT_SIM_THREADS` —
+    the same flag > env > default precedence as :func:`resolve_backend`.
+    """
+    if value is not None:
+        return _validate_threads(value)
+    stack = getattr(_THREADS_SCOPE, "stack", None)
+    if stack:
+        return stack[-1]
+    if _THREADS_OVERRIDE is not None:
+        return _THREADS_OVERRIDE
+    env = sim_threads_from_env()
+    if env is not None:
+        return env
+    return DEFAULT_SIM_THREADS
+
+
+@contextmanager
+def sim_threads_scope(count: Optional[int]):
+    """Temporarily pin the simulation thread count on this thread.
+
+    ``None`` is a no-op scope (ambient resolution applies).  Yields the
+    count active inside the scope.  :meth:`repro.flow.Session.activated`
+    enters this alongside :func:`backend_scope`.
+    """
+    if count is None:
+        yield resolve_sim_threads()
+        return
+    count = _validate_threads(count)
+    stack = getattr(_THREADS_SCOPE, "stack", None)
+    if stack is None:
+        stack = _THREADS_SCOPE.stack = []
+    stack.append(count)
+    try:
+        yield count
+    finally:
+        stack.pop()
+
+
+def set_sim_threads(count: Optional[int]) -> int:
+    """Install an explicit thread-count override (``None`` removes it)."""
+    global _THREADS_OVERRIDE
+    _THREADS_OVERRIDE = _validate_threads(count) if count is not None else None
+    return resolve_sim_threads()
+
+
+#: Worker-thread pools by size, created lazily and kept for the life of
+#: the process so pool threads' per-thread executable caches survive
+#: across sweeps.  Never shut down (idle threads are cheap; tearing one
+#: down under a concurrent dispatcher would turn its submits into
+#: spurious kernel failures).
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _reset_pools_after_fork() -> None:  # pragma: no cover - fork timing
+    # A forked child inherits the executor objects but not their
+    # threads; submitting to one would hang forever.  Start fresh.
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+def _thread_pool(size: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(size)
+    if pool is None:
+        with _POOLS_LOCK:
+            pool = _POOLS.get(size)
+            if pool is None:
+                pool = _POOLS[size] = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="repro-sim"
+                )
+    return pool
+
+
+def _run_tasks(tasks, threads: int) -> list:
+    """Run thunks across the worker pool; results in task order.
+
+    Serial when a single task (or thread) makes threading pointless.
+    Exceptions propagate to the caller — the dispatching kernel's
+    degradation guard treats them like any other engine failure.
+    """
+    if threads <= 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    pool = _thread_pool(min(threads, len(tasks)))
+    futures = [pool.submit(task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def _env_chunk_bits() -> Optional[int]:
+    """``$REPRO_SIM_CHUNK_BITS`` clamped to a sane window, or ``None``.
+
+    The clamp keeps the override inside what the engines support: at
+    least 2^7 patterns (below that every kernel's fast paths decline
+    anyway) and at most the exhaustive ceiling of 2^20.
+    """
+    raw = os.environ.get(CHUNK_BITS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        bits = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {CHUNK_BITS_ENV_VAR}={raw!r}; expected an integer "
+            "log2 chunk width"
+        ) from None
+    return max(7, min(bits, 20))
 
 
 def _bigint_simulate(mig: Mig, pi_values: Sequence[int], mask: int) -> List[int]:
@@ -102,7 +273,11 @@ class BigintKernel:
         2^13-bit words keep every node value L1/L2-resident, where
         CPython's bigint boolean loops run near memory speed; wider words
         were measured slower in PR 1's chunking experiments.
+        ``$REPRO_SIM_CHUNK_BITS`` pins the width explicitly.
         """
+        env = _env_chunk_bits()
+        if env is not None:
+            return env
         return 13
 
     def simulate(
@@ -112,11 +287,11 @@ class BigintKernel:
 
 
 # ----------------------------------------------------------------------
-# Graceful degradation (numpy -> bigint)
+# Graceful degradation (numpy-batch -> numpy -> bigint)
 # ----------------------------------------------------------------------
 
 #: Per-thread stack of degradation frames; a frame marks a job boundary
-#: within which a numpy failure demotes every later dispatch.
+#: within which a numpy-engine failure demotes every later dispatch.
 _DEGRADE = threading.local()
 
 
@@ -124,19 +299,20 @@ _DEGRADE = threading.local()
 def degradation_scope(job: Optional[str] = None):
     """Mark a job boundary for sticky numpy-kernel demotion.
 
-    Inside the scope, the first runtime failure of the numpy engine
-    demotes *this thread's* remaining dispatches to the bigint reference
-    engine (recorded as a ``kernel_degraded`` event tagged with *job*);
-    the demotion ends with the scope, so the next job tries numpy again.
-    Outside any scope failures still fall back, but per call.  The job
-    runner enters one scope per (benchmark, configurations) job — in
-    worker processes and the serial path alike.  Yields the frame dict
-    (``{"job": ..., "demoted": bool}``) so tests can observe demotion.
+    Inside the scope, the first runtime failure of a numpy engine
+    demotes *this thread's* remaining dispatches one step down the
+    **numpy-batch → numpy → bigint** chain (each demotion recorded as a
+    ``kernel_degraded`` event tagged with *job*); the demotions end with
+    the scope, so the next job tries the full engine again.  Outside any
+    scope failures still fall back, but per call.  The job runner enters
+    one scope per (benchmark, configurations) job — in worker processes
+    and the serial path alike.  Yields the frame dict (``{"job": ...,
+    "demoted": set-of-engine-names}``) so tests can observe demotion.
     """
     stack = getattr(_DEGRADE, "stack", None)
     if stack is None:
         stack = _DEGRADE.stack = []
-    frame = {"job": job, "demoted": False}
+    frame = {"job": job, "demoted": set()}
     stack.append(frame)
     try:
         yield frame
@@ -154,27 +330,27 @@ def _degrade_job() -> Optional[str]:
     return frame["job"] if frame else None
 
 
-def _demoted() -> bool:
+def _demoted(backend: str) -> bool:
     frame = _degrade_frame()
-    return bool(frame and frame["demoted"])
+    return bool(frame) and backend in frame["demoted"]
 
 
-def _demote(error: BaseException) -> None:
-    """Record a numpy failure and make the demotion scope-sticky."""
+def _demote(error: BaseException, backend: str, fallback: str) -> None:
+    """Record an engine failure and make the demotion scope-sticky."""
     frame = _degrade_frame()
     if frame is not None:
-        frame["demoted"] = True
+        frame["demoted"].add(backend)
     _res_events.record(
         "kernel_degraded",
         job=frame["job"] if frame else None,
-        backend="numpy",
-        fallback="bigint",
+        backend=backend,
+        fallback=fallback,
         error=repr(error),
     )
 
 
 # ----------------------------------------------------------------------
-# numpy kernel
+# numpy engines: shared plan compilation + executables
 # ----------------------------------------------------------------------
 
 #: Pattern windows at or below one uint64 lane stay on the bigint
@@ -185,9 +361,27 @@ _NUMPY_MIN_WIDTH = 65
 #: until ``num_nodes * lanes * 8`` fits.
 _NUMPY_MEM_BUDGET = 64 << 20
 
+#: Tighter per-thread cap for the level-batched engine: its gather
+#: passes read rows from across the whole matrix (no per-gate temporal
+#: locality), so it wants the working set near cache-resident.
+_BATCH_MEM_BUDGET = 8 << 20
 
-class _NumpyPlan:
-    """Per-graph compiled form for the numpy kernel.
+#: Executables kept per thread per plan (distinct widths); interleaved
+#: widths — e.g. serve jobs at different presets on one warm graph —
+#: rebind instead of thrashing a single-slot cache.
+_EXEC_LRU_SIZE = 4
+
+#: Minimum patterns per threaded sub-window; below this, thread spawn
+#: and buffer fill dominate the ufunc work.
+_MIN_SUBWINDOW = 1 << 12
+
+#: Minimum uint64 lanes per thread when splitting a generic simulate
+#: call (arbitrary input words) across the pool.
+_MIN_THREAD_LANES = 32
+
+
+def _compile_gate_program(mig: Mig):
+    """Polarity-propagated, operand-rotated gate program + PO map.
 
     Gates are compiled to the 4-op majority form
 
@@ -202,78 +396,131 @@ class _NumpyPlan:
       the trailing output inversion is always free, and fanin edge
       complements are re-derived against the fanins' stored polarities;
     * *operand rotation* — majority is symmetric, so the middle operand
-      ``b`` is chosen to minimise the two pair-complement terms.
+      ``b`` is chosen to minimise the two pair-complement terms.  Of any
+      three polarities at least two agree, so rotation always leaves **at
+      most one** of the two pair complements set — an invariant the
+      level-batched executor relies on to keep tail-lane bits clean.
 
-    What remains is a flat list of binary ``(ufunc, x, y, out)`` row
-    operations — 4 per gate plus one per surviving pair complement —
-    bound to concrete array rows once per lane width and replayed for
-    every chunk.  The compiled buffers live in the graph's ``_derived``
-    memo, hence are invalidated by any mutation alongside ``flat_gates``.
+    Returns ``(program, po_extract)`` where *program* is a list of
+    ``(node, a, b, c, flip_ab, flip_bc)`` tuples in flat-gate (topological)
+    order and *po_extract* is ``(node, flip)`` per PO with the stored
+    polarity folded in.
+    """
+    program: List[Tuple[int, int, int, int, bool, bool]] = []
+    pol = [False] * mig.num_nodes
+    for node, na, xa, nb, xb, nc, xc in mig.flat_gates():
+        operands = (
+            (na, bool(xa) ^ pol[na]),
+            (nb, bool(xb) ^ pol[nb]),
+            (nc, bool(xc) ^ pol[nc]),
+        )
+        best = None
+        for mid in range(3):
+            (a, pa), (b, pb), (c, pc) = (
+                operands[mid - 2],
+                operands[mid],
+                operands[mid - 1],
+            )
+            cost = (pa ^ pb) + (pb ^ pc)
+            if best is None or cost < best[0]:
+                best = (cost, a, b, c, pa ^ pb, pb ^ pc, pb)
+        _, a, b, c, fab, fbc, pb = best
+        # Store maj of the triple with all polarities flipped by pb:
+        # self-duality makes the stored value maj ^ pb, for free.
+        pol[node] = pb
+        program.append((node, a, b, c, fab, fbc))
+    po_extract = [(s >> 1, bool(s & 1) ^ pol[s >> 1]) for s in mig.pos()]
+    return program, po_extract
+
+
+def _budget_chunk_bits(num_nodes: int, budget: int = _NUMPY_MEM_BUDGET) -> int:
+    """Widest exhaustive chunk whose value matrix fits *budget* bytes.
+
+    Wide rows amortise numpy dispatch overhead, so prefer 2^18 patterns
+    (32 KiB per node row) and shrink — never below the bigint kernel's
+    2^13 — for graphs whose node count would blow the working-set
+    budget.  ``$REPRO_SIM_CHUNK_BITS`` (handled by the callers) pins the
+    width explicitly instead.
+    """
+    bits = 18
+    while bits > 13 and (num_nodes << (bits - 6 + 3)) > budget:
+        bits -= 1
+    return bits
+
+
+def _tls_executable(plan, num_lanes: int, width: int):
+    """This thread's executable for *width*, via a per-width LRU.
+
+    Executables (value matrices + work buffers) are bound per thread —
+    the worker pool's sweep threads and concurrent ``serve`` jobs each
+    own their buffers, so no lock serializes simulation of a shared warm
+    graph — and cached per width in a small LRU, so interleaved widths
+    (jobs at different presets on one graph) rebind instead of
+    rebuilding on every call.
+    """
+    cache = getattr(plan._tls, "cache", None)
+    if cache is None:
+        cache = plan._tls.cache = OrderedDict()
+    exe = cache.get(width)
+    if exe is not None:
+        cache.move_to_end(width)
+        return exe
+    exe = plan._build_executable(num_lanes, width)
+    cache[width] = exe
+    if len(cache) > _EXEC_LRU_SIZE:
+        cache.popitem(last=False)
+    return exe
+
+
+class _Exec:
+    """Per-thread, per-width buffers + bound op list (per-gate engine).
+
+    The complement row ``full`` carries the window's tail mask in its
+    last lane, so every value row keeps the invariant "bits at or above
+    *width* are zero" and extraction never re-masks.  ``exh_width``
+    memoizes which width's low/middle exhaustive stimulus currently
+    fills the PI rows (``None`` when they hold arbitrary words).
     """
 
-    __slots__ = (
-        "num_nodes",
-        "pi_nodes",
-        "po_extract",
-        "gate_program",
-        "_lock",
-        "_exec_cache",
-        "_exh_width",
-    )
+    __slots__ = ("width", "vals", "ops", "tmp", "full", "exh_width")
+
+    def __init__(self, width, vals, ops, tmp, full) -> None:
+        self.width = width
+        self.vals = vals
+        self.ops = ops
+        self.tmp = tmp
+        self.full = full
+        self.exh_width: Optional[int] = None
+
+    def run(self, plan) -> None:
+        for f, x, y, out in self.ops:
+            f(x, y, out=out)
+
+
+class _NumpyPlan:
+    """Per-graph compiled form for the per-gate numpy kernel.
+
+    The compiled gate program (see :func:`_compile_gate_program`) is a
+    flat list of binary ``(ufunc, x, y, out)`` row operations — 4 per
+    gate plus one per surviving pair complement — bound to concrete
+    array rows once per (thread, lane width) and replayed for every
+    chunk.  The plan lives in the graph's ``_derived`` memo, hence is
+    invalidated by any mutation alongside ``flat_gates``.
+    """
+
+    __slots__ = ("num_nodes", "pi_rows", "po_extract", "gate_program", "_tls")
 
     def __init__(self, mig: Mig) -> None:
         self.num_nodes = mig.num_nodes
-        self.pi_nodes = mig.pis()
-        # (node, a, b, c, flip_ab, flip_bc) per gate, polarity-propagated.
-        program: List[Tuple[int, int, int, int, bool, bool]] = []
-        pol = [False] * mig.num_nodes
-        for node, na, xa, nb, xb, nc, xc in mig.flat_gates():
-            operands = (
-                (na, bool(xa) ^ pol[na]),
-                (nb, bool(xb) ^ pol[nb]),
-                (nc, bool(xc) ^ pol[nc]),
-            )
-            best = None
-            for mid in range(3):
-                (a, pa), (b, pb), (c, pc) = (
-                    operands[mid - 2],
-                    operands[mid],
-                    operands[mid - 1],
-                )
-                cost = (pa ^ pb) + (pb ^ pc)
-                if best is None or cost < best[0]:
-                    best = (cost, a, b, c, pa ^ pb, pb ^ pc, pb)
-            _, a, b, c, fab, fbc, pb = best
-            # Store maj of the triple with all polarities flipped by pb:
-            # self-duality makes the stored value maj ^ pb, for free.
-            pol[node] = pb
-            program.append((node, a, b, c, fab, fbc))
-        self.gate_program = program
-        # (node, flip) per PO, stored polarity folded in.
-        self.po_extract = [
-            (s >> 1, bool(s & 1) ^ pol[s >> 1]) for s in mig.pos()
-        ]
-        self._lock = threading.Lock()
-        self._exec_cache: Optional[Tuple] = None
-        # Width whose low-variable exhaustive stimulus currently fills
-        # the PI rows (None when the rows hold arbitrary words).
-        self._exh_width: Optional[int] = None
+        # Value rows are indexed by node id; PI "rows" are the PI nodes.
+        self.pi_rows = mig.pis()
+        self.gate_program, self.po_extract = _compile_gate_program(mig)
+        self._tls = threading.local()
 
-    def executable(self, num_lanes: int, width: int):
-        """Row buffers + bound op list for *width*-pattern windows.
+    def executable(self, num_lanes: int, width: int) -> _Exec:
+        return _tls_executable(self, num_lanes, width)
 
-        One executable (the most recently used width) is cached;
-        exhaustive sweeps reuse it across every chunk.  Callers must
-        hold :attr:`_lock` while running it — the value matrix and the
-        temporary row are shared state.
-
-        The complement row ``full`` carries the window's tail mask in
-        its last lane, so every value row keeps the invariant "bits at
-        or above *width* are zero" and extraction never re-masks.
-        """
-        cached = self._exec_cache
-        if cached is not None and cached[0] == width:
-            return cached
+    def _build_executable(self, num_lanes: int, width: int) -> _Exec:
         np = _np
         vals = np.empty((self.num_nodes, num_lanes), dtype=np.uint64)
         vals[0] = 0  # constant-false node; dead rows are never read
@@ -295,9 +542,162 @@ class _NumpyPlan:
                 append((bxor, out, full, out))
             append((band, out, tmp, out))
             append((bxor, out, row_b, out))
-        cached = (width, vals, ops, tmp, full)
-        self._exec_cache = cached
-        return cached
+        return _Exec(width, vals, ops, tmp, full)
+
+
+class _BatchLevel:
+    """One MIG level's gather/scatter metadata (width-independent).
+
+    ``ai``/``bi``/``ci`` gather fanin rows into ``(gates, lanes)``
+    matrices; the level's outputs occupy the contiguous row span
+    ``[lo, hi)`` of the value matrix, so results are written in place
+    with no scatter copy.  ``fab_col``/``fbc_col`` are ``(gates, 1)``
+    all-ones/zero columns folding the surviving pair complement in as
+    one broadcast XOR (``None`` when no gate in the level needs it).
+    """
+
+    __slots__ = ("lo", "hi", "ai", "bi", "ci", "fab_col", "fbc_col")
+
+    def __init__(self, lo, hi, ai, bi, ci, fab_col, fbc_col) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.ai = ai
+        self.bi = bi
+        self.ci = ci
+        self.fab_col = fab_col
+        self.fbc_col = fbc_col
+
+
+class _BatchExec:
+    """Per-thread, per-width buffers for the level-batched engine."""
+
+    __slots__ = ("width", "vals", "buf_b", "buf_t", "tmp", "full", "exh_width")
+
+    def __init__(self, plan, num_lanes: int, width: int) -> None:
+        np = _np
+        self.width = width
+        self.vals = np.empty((plan.num_rows, num_lanes), dtype=np.uint64)
+        self.vals[0] = 0  # constant-false row
+        self.buf_b = np.empty((plan.max_gates, num_lanes), dtype=np.uint64)
+        self.buf_t = np.empty((plan.max_gates, num_lanes), dtype=np.uint64)
+        self.tmp = np.empty(num_lanes, dtype=np.uint64)
+        self.full = np.full(num_lanes, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        if width & 63:
+            self.full[-1] = (1 << (width & 63)) - 1
+        self.exh_width: Optional[int] = None
+
+    def run(self, plan) -> None:
+        """Replay the level program: ~8 large ufunc calls per level.
+
+        The broadcast complement columns are *not* tail-masked (unlike
+        ``full``): a flipped ``b^c`` term carries garbage above *width*
+        in its last lane, but rotation guarantees at most one of the two
+        pair complements per gate, so those bits always meet zeros in
+        the ``&`` and the "high bits are zero" row invariant holds.
+        """
+        np = _np
+        vals = self.vals
+        take, bxor, band = np.take, np.bitwise_xor, np.bitwise_and
+        for lv in plan.levels:
+            g = lv.hi - lv.lo
+            buf_b = self.buf_b[:g]
+            buf_t = self.buf_t[:g]
+            out = vals[lv.lo : lv.hi]
+            # mode="clip" skips take's per-element bounds checks (~5x
+            # on this path); the plan's indices are valid by
+            # construction.
+            take(vals, lv.bi, axis=0, out=buf_b, mode="clip")
+            take(vals, lv.ci, axis=0, out=buf_t, mode="clip")
+            bxor(buf_b, buf_t, out=buf_t)  # b ^ c
+            if lv.fbc_col is not None:
+                bxor(buf_t, lv.fbc_col, out=buf_t)
+            take(vals, lv.ai, axis=0, out=out, mode="clip")
+            bxor(out, buf_b, out=out)  # a ^ b
+            if lv.fab_col is not None:
+                bxor(out, lv.fab_col, out=out)
+            band(out, buf_t, out=out)  # (a^b) & (b^c)
+            bxor(out, buf_b, out=out)  # ^ b  ->  maj(a, b, c)
+
+
+class _BatchPlan:
+    """Per-graph compiled form for the level-batched numpy kernel.
+
+    Node values live in a *packed* row order — constant, PIs, then gates
+    grouped by level (topological within a level) — so each level's
+    outputs are one contiguous matrix slice and the whole level runs as
+    a few large ufunc calls (see :class:`_BatchExec.run`).  Compiled
+    from the same polarity-propagated gate program as the per-gate plan,
+    hence bit-identical by construction; cached in ``_derived`` like it.
+    """
+
+    __slots__ = (
+        "num_rows",
+        "pi_rows",
+        "po_extract",
+        "levels",
+        "max_gates",
+        "_tls",
+    )
+
+    def __init__(self, mig: Mig) -> None:
+        np = _np
+        program, po_extract = _compile_gate_program(mig)
+        gate_levels = mig.flat_gate_levels()  # aligned with program
+        row_of = [0] * mig.num_nodes
+        self.pi_rows: List[int] = []
+        row = 1
+        for node in mig.pis():
+            row_of[node] = row
+            self.pi_rows.append(row)
+            row += 1
+        # Stable sort by level keeps the topological order within one.
+        order = sorted(range(len(program)), key=gate_levels.__getitem__)
+        for i in order:
+            row_of[program[i][0]] = row
+            row += 1
+        self.num_rows = row
+        self.levels: List[_BatchLevel] = []
+        self.max_gates = 0
+        lo = 1 + len(self.pi_rows)
+        start = 0
+        while start < len(order):
+            level = gate_levels[order[start]]
+            end = start
+            while end < len(order) and gate_levels[order[end]] == level:
+                end += 1
+            entries = [program[i] for i in order[start:end]]
+            g = len(entries)
+
+            def _col(flags):
+                if not any(flags):
+                    return None
+                col = np.zeros((g, 1), dtype=np.uint64)
+                col[list(flags)] = np.uint64(0xFFFFFFFFFFFFFFFF)
+                return col
+
+            self.levels.append(
+                _BatchLevel(
+                    lo,
+                    lo + g,
+                    np.array([row_of[e[1]] for e in entries], dtype=np.intp),
+                    np.array([row_of[e[2]] for e in entries], dtype=np.intp),
+                    np.array([row_of[e[3]] for e in entries], dtype=np.intp),
+                    _col([e[4] for e in entries]),
+                    _col([e[5] for e in entries]),
+                )
+            )
+            lo += g
+            if g > self.max_gates:
+                self.max_gates = g
+            start = end
+        self.po_extract = [(row_of[node], flip) for node, flip in po_extract]
+        self._tls = threading.local()
+
+    def executable(self, num_lanes: int, width: int) -> _BatchExec:
+        return _tls_executable(self, num_lanes, width)
+
+    def _build_executable(self, num_lanes: int, width: int) -> _BatchExec:
+        return _BatchExec(self, num_lanes, width)
 
 
 #: 64-pattern stimulus words for variables 0..5 (period <= one lane).
@@ -312,10 +712,20 @@ _P64 = (
 
 
 def _numpy_plan(mig: Mig) -> _NumpyPlan:
+    # Benign race: concurrent first callers may compile twice; the plans
+    # are identical and last-write wins.
     plan = mig._derived.get("numpy_plan")
     if plan is None:
         plan = _NumpyPlan(mig)
         mig._derived["numpy_plan"] = plan
+    return plan
+
+
+def _batch_plan(mig: Mig) -> _BatchPlan:
+    plan = mig._derived.get("numpy_batch_plan")
+    if plan is None:
+        plan = _BatchPlan(mig)
+        mig._derived["numpy_batch_plan"] = plan
     return plan
 
 
@@ -333,6 +743,121 @@ def _lanes_to_word(lanes) -> int:
     )
 
 
+def _fill_exhaustive(plan, exe, base: int, width: int) -> None:
+    """Synthesise the exhaustive window ``[base, base + width)`` stimulus.
+
+    The structured stimulus goes directly into the lane rows — constant
+    lane patterns for low variables, lane block patterns for middle
+    ones, constant rows for high ones — so no Python bigints are built
+    on the input side at all.  Low and middle variables do not depend on
+    the window base and are filled once per width (``exe.exh_width``
+    memo); callers guarantee *base* is a multiple of *width* and *width*
+    is a multiple of 64.
+    """
+    np = _np
+    vals = exe.vals
+    num_lanes = width >> 6
+    lane_bits = num_lanes.bit_length() - 1
+    if exe.exh_width != width:
+        lanes = np.arange(num_lanes, dtype=np.uint64)
+        for i, row in enumerate(plan.pi_rows):
+            if i < 6:
+                vals[row] = np.uint64(_P64[i])
+            elif i < 6 + lane_bits:
+                np.negative(
+                    (lanes >> np.uint64(i - 6)) & np.uint64(1),
+                    out=vals[row],
+                )
+        exe.exh_width = width
+    for i in range(6 + lane_bits, len(plan.pi_rows)):
+        vals[plan.pi_rows[i]] = np.uint64(
+            0xFFFFFFFFFFFFFFFF if (base >> i) & 1 else 0
+        )
+
+
+def _extract_words(plan, exe) -> List[int]:
+    """PO rows as Python-int words (stored polarity folded back in)."""
+    outputs = []
+    for row_i, flip in plan.po_extract:
+        row = exe.vals[row_i]
+        if flip:
+            _np.bitwise_xor(row, exe.full, out=exe.tmp)
+            row = exe.tmp
+        outputs.append(_lanes_to_word(row))
+    return outputs
+
+
+def _extract_bytes(plan, exe) -> List[bytes]:
+    """PO rows as little-endian byte strings (threaded-sweep assembly)."""
+    outputs = []
+    for row_i, flip in plan.po_extract:
+        row = exe.vals[row_i]
+        if flip:
+            _np.bitwise_xor(row, exe.full, out=exe.tmp)
+            row = exe.tmp
+        outputs.append(_np.ascontiguousarray(row, dtype="<u8").tobytes())
+    return outputs
+
+
+def _join_words(parts: List[List[bytes]], num_pos: int) -> List[int]:
+    """Concatenate per-task PO byte strings back into int words."""
+    return [
+        int.from_bytes(b"".join(part[i] for part in parts), "little")
+        for i in range(num_pos)
+    ]
+
+
+def _run_window(plan, base: int, width: int):
+    """Fill + replay one exhaustive window on this thread's executable."""
+    exe = plan.executable(width >> 6, width)
+    _fill_exhaustive(plan, exe, base, width)
+    exe.run(plan)
+    return exe
+
+
+def _windows_equal(plan_a, plan_b, base: int, width: int) -> bool:
+    """Evaluate one window on both plans and compare PO rows lane-wise."""
+    np = _np
+    exe_a = _run_window(plan_a, base, width)
+    exe_b = exe_a if plan_b is plan_a else _run_window(plan_b, base, width)
+    for (ra, fa), (rb, fb) in zip(plan_a.po_extract, plan_b.po_extract):
+        row_a = exe_a.vals[ra]
+        if fa != fb:  # opposite stored polarity: compare flipped
+            np.bitwise_xor(row_a, exe_a.full, out=exe_a.tmp)
+            row_a = exe_a.tmp
+        if not np.array_equal(row_a, exe_b.vals[rb]):
+            return False
+    return True
+
+
+def _subwindow_width(width: int, threads: int) -> Optional[int]:
+    """Power-of-two sub-window width splitting *width* over *threads*.
+
+    ``None`` when splitting is not worthwhile (one thread, or the
+    sub-windows would drop below :data:`_MIN_SUBWINDOW` patterns).
+    """
+    if threads <= 1 or width < (_MIN_SUBWINDOW << 1):
+        return None
+    pieces = 1
+    while pieces < threads:
+        pieces <<= 1
+    sub = width // pieces
+    while sub < _MIN_SUBWINDOW:
+        sub <<= 1
+        pieces >>= 1
+    return sub if pieces > 1 else None
+
+
+def _lane_cuts(num_lanes: int, threads: int) -> List[int]:
+    """Near-equal lane-range boundaries for a threaded simulate call."""
+    pieces = min(threads, num_lanes // _MIN_THREAD_LANES)
+    step, extra = divmod(num_lanes, pieces)
+    cuts = [0]
+    for i in range(pieces):
+        cuts.append(cuts[-1] + step + (1 if i < extra else 0))
+    return cuts
+
+
 class NumpyKernel:
     """uint64 lane-array engine replaying a precompiled row program."""
 
@@ -341,23 +866,16 @@ class NumpyKernel:
     random_width = 1024
 
     def chunk_bits_for(self, mig: Mig) -> int:
-        """Widest exhaustive chunk whose value matrix fits the budget.
-
-        Wide rows amortise numpy dispatch overhead, so prefer 2^18
-        patterns (32 KiB per node row) and shrink — never below the
-        bigint kernel's 2^13 — for graphs whose node count would blow
-        the memory budget.
-        """
-        bits = 18
-        while bits > 13 and (mig.num_nodes << (bits - 6 + 3)) > _NUMPY_MEM_BUDGET:
-            bits -= 1
-        return bits
+        env = _env_chunk_bits()
+        if env is not None:
+            return env
+        return _budget_chunk_bits(mig.num_nodes)
 
     def simulate(
         self, mig: Mig, pi_values: Sequence[int], mask: int
     ) -> List[int]:
         width = mask.bit_length()
-        if width < _NUMPY_MIN_WIDTH or _demoted():
+        if width < _NUMPY_MIN_WIDTH or _demoted(self.name):
             return _bigint_simulate(mig, pi_values, mask)
         try:
             _res_faults.kernel_fault(_degrade_job())  # chaos hook
@@ -367,7 +885,7 @@ class NumpyKernel:
         except Exception as error:
             # Both engines are bit-identical, so recomputing on the
             # reference kernel preserves the artefact exactly.
-            _demote(error)
+            _demote(error, self.name, "bigint")
             return _bigint_simulate(mig, pi_values, mask)
 
     def _numpy_simulate(
@@ -375,64 +893,37 @@ class NumpyKernel:
     ) -> List[int]:
         plan = _numpy_plan(mig)
         num_lanes = (width + 63) >> 6
-        with plan._lock:
-            _, vals, ops, tmp, full = plan.executable(num_lanes, width)
-            plan._exh_width = None  # PI rows now hold arbitrary words
-            for node, word in zip(plan.pi_nodes, pi_values):
-                vals[node] = _word_to_lanes(word & mask, num_lanes)
-            for f, x, y, out in ops:
-                f(x, y, out=out)
-            outputs = []
-            for node, flip in plan.po_extract:
-                row = vals[node]
-                if flip:
-                    _np.bitwise_xor(row, full, out=tmp)
-                    row = tmp
-                outputs.append(_lanes_to_word(row))
-            return outputs
+        exe = plan.executable(num_lanes, width)
+        exe.exh_width = None  # PI rows now hold arbitrary words
+        for row, word in zip(plan.pi_rows, pi_values):
+            exe.vals[row] = _word_to_lanes(word & mask, num_lanes)
+        exe.run(plan)
+        return _extract_words(plan, exe)
 
     def exhaustive_window(
         self, mig: Mig, base: int, width: int
     ) -> Optional[List[int]]:
         """Evaluate the exhaustive window ``[base, base + width)``.
 
-        Fast path used by :func:`repro.mig.simulate.exhaustive_chunks`:
-        the structured exhaustive stimulus is synthesised directly into
-        the lane rows (constant lane patterns for low variables, lane
-        block patterns for middle ones, constant rows for high ones), so
-        no Python bigints are built on the input side at all.  Low and
-        middle variables do not depend on the window base and are filled
-        once per width.  Returns ``None`` when the window is too narrow
-        for this kernel (the caller falls back to the generic path) —
-        and when the engine is demoted or fails, for the same reason:
-        the generic path re-dispatches through :meth:`simulate`, which
-        lands on the reference engine.
+        Fast path used by :func:`repro.mig.simulate.exhaustive_chunks`
+        (see :func:`_fill_exhaustive` for the native stimulus).  Returns
+        ``None`` when the window is too narrow for this kernel (the
+        caller falls back to the generic path) — and when the engine is
+        demoted or fails, for the same reason: the generic path
+        re-dispatches through :meth:`simulate`, which lands on the
+        reference engine.
         """
-        if width < _NUMPY_MIN_WIDTH or _demoted():
+        if width < _NUMPY_MIN_WIDTH or _demoted(self.name):
             return None
         try:
             _res_faults.kernel_fault(_degrade_job())  # chaos hook
-            return self._numpy_exhaustive_window(mig, base, width)
+            plan = _numpy_plan(mig)
+            return _extract_words(plan, _run_window(plan, base, width))
         except StageTimeoutError:
             raise
         except Exception as error:
-            _demote(error)
+            _demote(error, self.name, "bigint")
             return None
-
-    def _numpy_exhaustive_window(
-        self, mig: Mig, base: int, width: int
-    ) -> List[int]:
-        plan = _numpy_plan(mig)
-        with plan._lock:
-            _, vals, _, tmp, full = self._window_rows(plan, base, width)
-            outputs = []
-            for node, flip in plan.po_extract:
-                row = vals[node]
-                if flip:
-                    _np.bitwise_xor(row, full, out=tmp)
-                    row = tmp
-                outputs.append(_lanes_to_word(row))
-            return outputs
 
     def exhaustive_equivalent(
         self, a: Mig, b: Mig, chunk_bits: int
@@ -446,84 +937,234 @@ class NumpyKernel:
         boundary dominates the sweep.  Early-exits on the first
         differing window.  Returns ``None`` (caller falls back to the
         generic chunk-zip) when the windows are too narrow.
-
-        Both plan locks are held for the whole sweep (in a canonical
-        order, so crossed ``equivalent(a, b)`` / ``equivalent(b, a)``
-        callers cannot deadlock): the value matrices are shared state.
         """
         num_patterns = 1 << a.num_pis
         width = min(num_patterns, 1 << chunk_bits)
-        if width < _NUMPY_MIN_WIDTH or _demoted():
+        if width < _NUMPY_MIN_WIDTH or _demoted(self.name):
             return None
         try:
             _res_faults.kernel_fault(_degrade_job())  # chaos hook
-            return self._numpy_exhaustive_equivalent(a, b, num_patterns, width)
+            plan_a, plan_b = _numpy_plan(a), _numpy_plan(b)
+            for base in range(0, num_patterns, width):
+                if not _windows_equal(plan_a, plan_b, base, width):
+                    return False
+            return True
         except StageTimeoutError:
             raise
         except Exception as error:
-            _demote(error)
+            _demote(error, self.name, "bigint")
             return None
 
-    def _numpy_exhaustive_equivalent(
+
+class NumpyBatchKernel:
+    """Level-batched, multi-threaded uint64 lane-array engine.
+
+    Independent gates of one MIG level execute together as a handful of
+    large 2-D ufunc calls (:class:`_BatchExec.run`), amortising numpy
+    dispatch overhead that the per-gate engine pays 4–6 times per gate;
+    exhaustive sweeps additionally split their pattern windows across
+    the simulation worker-thread pool (:func:`resolve_sim_threads`) —
+    ufuncs release the GIL, so the chunks genuinely run on multiple
+    cores, each thread binding its own executable buffers.  Runtime
+    failures demote to the per-gate :class:`NumpyKernel` (which itself
+    demotes to bigint), keeping results bit-identical through the chain.
+    """
+
+    name = "numpy-batch"
+    #: Same randomized word width as the per-gate engine, so both draw
+    #: identical random rounds (and hence identical counterexamples).
+    random_width = 1024
+
+    def chunk_bits_for(self, mig: Mig) -> int:
+        """Cache-targeted chunk width, widened by the thread count.
+
+        The gather passes read rows from across the whole value matrix,
+        so a single thread wants the matrix near cache-resident
+        (:data:`_BATCH_MEM_BUDGET`); with a worker pool the window is
+        widened by log2(threads) — the exhaustive paths split it back
+        into per-thread sub-windows of the cache-friendly size, so the
+        budget stays per-thread while the pool gets enough patterns to
+        keep every core busy.
+        """
+        env = _env_chunk_bits()
+        if env is not None:
+            return env
+        bits = _budget_chunk_bits(mig.num_nodes, _BATCH_MEM_BUDGET)
+        threads = resolve_sim_threads()
+        if threads > 1:
+            bits = min(18, bits + (threads - 1).bit_length())
+        return bits
+
+    # -- simulate ------------------------------------------------------
+
+    def simulate(
+        self, mig: Mig, pi_values: Sequence[int], mask: int
+    ) -> List[int]:
+        width = mask.bit_length()
+        if width < _NUMPY_MIN_WIDTH:
+            return _bigint_simulate(mig, pi_values, mask)
+        if _demoted(self.name):
+            return _NUMPY.simulate(mig, pi_values, mask)
+        try:
+            _res_faults.kernel_fault(_degrade_job())  # chaos hook
+            return self._batch_simulate(mig, pi_values, mask, width)
+        except StageTimeoutError:
+            raise
+        except Exception as error:
+            _demote(error, self.name, _NUMPY.name)
+            return _NUMPY.simulate(mig, pi_values, mask)
+
+    def _batch_simulate(
+        self, mig: Mig, pi_values: Sequence[int], mask: int, width: int
+    ) -> List[int]:
+        plan = _batch_plan(mig)
+        num_lanes = (width + 63) >> 6
+        threads = resolve_sim_threads()
+        if threads > 1 and num_lanes >= 2 * _MIN_THREAD_LANES:
+            return self._threaded_simulate(
+                plan, pi_values, mask, width, num_lanes, threads
+            )
+        exe = plan.executable(num_lanes, width)
+        exe.exh_width = None
+        for row, word in zip(plan.pi_rows, pi_values):
+            exe.vals[row] = _word_to_lanes(word & mask, num_lanes)
+        exe.run(plan)
+        return _extract_words(plan, exe)
+
+    def _threaded_simulate(
+        self, plan, pi_values, mask: int, width: int, num_lanes: int,
+        threads: int,
+    ) -> List[int]:
+        """Split arbitrary input words over lane blocks across the pool."""
+        words = [
+            (word & mask).to_bytes(num_lanes * 8, "little")
+            for word in pi_values
+        ]
+        cuts = _lane_cuts(num_lanes, threads)
+
+        def task(lo: int, hi: int):
+            sub_width = min(width - (lo << 6), (hi - lo) << 6)
+            exe = plan.executable(hi - lo, sub_width)
+            exe.exh_width = None
+            for row, data in zip(plan.pi_rows, words):
+                exe.vals[row] = _np.frombuffer(
+                    data[lo * 8 : hi * 8], dtype="<u8"
+                )
+            exe.run(plan)
+            return _extract_bytes(plan, exe)
+
+        parts = _run_tasks(
+            [
+                (lambda lo=lo, hi=hi: task(lo, hi))
+                for lo, hi in zip(cuts, cuts[1:])
+            ],
+            threads,
+        )
+        return _join_words(parts, len(plan.po_extract))
+
+    # -- exhaustive sweeps ---------------------------------------------
+
+    def exhaustive_window(
+        self, mig: Mig, base: int, width: int
+    ) -> Optional[List[int]]:
+        """Threaded exhaustive window (see :class:`NumpyKernel` docs).
+
+        A single wide window — e.g. the whole 2^18-pattern sweep of an
+        18-input multiplier — is split into per-thread sub-windows and
+        reassembled bytewise, so even one-chunk exhaustive paths scale
+        with cores.  On failure, demotes to the per-gate engine.
+        """
+        if width < _NUMPY_MIN_WIDTH:
+            return None
+        if _demoted(self.name):
+            return _NUMPY.exhaustive_window(mig, base, width)
+        try:
+            _res_faults.kernel_fault(_degrade_job())  # chaos hook
+            return self._batch_window(mig, base, width)
+        except StageTimeoutError:
+            raise
+        except Exception as error:
+            _demote(error, self.name, _NUMPY.name)
+            return _NUMPY.exhaustive_window(mig, base, width)
+
+    def _batch_window(self, mig: Mig, base: int, width: int) -> List[int]:
+        plan = _batch_plan(mig)
+        sub = _subwindow_width(width, resolve_sim_threads())
+        if sub is None:
+            return _extract_words(plan, _run_window(plan, base, width))
+
+        def task(sub_base: int):
+            return _extract_bytes(plan, _run_window(plan, sub_base, sub))
+
+        parts = _run_tasks(
+            [
+                (lambda sb=base + i * sub: task(sb))
+                for i in range(width // sub)
+            ],
+            resolve_sim_threads(),
+        )
+        return _join_words(parts, len(plan.po_extract))
+
+    def exhaustive_equivalent(
+        self, a: Mig, b: Mig, chunk_bits: int
+    ) -> Optional[bool]:
+        """Threaded exhaustive equivalence (see :class:`NumpyKernel` docs).
+
+        The window sweep is striped across the worker pool; a mismatch
+        in any thread early-exits the others at their next window.
+        """
+        num_patterns = 1 << a.num_pis
+        width = min(num_patterns, 1 << chunk_bits)
+        if width < _NUMPY_MIN_WIDTH:
+            return None
+        if _demoted(self.name):
+            return _NUMPY.exhaustive_equivalent(a, b, chunk_bits)
+        try:
+            _res_faults.kernel_fault(_degrade_job())  # chaos hook
+            return self._batch_equivalent(a, b, num_patterns, width)
+        except StageTimeoutError:
+            raise
+        except Exception as error:
+            _demote(error, self.name, _NUMPY.name)
+            return _NUMPY.exhaustive_equivalent(a, b, chunk_bits)
+
+    def _batch_equivalent(
         self, a: Mig, b: Mig, num_patterns: int, width: int
     ) -> bool:
-        np = _np
-        plan_a, plan_b = _numpy_plan(a), _numpy_plan(b)
-        if plan_a is plan_b:
-            locks = [plan_a._lock]
-        else:
-            locks = sorted((plan_a._lock, plan_b._lock), key=id)
-        for lock in locks:
-            lock.acquire()
-        try:
-            for base in range(0, num_patterns, width):
-                rows_a = self._window_rows(plan_a, base, width)
-                rows_b = self._window_rows(plan_b, base, width)
-                (_, vals_a, _, tmp_a, full_a) = rows_a
-                (_, vals_b, _, _, _) = rows_b
-                for (na, fa), (nb, fb) in zip(
-                    plan_a.po_extract, plan_b.po_extract
-                ):
-                    row_a = vals_a[na]
-                    if fa != fb:  # opposite stored polarity: compare flipped
-                        np.bitwise_xor(row_a, full_a, out=tmp_a)
-                        row_a = tmp_a
-                    if not np.array_equal(row_a, vals_b[nb]):
-                        return False
-            return True
-        finally:
-            for lock in reversed(locks):
-                lock.release()
-
-    def _window_rows(self, plan: _NumpyPlan, base: int, width: int):
-        """Fill + replay one exhaustive window; returns the executable.
-
-        Callers must hold ``plan._lock``: the value matrix and the
-        temporary row are shared state.
-        """
-        np = _np
-        num_lanes = width >> 6
-        lane_bits = num_lanes.bit_length() - 1
-        exe = plan.executable(num_lanes, width)
-        _, vals, ops, tmp, full = exe
-        if plan._exh_width != width:
-            lanes = np.arange(num_lanes, dtype=np.uint64)
-            for i, node in enumerate(plan.pi_nodes):
-                if i < 6:
-                    vals[node] = np.uint64(_P64[i])
-                elif i < 6 + lane_bits:
-                    np.negative(
-                        (lanes >> np.uint64(i - 6)) & np.uint64(1),
-                        out=vals[node],
-                    )
-            plan._exh_width = width
-        for i in range(6 + lane_bits, len(plan.pi_nodes)):
-            vals[plan.pi_nodes[i]] = np.uint64(
-                0xFFFFFFFFFFFFFFFF if (base >> i) & 1 else 0
+        plan_a, plan_b = _batch_plan(a), _batch_plan(b)
+        threads = resolve_sim_threads()
+        n_windows = num_patterns // width
+        if threads > 1 and n_windows < threads:
+            # Not enough windows to keep the pool busy: shrink them.
+            sub = _subwindow_width(
+                width, (threads + n_windows - 1) // n_windows
             )
-        for f, x, y, out in ops:
-            f(x, y, out=out)
-        return exe
+            if sub is not None:
+                width = sub
+                n_windows = num_patterns // width
+        bases = range(0, num_patterns, width)
+        stripes = min(threads, n_windows)
+        if stripes <= 1:
+            for base in bases:
+                if not _windows_equal(plan_a, plan_b, base, width):
+                    return False
+            return True
+        mismatch = threading.Event()
+
+        def sweep(stripe: int) -> bool:
+            for base in bases[stripe::stripes]:
+                if mismatch.is_set():
+                    return True  # another stripe already refuted
+                if not _windows_equal(plan_a, plan_b, base, width):
+                    mismatch.set()
+                    return False
+            return True
+
+        verdicts = _run_tasks(
+            [(lambda s=stripe: sweep(s)) for stripe in range(stripes)],
+            stripes,
+        )
+        return all(verdicts)
 
 
 # ----------------------------------------------------------------------
@@ -532,6 +1173,7 @@ class NumpyKernel:
 
 _BIGINT = BigintKernel()
 _NUMPY = NumpyKernel() if _np is not None else None
+_NUMPY_BATCH = NumpyBatchKernel() if _np is not None else None
 
 #: Explicit override installed by :func:`set_backend`; beats the
 #: environment variable.
@@ -544,7 +1186,7 @@ _SCOPE = threading.local()
 
 
 def numpy_available() -> bool:
-    """Whether the numpy backend can be used in this process."""
+    """Whether the numpy backends can be used in this process."""
     return _NUMPY is not None
 
 
@@ -553,25 +1195,28 @@ def available_backends() -> List[str]:
     names = [_BIGINT.name]
     if _NUMPY is not None:
         names.append(_NUMPY.name)
+    if _NUMPY_BATCH is not None:
+        names.append(_NUMPY_BATCH.name)
     return names
 
 
 def _resolve(name: str):
     if name in ("bigint", "python"):
         return _BIGINT
-    if name == "numpy":
-        if _NUMPY is None:
+    if name in ("numpy", "numpy-batch", "batch"):
+        kernel = _NUMPY if name == "numpy" else _NUMPY_BATCH
+        if kernel is None:
             raise ImportError(
-                f"{BACKEND_ENV_VAR}/set_backend requested the numpy "
+                f"{BACKEND_ENV_VAR}/set_backend requested the {name!r} "
                 "simulation backend but numpy is not importable; install "
                 "numpy or select the 'bigint' backend"
             )
-        return _NUMPY
+        return kernel
     if name == "auto":
-        return _NUMPY if _NUMPY is not None else _BIGINT
+        return _NUMPY_BATCH if _NUMPY_BATCH is not None else _BIGINT
     raise ValueError(
         f"unknown simulation backend {name!r}; "
-        f"choose one of: auto, bigint, numpy"
+        f"choose one of: auto, bigint, numpy, numpy-batch"
     )
 
 
@@ -579,8 +1224,8 @@ def resolve_backend(name: str):
     """Resolve a backend *name* to its kernel without installing it.
 
     Validates availability the same way :func:`set_backend` does —
-    requesting ``numpy`` without numpy raises ``ImportError``, an unknown
-    name raises ``ValueError`` — so callers (e.g.
+    requesting a numpy engine without numpy raises ``ImportError``, an
+    unknown name raises ``ValueError`` — so callers (e.g.
     :class:`repro.flow.Session`) can fail fast at construction time.
     """
     return _resolve(name)

@@ -9,10 +9,12 @@ rewriting passes.
 
 The gate-evaluation engine is pluggable (:mod:`repro.mig.kernel`): the
 pure-Python bigint kernel is always available, and the optional numpy
-kernel evaluates the same flat gate records (complement attributes
-pre-folded into XOR masks) as whole-array ``uint64`` operations.  Every
-function here speaks Python-int words regardless of the active kernel,
-and the two kernels are bit-identical (asserted by the parity tests).
+kernels evaluate the same flat gate records (complement attributes
+pre-folded into XOR masks) as whole-array ``uint64`` operations — per
+gate (``numpy``) or a whole MIG level at a time across a worker-thread
+pool (``numpy-batch``).  Every function here speaks Python-int words
+regardless of the active kernel, and all kernels are bit-identical
+(asserted by the parity tests).
 
 Exhaustive runs past the kernel's chunk width are evaluated in
 fixed-width chunks: the cost of a chunked sweep grows linearly with the

@@ -25,7 +25,10 @@ Grammar
 ``cache_io``              disk-cache store: an ``OSError`` mid-write — the
                           entry must simply not persist
 ``kernel_fail``           numpy-kernel dispatch: raise inside ``simulate`` —
-                          must demote the job to the bigint kernel
+                          must demote the job one step down the
+                          numpy-batch → numpy → bigint chain (each
+                          engine's dispatch checks the hook, so
+                          ``count=2`` walks the whole chain)
 ========================  =====================================================
 
 Keys: ``job=NAME`` restricts a directive to one benchmark/source;

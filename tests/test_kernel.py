@@ -41,7 +41,7 @@ class TestSelection:
         monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "bigint")
         assert kernel.get_kernel().name == "bigint"
         monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "auto")
-        assert kernel.get_kernel().name in ("bigint", "numpy")
+        assert kernel.get_kernel().name in ("bigint", "numpy-batch")
 
     def test_override_beats_env(self, monkeypatch):
         monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "auto")
@@ -59,15 +59,24 @@ class TestSelection:
 
     def test_numpy_request_fails_loudly_when_absent(self, monkeypatch):
         monkeypatch.setattr(kernel, "_NUMPY", None)
+        monkeypatch.setattr(kernel, "_NUMPY_BATCH", None)
         with pytest.raises(ImportError, match="numpy"):
             kernel._resolve("numpy")
+        with pytest.raises(ImportError, match="numpy"):
+            kernel._resolve("numpy-batch")
         # auto degrades silently to bigint instead
         assert kernel._resolve("auto").name == "bigint"
         assert kernel.available_backends() == ["bigint"]
 
     @needs_numpy
-    def test_auto_prefers_numpy(self):
-        assert kernel._resolve("auto").name == "numpy"
+    def test_auto_prefers_numpy_batch(self):
+        assert kernel._resolve("auto").name == "numpy-batch"
+
+    @needs_numpy
+    def test_all_backends_listed(self):
+        assert kernel.available_backends() == [
+            "bigint", "numpy", "numpy-batch",
+        ]
 
 
 @needs_numpy
@@ -183,6 +192,389 @@ class TestBackendParity:
             cex = find_counterexample(m1, m2)
             assert cex is not None
             assert (cex["a"] & cex["b"]) != (cex["a"] | cex["b"]), name
+
+
+class TestSimThreads:
+    """Thread-count resolution: flag > scope > override > env > default."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_threads(self):
+        yield
+        kernel.set_sim_threads(None)
+
+    def test_default_is_bounded_by_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(kernel.THREADS_ENV_VAR, raising=False)
+        assert kernel.resolve_sim_threads() == min(4, os.cpu_count() or 1)
+
+    def test_env_sets_count(self, monkeypatch):
+        monkeypatch.setenv(kernel.THREADS_ENV_VAR, "3")
+        assert kernel.resolve_sim_threads() == 3
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernel.THREADS_ENV_VAR, "3")
+        kernel.set_sim_threads(2)
+        assert kernel.resolve_sim_threads() == 2
+
+    def test_scope_beats_override(self, monkeypatch):
+        monkeypatch.setenv(kernel.THREADS_ENV_VAR, "3")
+        kernel.set_sim_threads(2)
+        with kernel.sim_threads_scope(5):
+            assert kernel.resolve_sim_threads() == 5
+            with kernel.sim_threads_scope(7):  # scopes nest
+                assert kernel.resolve_sim_threads() == 7
+            assert kernel.resolve_sim_threads() == 5
+        assert kernel.resolve_sim_threads() == 2
+
+    def test_explicit_value_beats_everything(self, monkeypatch):
+        monkeypatch.setenv(kernel.THREADS_ENV_VAR, "3")
+        with kernel.sim_threads_scope(5):
+            assert kernel.resolve_sim_threads(9) == 9
+
+    def test_none_scope_is_noop(self, monkeypatch):
+        monkeypatch.setenv(kernel.THREADS_ENV_VAR, "6")
+        with kernel.sim_threads_scope(None):
+            assert kernel.resolve_sim_threads() == 6
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "x"])
+    def test_invalid_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(kernel.THREADS_ENV_VAR, bad)
+        with pytest.raises(ValueError, match="thread count"):
+            kernel.resolve_sim_threads()
+
+    @pytest.mark.parametrize("bad", [0, -3, "many"])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError, match="thread count"):
+            kernel.set_sim_threads(bad)
+
+
+class TestChunkSizing:
+    def test_env_override_wins_on_every_kernel(self, monkeypatch):
+        monkeypatch.setenv(kernel.CHUNK_BITS_ENV_VAR, "14")
+        mig = make_random_mig(6, 30, seed=1)
+        kernels = [kernel._BIGINT]
+        if kernel.numpy_available():
+            kernels += [kernel._NUMPY, kernel._NUMPY_BATCH]
+        for k in kernels:
+            assert k.chunk_bits_for(mig) == 14, k.name
+
+    def test_env_override_is_clamped(self, monkeypatch):
+        mig = make_random_mig(6, 30, seed=1)
+        monkeypatch.setenv(kernel.CHUNK_BITS_ENV_VAR, "40")
+        assert kernel._BIGINT.chunk_bits_for(mig) == 20
+        monkeypatch.setenv(kernel.CHUNK_BITS_ENV_VAR, "1")
+        assert kernel._BIGINT.chunk_bits_for(mig) == 7
+
+    def test_malformed_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernel.CHUNK_BITS_ENV_VAR, "wide")
+        with pytest.raises(ValueError, match="REPRO_SIM_CHUNK_BITS"):
+            kernel._BIGINT.chunk_bits_for(make_random_mig(4, 10, seed=1))
+
+    def test_budget_shrinks_with_node_count(self):
+        # Small graphs get the widest window; huge ones shrink toward
+        # the bigint floor so the value matrix stays bounded.
+        assert kernel._budget_chunk_bits(100) == 18
+        huge = (kernel._NUMPY_MEM_BUDGET >> (18 - 6 + 3)) + 1
+        assert kernel._budget_chunk_bits(huge) == 17
+        assert kernel._budget_chunk_bits(1 << 30) == 13
+
+    @needs_numpy
+    def test_batch_widens_window_with_threads(self):
+        mig = make_random_mig(6, 30, seed=1)
+        with kernel.sim_threads_scope(1):
+            solo = kernel._NUMPY_BATCH.chunk_bits_for(mig)
+        with kernel.sim_threads_scope(4):
+            pooled = kernel._NUMPY_BATCH.chunk_bits_for(mig)
+        assert pooled == min(18, solo + 2)
+
+
+@needs_numpy
+class TestBatchParity:
+    """numpy-batch must be bit-identical to both other kernels."""
+
+    def test_truth_tables_parity_random_migs(self):
+        for seed in range(10):
+            mig = make_random_mig(4 + seed, 20 + 15 * seed, seed=seed)
+            reference = truth_tables(mig, kernel=kernel._BIGINT)
+            assert truth_tables(mig, kernel=kernel._NUMPY_BATCH) == reference
+            assert truth_tables(mig, kernel=kernel._NUMPY) == reference
+
+    def test_truth_tables_parity_threaded(self):
+        with kernel.sim_threads_scope(4):
+            for seed in (2, 5):
+                mig = make_random_mig(13, 300, seed=seed)
+                assert truth_tables(
+                    mig, kernel=kernel._NUMPY_BATCH
+                ) == truth_tables(mig, kernel=kernel._BIGINT), f"seed {seed}"
+
+    def test_registry_benchmark_sweep(self):
+        # Every registry benchmark narrow enough for exhaustive sweeps,
+        # on one thread and on a pool.
+        from repro.mig.simulate import MAX_EXHAUSTIVE_PIS
+        from repro.synth.registry import BENCHMARK_ORDER, build_benchmark
+
+        swept = 0
+        for name in BENCHMARK_ORDER:
+            mig = build_benchmark(name, preset="tiny")
+            if mig.num_pis > MAX_EXHAUSTIVE_PIS:
+                continue
+            reference = truth_tables(mig, kernel=kernel._BIGINT)
+            with kernel.sim_threads_scope(1):
+                assert truth_tables(
+                    mig, kernel=kernel._NUMPY_BATCH
+                ) == reference, name
+            with kernel.sim_threads_scope(3):
+                assert truth_tables(
+                    mig, kernel=kernel._NUMPY_BATCH
+                ) == reference, name
+            swept += 1
+        assert swept >= 10  # the tiny preset keeps most benchmarks narrow
+
+    def test_truth_tables_parity_is_chunking_invariant(self):
+        mig = make_random_mig(10, 120, seed=3)
+        reference = truth_tables(mig, kernel=kernel._BIGINT)
+        for chunk_bits in (4, 7, 8, 9, 13):
+            assert (
+                truth_tables(
+                    mig, chunk_bits=chunk_bits, kernel=kernel._NUMPY_BATCH
+                )
+                == reference
+            ), f"chunk_bits {chunk_bits}"
+
+    @pytest.mark.parametrize("width", [65, 100, 128, 129, 1000, 1024])
+    def test_simulate_parity_at_odd_widths(self, width):
+        mig = make_random_mig(7, 60, seed=11)
+        rng = random.Random(width)
+        mask = (1 << width) - 1
+        words = [rng.getrandbits(width) for _ in range(mig.num_pis)]
+        assert simulate(
+            mig, words, mask, kernel=kernel._NUMPY_BATCH
+        ) == simulate(mig, words, mask, kernel=kernel._BIGINT)
+
+    def test_threaded_simulate_splits_lanes(self):
+        # Wide enough that the lane-split threaded path actually runs.
+        mig = make_random_mig(9, 150, seed=17)
+        width = 64 * 64 * 2  # 128 lanes = 2 x _MIN_THREAD_LANES x 2
+        rng = random.Random(99)
+        mask = (1 << width) - 1
+        words = [rng.getrandbits(width) for _ in range(mig.num_pis)]
+        reference = simulate(mig, words, mask, kernel=kernel._BIGINT)
+        with kernel.sim_threads_scope(4):
+            assert simulate(
+                mig, words, mask, kernel=kernel._NUMPY_BATCH
+            ) == reference
+
+    def test_narrow_windows_fall_back_to_bigint_results(self):
+        mig = make_random_mig(4, 20, seed=5)
+        for width in (1, 7, 64):
+            rng = random.Random(width)
+            mask = (1 << width) - 1
+            words = [rng.getrandbits(width) for _ in range(mig.num_pis)]
+            assert simulate(
+                mig, words, mask, kernel=kernel._NUMPY_BATCH
+            ) == simulate(mig, words, mask, kernel=kernel._BIGINT)
+
+    def test_exhaustive_window_agreement(self):
+        mig = make_random_mig(10, 200, seed=19)
+        for base in (0, 256, 768):
+            expected = kernel._NUMPY.exhaustive_window(mig, base, 256)
+            assert kernel._NUMPY_BATCH.exhaustive_window(
+                mig, base, 256
+            ) == expected
+
+    def test_equivalent_verdicts_match(self):
+        m1 = make_random_mig(9, 70, seed=21)
+        flipped = m1.clone()
+        flipped._pos[0] = complement(flipped._pos[0])
+        for name in ("bigint", "numpy", "numpy-batch"):
+            kernel.set_backend(name)
+            assert equivalent(m1, m1.clone()), name
+            assert not equivalent(m1, flipped), name
+
+    def test_equivalent_threaded_stripes(self):
+        m1 = make_random_mig(12, 250, seed=27)
+        flipped = m1.clone()
+        flipped._pos[0] = complement(flipped._pos[0])
+        kernel.set_backend("numpy-batch")
+        with kernel.sim_threads_scope(4):
+            assert equivalent(m1, m1.clone())
+            assert not equivalent(m1, flipped)
+
+    def test_equivalent_same_object_both_sides(self):
+        kernel.set_backend("numpy-batch")
+        mig = make_random_mig(8, 60, seed=33)
+        assert equivalent(mig, mig)
+
+    def test_equivalent_after_interleaved_simulate(self):
+        kernel.set_backend("numpy-batch")
+        mig = make_random_mig(8, 60, seed=23)
+        reference = truth_tables(mig)
+        rng = random.Random(0)
+        mask = (1 << 256) - 1
+        simulate(mig, [rng.getrandbits(256) for _ in range(8)], mask)
+        assert truth_tables(mig) == reference
+
+    def test_plan_invalidated_on_mutation(self):
+        kernel.set_backend("numpy-batch")
+        mig = Mig()
+        a, b, c = mig.add_pi("a"), mig.add_pi("b"), mig.add_pi("c")
+        mig.add_po(mig.add_maj(a, b, c), "f")
+        assert truth_tables(mig) == [0b11101000]
+        mig.add_po(mig.add_xor(a, b), "x")
+        assert truth_tables(mig) == [0b11101000, 0b01100110]
+
+    def test_counterexample_parity(self):
+        # All three kernels draw identical randomized rounds, so they
+        # find the same counterexample, not just some counterexample.
+        m1 = make_random_mig(9, 100, seed=41)
+        m2 = m1.clone()
+        m2._pos[-1] = complement(m2._pos[-1])
+        found = {}
+        for name in ("bigint", "numpy", "numpy-batch"):
+            kernel.set_backend(name)
+            found[name] = find_counterexample(m1, m2, seed=7)
+        assert found["bigint"] is not None
+        assert found["numpy"] == found["numpy-batch"]
+
+    def test_per_thread_executables_are_isolated(self):
+        import threading
+
+        kernel.set_backend("numpy-batch")
+        mig = make_random_mig(10, 150, seed=43)
+        reference = truth_tables(mig, kernel=kernel._BIGINT)
+        failures = []
+
+        def worker():
+            for _ in range(15):
+                if truth_tables(mig) != reference:
+                    failures.append("parity broke under concurrency")
+                    return
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_executable_lru_rebinds_interleaved_widths(self):
+        # Interleaved widths on one warm plan must reuse cached
+        # executables instead of rebuilding per call (the old
+        # single-width cache thrashed here).
+        plan = kernel._batch_plan(make_random_mig(8, 60, seed=45))
+        a = plan.executable(4, 256)
+        b = plan.executable(8, 512)
+        assert plan.executable(4, 256) is a
+        assert plan.executable(8, 512) is b
+
+    def test_executable_lru_is_bounded(self):
+        plan = kernel._batch_plan(make_random_mig(8, 60, seed=45))
+        first = plan.executable(2, 128)
+        for lanes in range(3, 4 + kernel._EXEC_LRU_SIZE):
+            plan.executable(lanes, lanes * 64)
+        assert plan.executable(2, 128) is not first  # evicted
+
+    try:
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            num_pis=st.integers(min_value=3, max_value=10),
+            num_gates=st.integers(min_value=5, max_value=120),
+            seed=st.integers(min_value=0, max_value=1 << 16),
+            threads=st.sampled_from([1, 3]),
+        )
+        def test_property_randomized_parity(
+            self, num_pis, num_gates, seed, threads
+        ):
+            mig = make_random_mig(num_pis, num_gates, seed=seed)
+            with kernel.sim_threads_scope(threads):
+                assert truth_tables(
+                    mig, kernel=kernel._NUMPY_BATCH
+                ) == truth_tables(mig, kernel=kernel._BIGINT)
+    except ImportError:  # pragma: no cover - hypothesis is optional
+        pass
+
+
+@needs_numpy
+class TestDegradationChain:
+    """Runtime failures walk numpy-batch -> numpy -> bigint, sticky per
+    scope, with one kernel_degraded event per demotion."""
+
+    def _mig(self):
+        return make_random_mig(8, 60, seed=51)
+
+    def test_batch_failure_demotes_to_numpy(self, monkeypatch):
+        from repro.resilience import events
+
+        mig = self._mig()
+        reference = truth_tables(mig, kernel=kernel._BIGINT)
+        monkeypatch.setattr(
+            kernel._NUMPY_BATCH,
+            "_batch_window",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        monkeypatch.setattr(
+            kernel._NUMPY_BATCH,
+            "_batch_simulate",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with events.capture() as log:
+            with kernel.degradation_scope("job-a") as frame:
+                assert truth_tables(mig, kernel=kernel._NUMPY_BATCH) == (
+                    reference
+                )
+                assert frame["demoted"] == {"numpy-batch"}
+        (event,) = [e for e in log if e["kind"] == "kernel_degraded"]
+        assert event["backend"] == "numpy-batch"
+        assert event["fallback"] == "numpy"
+        assert event["job"] == "job-a"
+
+    def test_full_chain_reaches_bigint(self, monkeypatch):
+        from repro.resilience import events
+
+        mig = self._mig()
+        reference = truth_tables(mig, kernel=kernel._BIGINT)
+        def boom(*a, **k):
+            raise RuntimeError("boom")
+
+        # Break the batch engine's own paths AND the per-gate plan the
+        # numpy engine compiles inside its guard, so both demote.
+        monkeypatch.setattr(kernel._NUMPY_BATCH, "_batch_window", boom)
+        monkeypatch.setattr(kernel._NUMPY_BATCH, "_batch_simulate", boom)
+        monkeypatch.setattr(kernel, "_numpy_plan", boom)
+        with events.capture() as log:
+            with kernel.degradation_scope("job-b") as frame:
+                assert truth_tables(mig, kernel=kernel._NUMPY_BATCH) == (
+                    reference
+                )
+                assert frame["demoted"] == {"numpy-batch", "numpy"}
+        chain = [
+            (e["backend"], e["fallback"])
+            for e in log
+            if e["kind"] == "kernel_degraded"
+        ]
+        assert ("numpy-batch", "numpy") in chain
+        assert ("numpy", "bigint") in chain
+
+    def test_demotion_is_sticky_within_scope_only(self, monkeypatch):
+        mig = self._mig()
+        calls = {"n": 0}
+
+        def boom(*a, **k):
+            calls["n"] += 1
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(kernel._NUMPY_BATCH, "_batch_simulate", boom)
+        mask = (1 << 256) - 1
+        words = [0] * mig.num_pis
+        with kernel.degradation_scope("job-c"):
+            kernel._NUMPY_BATCH.simulate(mig, words, mask)
+            kernel._NUMPY_BATCH.simulate(mig, words, mask)
+            assert calls["n"] == 1  # second call skipped the dead engine
+        kernel._NUMPY_BATCH.simulate(mig, words, mask)
+        assert calls["n"] == 2  # fresh scope retries the full engine
 
 
 class TestRandomizedRounds:
