@@ -169,6 +169,9 @@ def pytest_sessionfinish(session):
     if not BENCH_REPORT["suite_seconds"] and "sim_backend" not in BENCH_REPORT:
         return
     disk = SESSION.disk
+    # Remote-tier counters (shared cache server, see repro.cachesvc):
+    # present only when the session reads through a RemoteCache.
+    tier_counters = getattr(disk, "tier_counters", None)
     report = {
         "preset": PRESET,
         "parallel": PARALLEL,
@@ -178,7 +181,7 @@ def pytest_sessionfinish(session):
             "memory_misses": SESSION_CACHE.misses,
             "disk": (
                 {
-                    "root": str(disk.root),
+                    "root": str(getattr(disk, "root", None)),
                     "hits": disk.hits,
                     "misses": disk.misses,
                     "lock_skips": disk.lock_skips,
@@ -186,6 +189,7 @@ def pytest_sessionfinish(session):
                 if disk is not None
                 else None
             ),
+            "tiers": tier_counters() if tier_counters is not None else None,
             # Aggregated over every run_matrix(parallel=N) worker
             # process of the session: the parent's counters alone
             # under-report what a fanned-out suite actually hit.

@@ -10,7 +10,9 @@ artefact:
 * ``suite_seconds`` entries are merged keyed by evaluation name,
   prefixed with the shard label on collision;
 * ``stages`` counters (events / cached / seconds) are summed per stage;
-* cache hit/miss counters are summed (memory and disk);
+* cache hit/miss counters are summed (memory and disk), as are the
+  remote-tier counters of shards that read through a shared cache
+  server (``cache.tiers``, see :mod:`repro.cachesvc`);
 * scalar fields (preset, backend, parallel) must agree across shards —
   a mismatch aborts loudly rather than averaging apples and oranges;
 * every other top-level key (e.g. the ``sim_backend`` micro-benchmark
@@ -40,6 +42,7 @@ def merge_reports(reports: List[dict], labels: List[str]) -> dict:
             "memory_hits": 0,
             "memory_misses": 0,
             "disk": None,
+            "tiers": None,
             "workers": {},
         },
     }
@@ -77,6 +80,12 @@ def merge_reports(reports: List[dict], labels: List[str]) -> dict:
             bucket["misses"] += disk.get("misses", 0)
             bucket["lock_skips"] += disk.get("lock_skips", 0)
             merged["cache"]["disk"] = bucket
+        tiers = cache.get("tiers")
+        if tiers:
+            bucket = merged["cache"]["tiers"] or {}
+            for key, value in tiers.items():
+                bucket[key] = bucket.get(key, 0) + value
+            merged["cache"]["tiers"] = bucket
         for key, value in cache.get("workers", {}).items():
             workers = merged["cache"]["workers"]
             workers[key] = workers.get(key, 0) + value

@@ -53,7 +53,14 @@ The package provides:
   front (``repro serve`` / :func:`~repro.serve.create_server`) that
   queues (source, config, arch, opt) jobs behind one warm Session,
   coalesces duplicate in-flight submissions, streams per-stage events,
-  and serves artefacts with verifiable provenance manifests.
+  and serves artefacts with verifiable provenance manifests;
+* :mod:`repro.cachesvc` — the shared compile-cache service: a
+  cache-manager daemon (``repro cachesvc serve`` /
+  :func:`~repro.cachesvc.create_cache_server`) owning a warm in-memory
+  LRU tier and cross-process single-flight leases over a
+  ``DiskCache`` root, with the :class:`~repro.cachesvc.RemoteCache`
+  client selected via ``Session(cache_url=...)`` / ``--cache-url`` /
+  ``$REPRO_CACHE_URL``.
 """
 
 from .mig import Mig, equivalent, simulate, truth_tables
@@ -93,6 +100,7 @@ from .source import (
 )
 from .flow import Flow, FlowResult, Session
 from .serve import ReproServer, create_server
+from .cachesvc import RemoteCache, create_cache_server, resolve_cache_url
 from .resilience import (
     PermanentFault,
     ReproError,
@@ -104,7 +112,7 @@ from .resilience import (
     verify_manifest,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Architecture",
@@ -120,6 +128,7 @@ __all__ = [
     "PermanentFault",
     "PlimController",
     "Program",
+    "RemoteCache",
     "ReproError",
     "ReproServer",
     "RetryPolicy",
@@ -135,6 +144,7 @@ __all__ = [
     "available_strategies",
     "build_benchmark",
     "compile_with_management",
+    "create_cache_server",
     "create_server",
     "equivalent",
     "full_management",
@@ -145,6 +155,7 @@ __all__ = [
     "register_architecture",
     "register_objective",
     "register_source",
+    "resolve_cache_url",
     "resolve_optimizer",
     "resolve_source",
     "simulate",

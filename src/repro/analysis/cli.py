@@ -13,7 +13,12 @@ Subcommands regenerate each experiment of the paper:
 * ``source list`` — the registered circuit sources;
 * ``sourcesweep NAME_OR_PATH...`` — one pipeline across sources;
 * ``cache stats`` / ``cache clear`` — the on-disk experiment cache
-  (``stats --json`` for machine-readable ops scraping);
+  (``stats --json`` for machine-readable ops scraping; with
+  ``--cache-url``/``$REPRO_CACHE_URL`` the stats grow a ``tiers``
+  section aggregated from the shared cache server);
+* ``cachesvc serve`` / ``cachesvc stats`` — the shared compile-cache
+  service (:mod:`repro.cachesvc`): warm in-memory tier plus
+  cross-process single-flight over one disk root;
 * ``manifest show`` / ``manifest verify`` — the ``run_manifest.json``
   provenance sidecars next to cached experiment results
   (``verify --json`` for machine-readable results);
@@ -59,6 +64,8 @@ from ..opt import (
     get_pass,
     get_strategy,
 )
+from ..cachesvc import DEFAULT_PORT as CACHESVC_DEFAULT_PORT
+from ..cachesvc import resolve_cache_url
 from ..flow import Flow, Session, resolve_cache_dir
 from ..resilience import iter_manifests, verify_manifest
 from ..source import available_sources, get_source, resolve_source
@@ -344,7 +351,20 @@ def _cache_for_maintenance(args) -> DiskCache:
 
 
 def cmd_cache_stats(args) -> int:
-    stats = _cache_for_maintenance(args).stats()
+    cache = _cache_for_maintenance(args)
+    stats = cache.stats()
+    url = resolve_cache_url(getattr(args, "cache_url", None))
+    server = None
+    if url:
+        from ..cachesvc import RemoteCache
+
+        server = RemoteCache(url, root=cache.root).server_stats()
+        if server is None:
+            print(f"warning: cache server {url} unreachable",
+                  file=sys.stderr)
+        else:
+            stats["tiers"] = server.get("tiers", {})
+            stats["server"] = server
     if args.json:
         print(json.dumps(stats, indent=2, default=str))
         return 0
@@ -359,6 +379,14 @@ def cmd_cache_stats(args) -> int:
         )
     if not stats["shards"]:
         print("  (empty)")
+    if server is not None:
+        tiers = stats.get("tiers", {})
+        print(f"server       : {url}")
+        print(f"  memory hits         : {tiers.get('memory_hits', 0)}")
+        print(f"  disk hits           : {tiers.get('disk_hits', 0)}")
+        print("  single-flight waits : "
+              f"{tiers.get('single_flight_waits', 0)}")
+        print(f"  verify rejects      : {tiers.get('verify_rejects', 0)}")
     return 0
 
 
@@ -469,6 +497,71 @@ def cmd_serve(args) -> int:
         server.serve_forever()
     finally:
         server.close()
+    return 0
+
+
+def cmd_cachesvc_serve(args) -> int:
+    from ..cachesvc import create_cache_server
+
+    server = create_cache_server(
+        args.host,
+        args.port,
+        root=resolve_cache_dir(args.cache_dir, default=DEFAULT_ROOT),
+        memory_bytes=args.memory_mb << 20,
+        lease_timeout=args.lease_timeout,
+        verbose=args.verbose,
+    )
+    print(f"repro.cachesvc listening on {server.url}")
+    print(f"  disk root : {server.disk.root}")
+    print(f"  warm tier : {args.memory_mb} MiB in-memory LRU")
+    print(f"  leases    : single-flight, {args.lease_timeout:.0f}s TTL")
+    print(f"  clients   : --cache-url {server.url}  "
+          f"(or export REPRO_CACHE_URL)")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_cachesvc_stats(args) -> int:
+    from ..cachesvc import RemoteCache
+
+    url = resolve_cache_url(args.url)
+    if not url:
+        print(
+            "cachesvc stats: no server; pass --url or set $REPRO_CACHE_URL",
+            file=sys.stderr,
+        )
+        return 2
+    payload = RemoteCache(url).server_stats()
+    if payload is None:
+        print(f"error: cache server {url} unreachable", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    memory = payload.get("memory", {})
+    flight = payload.get("single_flight", {})
+    tiers = payload.get("tiers", {})
+    print(f"cache server : {url}")
+    print(f"  disk root  : {payload.get('root')} "
+          f"({payload.get('entries')} entries, {payload.get('bytes')} bytes)")
+    print(f"  warm tier  : {memory.get('entries')} entries, "
+          f"{memory.get('bytes')}/{memory.get('budget_bytes')} bytes, "
+          f"{memory.get('evictions')} evictions")
+    print(f"  tiers      : {tiers.get('memory_hits', 0)} memory hits, "
+          f"{tiers.get('disk_hits', 0)} disk hits, "
+          f"{tiers.get('single_flight_waits', 0)} waits, "
+          f"{tiers.get('verify_rejects', 0)} verify rejects")
+    print(f"  leases     : {flight.get('active_leases', 0)} active, "
+          f"{flight.get('leases', 0)} granted, "
+          f"{flight.get('served', 0)} served, "
+          f"{flight.get('timeouts', 0)} timeouts, "
+          f"{flight.get('breaks', 0)} breaks")
+    print(f"  duplicates : {payload.get('duplicate_puts', 0)} "
+          "duplicate compiles stored")
     return 0
 
 
@@ -639,6 +732,11 @@ def build_parser() -> argparse.ArgumentParser:
     pc = cache_sub.add_parser("stats", help="entry/byte counts per code version")
     pc.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="cache root (default: $REPRO_CACHE_DIR or .repro_cache)")
+    pc.add_argument("--cache-url", default=None, metavar="URL",
+                    help=(
+                        "also aggregate tier counters from a shared cache "
+                        "server (default: $REPRO_CACHE_URL if set)"
+                    ))
     pc.add_argument("--json", action="store_true",
                     help="machine-readable output (the /stats disk payload)")
     pc.set_defaults(func=cmd_cache_stats)
@@ -648,6 +746,39 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--all", action="store_true",
                     help="clear every code-version shard, not just the current one")
     pc.set_defaults(func=cmd_cache_clear)
+
+    p = sub.add_parser(
+        "cachesvc",
+        help="shared compile-cache service (repro.cachesvc)",
+    )
+    svc_sub = p.add_subparsers(dest="cachesvc_command", required=True)
+    pv = svc_sub.add_parser(
+        "serve",
+        help="run the cache-manager daemon over one disk root",
+    )
+    pv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: loopback only)")
+    pv.add_argument("--port", type=int, default=CACHESVC_DEFAULT_PORT,
+                    help=f"TCP port (0 = ephemeral; default: "
+                         f"{CACHESVC_DEFAULT_PORT})")
+    pv.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="disk-cache root to serve (default: "
+                         "$REPRO_CACHE_DIR or .repro_cache)")
+    pv.add_argument("--memory-mb", type=int, default=256, metavar="MB",
+                    help="warm in-memory tier budget (default: 256 MiB)")
+    pv.add_argument("--lease-timeout", type=float, default=600.0,
+                    metavar="S",
+                    help="single-flight lease TTL in seconds "
+                         "(default: 600)")
+    pv.add_argument("-v", "--verbose", action="store_true",
+                    help="log every request to stderr")
+    pv.set_defaults(func=cmd_cachesvc_serve)
+    pv = svc_sub.add_parser("stats", help="query a running server's /stats")
+    pv.add_argument("--url", default=None, metavar="URL",
+                    help="server URL (default: $REPRO_CACHE_URL)")
+    pv.add_argument("--json", action="store_true",
+                    help="machine-readable output (the raw /stats payload)")
+    pv.set_defaults(func=cmd_cachesvc_stats)
 
     p = sub.add_parser(
         "manifest",

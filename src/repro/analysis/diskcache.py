@@ -74,6 +74,57 @@ _TOMB_COUNTER = itertools.count()
 _FINGERPRINT: Optional[str] = None
 
 
+def encode_entry(key_repr: str, payload) -> bytes:
+    """Serialise one cache entry into its on-disk/wire blob form.
+
+    ``MAGIC + sha256hex(body) + body`` with ``body = pickle((key_repr,
+    payload))`` — the format :class:`DiskCache` persists and
+    :mod:`repro.cachesvc` ships over HTTP, so an artefact fetched from a
+    cache server is byte-identical to one read off a shared root.
+    """
+    body = pickle.dumps((key_repr, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    return _MAGIC + hashlib.sha256(body).hexdigest().encode() + body
+
+
+def verify_blob(blob: bytes) -> bool:
+    """Structural integrity of a blob: magic plus payload digest.
+
+    Deliberately does **not** unpickle — this is the check a cache
+    *server* runs on opaque artefacts it never executes (admitting a
+    tampered pickle to the warm tier would hand it to every client).
+    """
+    if not blob.startswith(_MAGIC):
+        return False
+    digest_end = len(_MAGIC) + 64
+    digest = blob[len(_MAGIC):digest_end]
+    return hashlib.sha256(blob[digest_end:]).hexdigest().encode() == digest
+
+
+def blob_digest(blob: bytes) -> str:
+    """SHA-256 (hex) of a whole blob — the put-verification checksum."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def decode_entry(blob: bytes, key_repr: str):
+    """Decode a blob back into its payload, or ``None``.
+
+    Anything wrong — bad magic, digest mismatch, unpicklable body, or a
+    key mismatch (hash collision, format drift) — is a miss; corruption
+    is never surfaced as data.
+    """
+    if not verify_blob(blob):
+        return None
+    try:
+        stored_key, payload = pickle.loads(blob[len(_MAGIC) + 64:])
+    except Exception:
+        # A well-digested but unloadable body can only mean format
+        # drift (e.g. a renamed class in a stale shard): miss.
+        return None
+    if stored_key != key_repr:
+        return None
+    return payload
+
+
 def _lock_holder_dead(lock: pathlib.Path) -> bool:
     """``True`` if *lock* names a holder PID that no longer exists.
 
@@ -191,22 +242,7 @@ class DiskCache:
 
     @staticmethod
     def _decode(blob: bytes, key: Tuple):
-        if not blob.startswith(_MAGIC):
-            return None
-        digest_end = len(_MAGIC) + 64
-        digest = blob[len(_MAGIC):digest_end]
-        body = blob[digest_end:]
-        if hashlib.sha256(body).hexdigest().encode() != digest:
-            return None
-        try:
-            stored_key, payload = pickle.loads(body)
-        except Exception:
-            # A well-digested but unloadable body can only mean format
-            # drift (e.g. a renamed class in a stale shard): miss.
-            return None
-        if stored_key != repr(key):
-            return None
-        return payload
+        return decode_entry(blob, repr(key))
 
     def _acquire_lock(self, path: pathlib.Path) -> Optional[pathlib.Path]:
         """Take the per-entry writer lock, or ``None`` on timeout.
@@ -324,10 +360,7 @@ class DiskCache:
                             path, manifest.get("events", [])
                         )
                     return
-            body = pickle.dumps(
-                (repr(key), payload), protocol=pickle.HIGHEST_PROTOCOL
-            )
-            blob = _MAGIC + hashlib.sha256(body).hexdigest().encode() + body
+            blob = encode_entry(repr(key), payload)
             # The temp suffix is deliberately not ".pkl": a writer killed
             # mid-write (terminated worker, SIGKILL) orphans the temp
             # file, and an orphan must never be countable or comparable
@@ -366,6 +399,98 @@ class DiskCache:
             # The lock is released on *every* exit path — including a
             # KeyboardInterrupt arriving mid-write — so an interrupted
             # run never wedges sibling writers for STALE_LOCK_SECONDS.
+            if lock is not None:
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
+
+    # -- blob layer (cache service) --------------------------------------
+
+    def blob_path(self, key_repr: str, shard: Optional[str] = None) -> pathlib.Path:
+        """Entry path for an *opaque* key/shard pair.
+
+        The cache-service half of :meth:`entry_path`: a server stores
+        artefacts on behalf of clients whose code fingerprint may differ
+        from its own, so the client names the shard explicitly and the
+        server never re-derives keys.
+        """
+        name = hashlib.sha256(key_repr.encode()).hexdigest()
+        return self.root / (shard or self.fingerprint[:16]) / f"{name}.pkl"
+
+    def load_blob(
+        self, key_repr: str, shard: Optional[str] = None
+    ) -> Optional[bytes]:
+        """Read one entry's raw blob (integrity-checked, never decoded).
+
+        Returns ``None`` for missing or structurally corrupt entries —
+        the same "corruption is a miss" contract as :meth:`load`, minus
+        the unpickle (servers treat artefacts as opaque bytes).
+        """
+        try:
+            blob = self.blob_path(key_repr, shard).read_bytes()
+        except OSError:
+            return None
+        if not verify_blob(blob):
+            return None
+        return blob
+
+    def store_blob(
+        self,
+        key_repr: str,
+        blob: bytes,
+        shard: Optional[str] = None,
+        manifest: Optional[dict] = None,
+    ) -> bool:
+        """Persist a raw blob under an opaque key (atomic, single-writer).
+
+        The server-side write path: same lockfile discipline and atomic
+        rename as :meth:`store`, but the payload is never unpickled and
+        the write is refused outright for a blob that fails
+        :func:`verify_blob` — a cache server must not launder corrupt
+        artefacts onto a shared root.  Returns ``True`` when the bytes
+        landed.
+        """
+        if not verify_blob(blob):
+            return False
+        path = self.blob_path(key_repr, shard)
+        lock = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            lock = self._acquire_lock(path)
+            if lock is None:
+                self.lock_skips += 1
+                return False
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            if manifest is not None:
+                meta = dict(manifest)
+                events = meta.pop("events", [])
+                run_manifest.write_manifest(
+                    path,
+                    run_manifest.build_manifest(
+                        path,
+                        key_repr=key_repr,
+                        blob=blob,
+                        meta=meta,
+                        events=events,
+                    ),
+                )
+            return True
+        except Exception:
+            return False
+        finally:
             if lock is not None:
                 try:
                     os.unlink(lock)

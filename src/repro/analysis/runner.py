@@ -30,7 +30,7 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -216,11 +216,20 @@ class ExperimentCache:
             "disk_hits": 0,
             "disk_misses": 0,
             "disk_lock_skips": 0,
+            "remote_memory_hits": 0,
+            "remote_disk_hits": 0,
+            "remote_waits": 0,
+            "remote_fallbacks": 0,
         }
 
     def counters(self) -> Dict[str, int]:
-        """This cache's own hit/miss counters (memory and disk)."""
-        return {
+        """This cache's own hit/miss counters (memory and disk).
+
+        Always includes the remote-tier keys (zero without a
+        :class:`~repro.cachesvc.RemoteCache` attached), so counter
+        deltas and worker aggregation never branch on the disk kind.
+        """
+        counters = {
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk.hits if self.disk is not None else 0,
@@ -228,7 +237,30 @@ class ExperimentCache:
             "disk_lock_skips": (
                 self.disk.lock_skips if self.disk is not None else 0
             ),
+            "remote_memory_hits": 0,
+            "remote_disk_hits": 0,
+            "remote_waits": 0,
+            "remote_fallbacks": 0,
         }
+        tiers = getattr(self.disk, "tier_counters", None)
+        if tiers is not None:
+            counters.update(tiers())
+        return counters
+
+    def _flight(self, key: Tuple):
+        """The disk tier's single-flight window for *key*, if it has one.
+
+        A :class:`~repro.cachesvc.RemoteCache` returns a context that
+        leases the key on the server: entering yields a payload another
+        process stored meanwhile (adopt it, skip the compute) or
+        ``None`` (we hold the lease — compute and store inside the
+        window).  A plain :class:`DiskCache` (or no disk at all) gets a
+        no-op window and keeps its per-entry lockfile behaviour.
+        """
+        opener = getattr(self.disk, "flight", None)
+        if opener is None:
+            return nullcontext(None)
+        return opener(key)
 
     def absorb_worker_counters(self, counters: Dict[str, int]) -> None:
         """Fold one worker's :meth:`counters` into
@@ -262,21 +294,32 @@ class ExperimentCache:
         return mig
 
     def benchmark_mig(self, name: str, preset: str) -> Mig:
-        """Build (or fetch) a registry benchmark."""
+        """Build (or fetch) a registry benchmark.
+
+        A disk miss opens the disk tier's single-flight window (see
+        :meth:`_flight`): against a shared cache server, exactly one
+        process builds a cold benchmark while concurrent requesters
+        block and adopt the stored graph.
+        """
         key = (name, preset)
         with self._lock:
             mig = self._migs.get(key)
         if mig is not None:
             return mig
         built = False
-        if self.disk is not None:
-            mig = self.disk.load(("mig", name, preset))
-        if mig is None:
-            mig = build_benchmark(name, preset)
-            built = True
-        mig = self._remember_mig(name, preset, mig)
-        if built and self.disk is not None:
-            self.disk.store(("mig", name, preset), mig)
+        with ExitStack() as stack:
+            if self.disk is not None:
+                mig = self.disk.load(("mig", name, preset))
+                if mig is None:
+                    mig = stack.enter_context(
+                        self._flight(("mig", name, preset))
+                    )
+            if mig is None:
+                mig = build_benchmark(name, preset)
+                built = True
+            mig = self._remember_mig(name, preset, mig)
+            if built and self.disk is not None:
+                self.disk.store(("mig", name, preset), mig)
         return mig
 
     def _remember_external(self, identity: Tuple, mig: Mig) -> Mig:
@@ -321,14 +364,19 @@ class ExperimentCache:
         if mig is not None:
             return mig
         built = False
-        if self.disk is not None:
-            mig = self.disk.load(("mig", *identity))
-        if mig is None:
-            mig = source.build(preset)
-            built = True
-        mig = self._remember_external(identity, mig)
-        if built and self.disk is not None:
-            self.disk.store(("mig", *identity), mig)
+        with ExitStack() as stack:
+            if self.disk is not None:
+                mig = self.disk.load(("mig", *identity))
+                if mig is None:
+                    mig = stack.enter_context(
+                        self._flight(("mig", *identity))
+                    )
+            if mig is None:
+                mig = source.build(preset)
+                built = True
+            mig = self._remember_external(identity, mig)
+            if built and self.disk is not None:
+                self.disk.store(("mig", *identity), mig)
         return mig
 
     def cached_source_mig(self, source: Source, preset: str) -> Optional[Mig]:
@@ -422,19 +470,24 @@ class ExperimentCache:
             )
         if result is not None:
             return result
-        if bench is not None:
-            result = self.disk.load(("rewrite", *bench, tail))
         computed = False
-        if result is None:
-            if optimizer is not None:
-                result = optimizer.run(mig, script, effort=effort)
-            else:
-                result = rewrite(mig, script, effort=effort)
-            computed = True
-        with self._lock:
-            result = self._rewrites.setdefault(cache_key, result)
-        if computed and bench is not None:
-            self.disk.store(("rewrite", *bench, tail), result)
+        with ExitStack() as stack:
+            if bench is not None:
+                result = self.disk.load(("rewrite", *bench, tail))
+                if result is None:
+                    result = stack.enter_context(
+                        self._flight(("rewrite", *bench, tail))
+                    )
+            if result is None:
+                if optimizer is not None:
+                    result = optimizer.run(mig, script, effort=effort)
+                else:
+                    result = rewrite(mig, script, effort=effort)
+                computed = True
+            with self._lock:
+                result = self._rewrites.setdefault(cache_key, result)
+            if computed and bench is not None:
+                self.disk.store(("rewrite", *bench, tail), result)
         return result
 
     def _manifest_meta(
@@ -519,50 +572,66 @@ class ExperimentCache:
                 else None
             )
         persisted = -1  # certificate already on disk; -1 = absent
-        if entry is None and bench is not None:
-            payload = self.disk.load(("result", *bench, semantic))
-            if payload is not None:
-                entry = payload
-                persisted = payload[1]
         computed = False
-        if entry is not None:
-            result, verified = entry
-        else:
-            prewritten = self.rewritten(
-                mig, config.rewriting, config.effort, key=graph_id,
-                optimizer=optimizer,
-            )
-            result = compile_pipeline(
-                mig, config, rewritten=prewritten, arch=arch
-            )
-            verified = 0
-            computed = True
-        upgraded = False
-        if verify and verify_patterns > verified:
-            verify_program(result.program, mig, patterns=verify_patterns)
-            verified = verify_patterns
-            upgraded = True
-        with self._lock:
-            stored = self._results.get(cache_key)
-            if stored is not None:
-                result = stored[0]
-                verified = max(verified, stored[1])
-            self._results[cache_key] = (result, verified)
-        if bench is not None and (computed or upgraded or 0 <= persisted < verified):
-            # The replace predicate runs inside the entry's writer lock:
-            # another process may have persisted a wider verification
-            # certificate since our probe, and certificates must never
-            # be downgraded (the stored result is identical either way —
-            # compilation is deterministic).
-            certified = verified
-            self.disk.store(
-                ("result", *bench, semantic),
-                (result, verified),
-                replace=lambda current: current[1] < certified,
-                manifest=self._manifest_meta(
-                    bench, mig, config, arch, optimizer, verified
-                ),
-            )
+        with ExitStack() as stack:
+            if entry is None and bench is not None:
+                payload = self.disk.load(("result", *bench, semantic))
+                if payload is None:
+                    # Cold key: open the disk tier's single-flight
+                    # window.  Against a shared cache server, exactly
+                    # one process compiles this pair while concurrent
+                    # requesters block inside enter_context and adopt
+                    # the stored (result, certificate) payload; the
+                    # window stays open through the write-back below,
+                    # so a failed compile releases the lease to the
+                    # next waiter.
+                    payload = stack.enter_context(
+                        self._flight(("result", *bench, semantic))
+                    )
+                if payload is not None:
+                    entry = payload
+                    persisted = payload[1]
+            if entry is not None:
+                result, verified = entry
+            else:
+                prewritten = self.rewritten(
+                    mig, config.rewriting, config.effort, key=graph_id,
+                    optimizer=optimizer,
+                )
+                result = compile_pipeline(
+                    mig, config, rewritten=prewritten, arch=arch
+                )
+                verified = 0
+                computed = True
+            upgraded = False
+            if verify and verify_patterns > verified:
+                verify_program(result.program, mig, patterns=verify_patterns)
+                verified = verify_patterns
+                upgraded = True
+            with self._lock:
+                stored = self._results.get(cache_key)
+                if stored is not None:
+                    result = stored[0]
+                    verified = max(verified, stored[1])
+                self._results[cache_key] = (result, verified)
+            if bench is not None and (
+                computed or upgraded or 0 <= persisted < verified
+            ):
+                # The replace predicate runs inside the entry's writer
+                # lock: another process may have persisted a wider
+                # verification certificate since our probe, and
+                # certificates must never be downgraded (the stored
+                # result is identical either way — compilation is
+                # deterministic).
+                certified = verified
+                self.disk.store(
+                    ("result", *bench, semantic),
+                    (result, verified),
+                    replace=lambda current: current[1] < certified,
+                    manifest=self._manifest_meta(
+                        bench, mig, config, arch, optimizer, verified
+                    ),
+                )
         return result
 
     def verify(
@@ -964,12 +1033,15 @@ def _worker_spec(
         if opt is not None and spec.opt != opt:
             spec = dataclasses.replace(spec, opt=opt)
         return spec
-    disk_root = (
-        str(cache.disk.root)
-        if cache is not None and cache.disk is not None
-        else None
+    disk = cache.disk if cache is not None else None
+    disk_root = getattr(disk, "root", None)
+    return SessionSpec(
+        cache_dir=str(disk_root) if disk_root is not None else None,
+        cache_url=getattr(disk, "url", None),
+        preset=preset,
+        arch=arch,
+        opt=opt,
     )
-    return SessionSpec(cache_dir=disk_root, preset=preset, arch=arch, opt=opt)
 
 
 def _supervised_pool_map(

@@ -5,7 +5,9 @@ simulation-kernel backend to use (``$REPRO_SIM_BACKEND``) and how many
 simulation worker threads it may spin up (``$REPRO_SIM_THREADS`` /
 ``--sim-threads``), whether and
 where to persist experiment artefacts (``$REPRO_CACHE_DIR`` /
-``--cache-dir``), which PLiM machine model to target (``$REPRO_ARCH`` /
+``--cache-dir``), whether to route them through a shared cache server
+(``$REPRO_CACHE_URL`` / ``--cache-url``, see :mod:`repro.cachesvc`),
+which PLiM machine model to target (``$REPRO_ARCH`` /
 ``--arch``, see :mod:`repro.arch`), which rewriting optimizer to run
 (``$REPRO_OPT`` / ``--opt``, see :mod:`repro.opt`), which circuit
 source to evaluate by default (``$REPRO_SOURCE`` / ``--source``, see
@@ -73,6 +75,7 @@ from ..source import (
     source_from_env,
 )
 from ..analysis.diskcache import DiskCache, resolve_cache_dir
+from ..cachesvc.client import resolve_cache_url
 from ..analysis.runner import (
     BenchmarkEvaluation,
     ConfigLike,
@@ -107,6 +110,10 @@ class SessionSpec:
 
     backend: Optional[str] = None
     cache_dir: Optional[str] = None
+    #: Shared cache-server URL (see :mod:`repro.cachesvc`); workers
+    #: talk to the same server as the parent, so single-flight leases
+    #: span the whole pool.  ``None`` means direct disk access.
+    cache_url: Optional[str] = None
     preset: str = "default"
     #: Simulation worker-thread count; ``None`` defers to the worker's
     #: ambient ``$REPRO_SIM_THREADS``/default resolution.
@@ -143,6 +150,7 @@ class Session:
         backend: Optional[str] = None,
         sim_threads: Optional[int] = None,
         cache_dir: "str | os.PathLike[str] | None" = None,
+        cache_url: Optional[str] = None,
         parallel: Optional[int] = None,
         preset: str = "default",
         cache: Optional[ExperimentCache] = None,
@@ -198,6 +206,7 @@ class Session:
             self._optimizer.label() if self._optimizer is not None else None
         )
         self.cache_dir = str(cache_dir) if cache_dir else None
+        self.cache_url = str(cache_url) if cache_url else None
         if cache is not None:
             # Adopt an existing cache (legacy shims, shared harnesses);
             # its disk root — possibly none — wins over the cache_dir
@@ -205,8 +214,19 @@ class Session:
             # adopted cache doesn't have.
             self.cache = cache
             self.cache_dir = (
-                str(cache.disk.root) if cache.disk is not None else None
+                str(getattr(cache.disk, "root", None) or "") or None
+                if cache.disk is not None
+                else None
             )
+            self.cache_url = getattr(cache.disk, "url", None)
+        elif self.cache_url is not None:
+            # Shared cache server: the RemoteCache slots in where the
+            # DiskCache went, falling back to direct disk access at
+            # cache_dir (if any) when the server is unreachable.
+            from ..cachesvc.client import RemoteCache  # deferred: heavy
+
+            remote = RemoteCache(self.cache_url, root=self.cache_dir)
+            self.cache = ExperimentCache(disk=remote)
         else:
             disk = DiskCache(self.cache_dir) if self.cache_dir else None
             self.cache = ExperimentCache(disk=disk)
@@ -228,6 +248,7 @@ class Session:
             backend=backend,
             sim_threads=sim_threads_from_env(),
             cache_dir=resolve_cache_dir(),
+            cache_url=resolve_cache_url(),
             parallel=parallel,
             preset=preset or "default",
             arch=arch_from_env(),
@@ -247,6 +268,7 @@ class Session:
             backend=getattr(args, "backend", None),
             sim_threads=getattr(args, "sim_threads", None),
             cache_dir=resolve_cache_dir(getattr(args, "cache_dir", None)),
+            cache_url=resolve_cache_url(getattr(args, "cache_url", None)),
             parallel=getattr(args, "parallel", None),
             preset=getattr(args, "preset", None) or preset or "default",
             arch=getattr(args, "arch", None),
@@ -365,6 +387,16 @@ class Session:
                     "(default: $REPRO_CACHE_DIR if set, else no persistence)"
                 ),
             )
+            parser.add_argument(
+                "--cache-url",
+                default=None,
+                metavar="URL",
+                help=(
+                    "route artefacts through a shared cache server "
+                    "(see 'repro cachesvc serve'; default: "
+                    "$REPRO_CACHE_URL if set, else direct disk access)"
+                ),
+            )
         return parser
 
     # -- spec (process boundary) ---------------------------------------
@@ -374,6 +406,7 @@ class Session:
         return SessionSpec(
             backend=self.backend,
             cache_dir=self.cache_dir,
+            cache_url=self.cache_url,
             preset=self.preset,
             sim_threads=self.sim_threads,
             arch=self.arch,
@@ -387,6 +420,7 @@ class Session:
         return cls(
             backend=spec.backend,
             cache_dir=spec.cache_dir,
+            cache_url=getattr(spec, "cache_url", None),
             preset=spec.preset,
             sim_threads=getattr(spec, "sim_threads", None),
             arch=getattr(spec, "arch", None),

@@ -363,8 +363,93 @@ _NUMPY_MEM_BUDGET = 64 << 20
 
 #: Tighter per-thread cap for the level-batched engine: its gather
 #: passes read rows from across the whole matrix (no per-gate temporal
-#: locality), so it wants the working set near cache-resident.
+#: locality), so it wants the working set near cache-resident.  This is
+#: the *fallback* when the actual last-level cache size cannot be read
+#: from sysfs — see :func:`_batch_mem_budget`.
 _BATCH_MEM_BUDGET = 8 << 20
+
+#: Clamp window for the detected budget: below 1 MiB the chunks get too
+#: narrow to amortise ufunc dispatch, above 64 MiB the "cache-resident"
+#: premise no longer holds (and the generic engine's budget takes over).
+_BATCH_BUDGET_MIN = 1 << 20
+_BATCH_BUDGET_MAX = 64 << 20
+
+#: sysfs directory describing cpu0's cache hierarchy.
+_SYSFS_CACHE_DIR = "/sys/devices/system/cpu/cpu0/cache"
+
+
+def _parse_cache_size(text: str) -> Optional[int]:
+    """Bytes of a sysfs cache ``size`` value (``'32K'``, ``'8M'``, …)."""
+    text = text.strip().upper()
+    scale = 1
+    if text.endswith("K"):
+        scale, text = 1 << 10, text[:-1]
+    elif text.endswith("M"):
+        scale, text = 1 << 20, text[:-1]
+    elif text.endswith("G"):
+        scale, text = 1 << 30, text[:-1]
+    try:
+        size = int(text)
+    except ValueError:
+        return None
+    return size * scale if size > 0 else None
+
+
+def _detect_llc_bytes(base: str = _SYSFS_CACHE_DIR) -> Optional[int]:
+    """The largest level>=2 unified/data cache reported by sysfs.
+
+    That is the last-level cache the batch engine's gather passes
+    actually stream through — L1 is far too small to hold a value
+    matrix and instruction caches are irrelevant.  Any unreadable or
+    malformed entry is skipped; ``None`` means "nothing detected" and
+    the caller falls back to the static default.
+    """
+    try:
+        indexes = sorted(os.listdir(base))
+    except OSError:
+        return None
+    best = None
+    for index in indexes:
+        if not index.startswith("index"):
+            continue
+        path = os.path.join(base, index)
+        try:
+            with open(os.path.join(path, "level")) as fh:
+                level = int(fh.read().strip())
+            with open(os.path.join(path, "type")) as fh:
+                kind = fh.read().strip()
+            with open(os.path.join(path, "size")) as fh:
+                size = _parse_cache_size(fh.read())
+        except (OSError, ValueError):
+            continue
+        if level < 2 or kind not in ("Unified", "Data") or size is None:
+            continue
+        if best is None or size > best:
+            best = size
+    return best
+
+
+_BATCH_BUDGET_CACHE: Optional[int] = None
+
+
+def _batch_mem_budget() -> int:
+    """Per-thread working-set budget of the level-batched engine.
+
+    Derived once per process from the machine's detected last-level
+    cache size (sysfs), clamped to
+    [:data:`_BATCH_BUDGET_MIN`, :data:`_BATCH_BUDGET_MAX`]; when sysfs
+    is unavailable (containers, non-Linux) the static
+    :data:`_BATCH_MEM_BUDGET` default applies.  ``$REPRO_SIM_CHUNK_BITS``
+    still pins the chunk width outright, bypassing the budget entirely.
+    """
+    global _BATCH_BUDGET_CACHE
+    if _BATCH_BUDGET_CACHE is None:
+        detected = _detect_llc_bytes()
+        budget = detected if detected is not None else _BATCH_MEM_BUDGET
+        _BATCH_BUDGET_CACHE = max(
+            _BATCH_BUDGET_MIN, min(budget, _BATCH_BUDGET_MAX)
+        )
+    return _BATCH_BUDGET_CACHE
 
 #: Executables kept per thread per plan (distinct widths); interleaved
 #: widths — e.g. serve jobs at different presets on one warm graph —
@@ -979,17 +1064,19 @@ class NumpyBatchKernel:
         """Cache-targeted chunk width, widened by the thread count.
 
         The gather passes read rows from across the whole value matrix,
-        so a single thread wants the matrix near cache-resident
-        (:data:`_BATCH_MEM_BUDGET`); with a worker pool the window is
-        widened by log2(threads) — the exhaustive paths split it back
-        into per-thread sub-windows of the cache-friendly size, so the
+        so a single thread wants the matrix near cache-resident — the
+        budget is the machine's detected last-level cache size
+        (:func:`_batch_mem_budget`, sysfs-derived with a static
+        fallback); with a worker pool the window is widened by
+        log2(threads) — the exhaustive paths split it back into
+        per-thread sub-windows of the cache-friendly size, so the
         budget stays per-thread while the pool gets enough patterns to
         keep every core busy.
         """
         env = _env_chunk_bits()
         if env is not None:
             return env
-        bits = _budget_chunk_bits(mig.num_nodes, _BATCH_MEM_BUDGET)
+        bits = _budget_chunk_bits(mig.num_nodes, _batch_mem_budget())
         threads = resolve_sim_threads()
         if threads > 1:
             bits = min(18, bits + (threads - 1).bit_length())

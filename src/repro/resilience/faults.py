@@ -22,8 +22,10 @@ Grammar
                           retry taxonomy without killing anything
 ``cache_corrupt``         disk-cache load: the stored blob is garbled before
                           decoding — must degrade to a miss, never to data
-``cache_io``              disk-cache store: an ``OSError`` mid-write — the
-                          entry must simply not persist
+``cache_io``              cache I/O: an ``OSError`` in the disk-cache store
+                          (the entry must simply not persist) or in a
+                          remote-cache request (the client must degrade
+                          to direct disk access)
 ``kernel_fail``           numpy-kernel dispatch: raise inside ``simulate`` —
                           must demote the job one step down the
                           numpy-batch → numpy → bigint chain (each
@@ -326,6 +328,19 @@ def store_io_fault(job: Optional[str]) -> None:
     """The disk-cache *store* injection site: maybe raise ``OSError``."""
     if inject("cache_io", job) is not None:
         raise OSError("injected cache I/O fault")
+
+
+def remote_io_fault(job: Optional[str]) -> None:
+    """The remote-cache *request* injection site: maybe raise ``OSError``.
+
+    Shares the ``cache_io`` point with the disk store — both are "the
+    cache's I/O path failed" — but fires in the
+    :class:`repro.cachesvc.RemoteCache` client before the socket, so
+    the client must degrade to direct disk access exactly as it would
+    for a dead server.
+    """
+    if inject("cache_io", job) is not None:
+        raise OSError("injected remote-cache I/O fault")
 
 
 def kernel_fault(job: Optional[str] = None) -> None:

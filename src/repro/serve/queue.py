@@ -42,7 +42,8 @@ from .schemas import JobSpec, summarize_compilation
 
 #: Keys of the per-job cache-counter delta attached to finished jobs.
 COUNTER_KEYS = ("hits", "misses", "disk_hits", "disk_misses",
-                "disk_lock_skips")
+                "disk_lock_skips", "remote_memory_hits",
+                "remote_disk_hits", "remote_waits", "remote_fallbacks")
 
 
 class JobQueue:

@@ -289,6 +289,73 @@ class TestChunkSizing:
         assert pooled == min(18, solo + 2)
 
 
+class TestCacheBudgetDetection:
+    def test_parse_cache_size_suffixes(self):
+        assert kernel._parse_cache_size("32K") == 32 << 10
+        assert kernel._parse_cache_size("8M\n") == 8 << 20
+        assert kernel._parse_cache_size("1G") == 1 << 30
+        assert kernel._parse_cache_size("12288K") == 12288 << 10
+        assert kernel._parse_cache_size("512") == 512
+
+    def test_parse_cache_size_garbage(self):
+        assert kernel._parse_cache_size("") is None
+        assert kernel._parse_cache_size("weird") is None
+        assert kernel._parse_cache_size("-4K") is None
+        assert kernel._parse_cache_size("0") is None
+
+    def test_detect_llc_prefers_largest_level2plus(self, tmp_path):
+        # A synthetic sysfs hierarchy: L1d 32K, L1i 32K, L2 1M, L3 8M.
+        for index, (level, kind, size) in enumerate([
+            (1, "Data", "32K"),
+            (1, "Instruction", "32K"),
+            (2, "Unified", "1M"),
+            (3, "Unified", "8M"),
+        ]):
+            entry = tmp_path / f"index{index}"
+            entry.mkdir()
+            (entry / "level").write_text(f"{level}\n")
+            (entry / "type").write_text(f"{kind}\n")
+            (entry / "size").write_text(f"{size}\n")
+        assert kernel._detect_llc_bytes(str(tmp_path)) == 8 << 20
+
+    def test_detect_llc_skips_malformed_entries(self, tmp_path):
+        entry = tmp_path / "index0"
+        entry.mkdir()
+        (entry / "level").write_text("not-a-number\n")
+        assert kernel._detect_llc_bytes(str(tmp_path)) is None
+
+    def test_detect_llc_missing_sysfs(self, tmp_path):
+        assert kernel._detect_llc_bytes(str(tmp_path / "absent")) is None
+
+    def test_budget_clamped_and_memoized(self, monkeypatch):
+        monkeypatch.setattr(kernel, "_BATCH_BUDGET_CACHE", None)
+        monkeypatch.setattr(
+            kernel, "_detect_llc_bytes", lambda base=None: 1 << 40
+        )
+        assert kernel._batch_mem_budget() == kernel._BATCH_BUDGET_MAX
+        # Memoized: a changed detector result is not re-read.
+        monkeypatch.setattr(
+            kernel, "_detect_llc_bytes", lambda base=None: 1 << 10
+        )
+        assert kernel._batch_mem_budget() == kernel._BATCH_BUDGET_MAX
+
+    def test_budget_falls_back_to_static_default(self, monkeypatch):
+        monkeypatch.setattr(kernel, "_BATCH_BUDGET_CACHE", None)
+        monkeypatch.setattr(
+            kernel, "_detect_llc_bytes", lambda base=None: None
+        )
+        assert kernel._batch_mem_budget() == kernel._BATCH_MEM_BUDGET
+        monkeypatch.setattr(kernel, "_BATCH_BUDGET_CACHE", None)
+
+    def test_tiny_detected_cache_clamps_up(self, monkeypatch):
+        monkeypatch.setattr(kernel, "_BATCH_BUDGET_CACHE", None)
+        monkeypatch.setattr(
+            kernel, "_detect_llc_bytes", lambda base=None: 64 << 10
+        )
+        assert kernel._batch_mem_budget() == kernel._BATCH_BUDGET_MIN
+        monkeypatch.setattr(kernel, "_BATCH_BUDGET_CACHE", None)
+
+
 @needs_numpy
 class TestBatchParity:
     """numpy-batch must be bit-identical to both other kernels."""

@@ -8,6 +8,7 @@ change, deliberately.
 
 import repro
 import repro.arch
+import repro.cachesvc
 import repro.flow
 import repro.opt
 import repro.resilience
@@ -29,6 +30,7 @@ ROOT_API = [
     "PermanentFault",
     "PlimController",
     "Program",
+    "RemoteCache",
     "ReproError",
     "ReproServer",
     "RetryPolicy",
@@ -44,6 +46,7 @@ ROOT_API = [
     "available_strategies",
     "build_benchmark",
     "compile_with_management",
+    "create_cache_server",
     "create_server",
     "equivalent",
     "full_management",
@@ -54,6 +57,7 @@ ROOT_API = [
     "register_architecture",
     "register_objective",
     "register_source",
+    "resolve_cache_url",
     "resolve_optimizer",
     "resolve_source",
     "simulate",
@@ -181,6 +185,19 @@ SERVE_API = [
     "parse_job",
     "stats_payload",
     "summarize_compilation",
+]
+
+#: The blessed repro.cachesvc namespace (the shared compile cache).
+CACHESVC_API = [
+    "CACHE_URL_ENV_VAR",
+    "CacheServer",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MEMORY_BYTES",
+    "DEFAULT_PORT",
+    "MemoryTier",
+    "RemoteCache",
+    "create_cache_server",
+    "resolve_cache_url",
 ]
 
 #: The blessed repro.flow namespace.
@@ -324,6 +341,24 @@ class TestServeNamespace:
         """Environment knobs are API for scripts and CI jobs."""
         assert repro.resilience.RETRY_ENV_VAR == "REPRO_RETRIES"
         assert repro.resilience.TIMEOUT_ENV_VAR == "REPRO_TIMEOUT"
+
+
+class TestCachesvcNamespace:
+    def test_all_snapshot(self):
+        assert sorted(repro.cachesvc.__all__) == sorted(CACHESVC_API)
+
+    def test_every_name_resolves(self):
+        for name in repro.cachesvc.__all__:
+            assert getattr(repro.cachesvc, name) is not None
+
+    def test_cachesvc_types_exported_at_root(self):
+        assert repro.RemoteCache is repro.cachesvc.RemoteCache
+        assert repro.create_cache_server is repro.cachesvc.create_cache_server
+        assert repro.resolve_cache_url is repro.cachesvc.resolve_cache_url
+
+    def test_env_var_name_stable(self):
+        """$REPRO_CACHE_URL is API for scripts and CI jobs."""
+        assert repro.cachesvc.CACHE_URL_ENV_VAR == "REPRO_CACHE_URL"
 
 
 class TestFlowNamespace:
